@@ -1,0 +1,100 @@
+// Reproduces the Section 4.1.3 overhead-control ablation: tracking every
+// heap allocation with a full unwind is ruinous on allocation-heavy code
+// (paper: +150% on AMG2006); the 4 KB size threshold plus the
+// trampoline-memoized unwind bring it under 10%.
+#include <chrono>
+#include <cstdlib>
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "workloads/amg.h"
+#include "workloads/harness.h"
+
+using namespace dcprof;
+
+namespace {
+
+struct Mode {
+  const char* name;
+  bool tool_attached;
+  core::TrackerConfig tracker;
+};
+
+double run_once(const Mode& mode) {
+  wl::AmgParams prm;
+  // Allocation-heavy configuration: the initialization phase dominates.
+  prm.rows = 2'000;
+  prm.iters = 1;
+  prm.small_allocs = 150'000;
+  prm.workspace_doubles = 20'000;
+  prm.symbolic_cycles_per_row = 0;
+  wl::ProcessCtx proc(wl::node_config(), 16, "amg2006");
+  wl::Amg amg(proc, prm);
+  core::ProfilerConfig cfg;
+  cfg.tracker = mode.tracker;
+  proc.enable_profiling(wl::rmem_config(256), cfg, 0, mode.tool_attached);
+  const auto t0 = std::chrono::steady_clock::now();
+  amg.run();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (mode.tool_attached && std::getenv("DCPROF_VERBOSE") != nullptr) {
+    const auto& ts = proc.profiler()->tracker_stats();
+    std::printf("  [%s] allocations seen %s, tracked %s, frames unwound "
+                "%s, frames reused %s\n",
+                mode.name,
+                analysis::format_count(ts.allocations_seen).c_str(),
+                analysis::format_count(ts.allocations_tracked).c_str(),
+                analysis::format_count(ts.frames_unwound).c_str(),
+                analysis::format_count(ts.frames_reused).c_str());
+  }
+  return secs;
+}
+
+double best_of(const Mode& mode, int reps = 4) {
+  double best = run_once(mode);
+  for (int r = 1; r < reps; ++r) best = std::min(best, run_once(mode));
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const Mode baseline{"no tool", false, {}};
+  const Mode naive{"track all, full unwind", true,
+                   core::TrackerConfig{4096, true, false}};
+  const Mode naive_tramp{"track all + trampoline", true,
+                         core::TrackerConfig{4096, true, true}};
+  const Mode threshold_only{"4KB threshold, full unwind", true,
+                            core::TrackerConfig{4096, false, false}};
+  const Mode full{"4KB threshold + trampoline", true,
+                  core::TrackerConfig{4096, false, true}};
+
+  std::printf("Ablation: allocation-tracking overhead on an "
+              "allocation-heavy AMG configuration\n\n");
+  const double t_base = best_of(baseline);
+  const double t_naive = best_of(naive);
+  const double t_naive_tramp = best_of(naive_tramp);
+  const double t_thresh = best_of(threshold_only);
+  const double t_full = best_of(full);
+
+  analysis::Table t({"tracking mode", "time (s)", "overhead"});
+  const auto pct = [&](double v) {
+    return analysis::format_percent((v - t_base) / t_base);
+  };
+  char buf[5][32];
+  std::snprintf(buf[0], 32, "%.3f", t_base);
+  std::snprintf(buf[1], 32, "%.3f", t_naive);
+  std::snprintf(buf[2], 32, "%.3f", t_naive_tramp);
+  std::snprintf(buf[3], 32, "%.3f", t_thresh);
+  std::snprintf(buf[4], 32, "%.3f", t_full);
+  t.add_row({"profiling off", buf[0], "-"});
+  t.add_row({"track all allocations, full unwinds", buf[1], pct(t_naive)});
+  t.add_row({"track all + trampoline unwinds", buf[2], pct(t_naive_tramp)});
+  t.add_row({"4KB threshold, full unwinds", buf[3], pct(t_thresh)});
+  t.add_row({"4KB threshold + trampoline unwinds", buf[4], pct(t_full)});
+  std::printf("\n%s\n", t.render().c_str());
+  std::printf("(paper: tracking everything costs +150%% on AMG2006; the "
+              "threshold and memoized unwinding bring it below 10%%)\n");
+  return 0;
+}

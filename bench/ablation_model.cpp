@@ -1,0 +1,114 @@
+// Machine-model sensitivity ablation for the design choices DESIGN.md
+// calls out: how do the paper-reproducing results depend on the stream
+// prefetcher, the DRAM bank (drain-rate) count, and the remote-access
+// latency penalty? Two probes:
+//   * the Streamcluster first-touch speedup (a bandwidth/NUMA effect),
+//   * the Sweep3D transposition speedup (a stride/prefetch/TLB effect).
+#include <cstdio>
+#include <functional>
+
+#include "analysis/report.h"
+#include "workloads/harness.h"
+#include "workloads/streamcluster.h"
+#include "workloads/sweep3d.h"
+
+using namespace dcprof;
+
+namespace {
+
+double streamcluster_speedup(const sim::MachineConfig& cfg) {
+  sim::Cycles cycles[2] = {0, 0};
+  for (const bool fix : {false, true}) {
+    wl::StreamclusterParams prm;
+    prm.npoints = 30'000;
+    prm.iters = 2;
+    prm.parallel_first_touch = fix;
+    wl::ProcessCtx proc(cfg, 16, "sc");
+    wl::Streamcluster sc(proc, prm);
+    cycles[fix ? 1 : 0] = sc.run().sim_cycles;
+  }
+  return (static_cast<double>(cycles[0]) - static_cast<double>(cycles[1])) /
+         static_cast<double>(cycles[0]);
+}
+
+double sweep3d_speedup(const std::function<void(sim::MachineConfig&)>& tweak) {
+  // run_sweep3d_cluster builds its own rank config, so replicate its
+  // driver with a tweaked config via a single-rank run.
+  sim::Cycles cycles[2] = {0, 0};
+  for (const bool fix : {false, true}) {
+    sim::MachineConfig cfg = wl::rank_config();
+    tweak(cfg);
+    wl::Sweep3dParams prm;
+    prm.ranks = 1;
+    prm.nx = 16;
+    prm.ny = 40;
+    prm.nz = 40;
+    prm.transposed = fix;
+    wl::ProcessCtx proc(cfg, 1, "sweep3d");
+    wl::Sweep3dRank rank(proc, prm, nullptr);
+    cycles[fix ? 1 : 0] = rank.run().sim_cycles;
+  }
+  return (static_cast<double>(cycles[0]) - static_cast<double>(cycles[1])) /
+         static_cast<double>(cycles[0]);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Model ablation: sensitivity of the reproduced speedups to "
+              "machine-model elements\n\n");
+
+  analysis::Table sc({"model variant", "Streamcluster first-touch speedup"});
+  {
+    sim::MachineConfig cfg = wl::node_config();
+    sc.add_row({"baseline (banks=2, prefetch on)",
+                analysis::format_percent(streamcluster_speedup(cfg))});
+  }
+  for (const unsigned banks : {1u, 4u, 8u}) {
+    sim::MachineConfig cfg = wl::node_config();
+    cfg.lat.dram_banks = banks;
+    char label[64];
+    std::snprintf(label, sizeof label, "dram_banks=%u", banks);
+    sc.add_row({label,
+                analysis::format_percent(streamcluster_speedup(cfg))});
+  }
+  {
+    sim::MachineConfig cfg = wl::node_config();
+    cfg.lat.remote_extra = 0;
+    cfg.lat.prefetch_remote_extra = 0;
+    sc.add_row({"no remote latency penalty (bandwidth only)",
+                analysis::format_percent(streamcluster_speedup(cfg))});
+  }
+  {
+    sim::MachineConfig cfg = wl::node_config();
+    cfg.lat.prefetch_enabled = false;
+    sc.add_row({"prefetcher off",
+                analysis::format_percent(streamcluster_speedup(cfg))});
+  }
+  std::printf("%s\n", sc.render().c_str());
+  std::printf("(the NUMA speedup needs limited per-node bandwidth: with "
+              "many banks the single controller never saturates and the "
+              "fix shrinks)\n\n");
+
+  analysis::Table sw({"model variant", "Sweep3D transpose speedup"});
+  sw.add_row({"baseline (prefetch on, TLB on)",
+              analysis::format_percent(sweep3d_speedup(
+                  [](sim::MachineConfig&) {}))});
+  sw.add_row({"prefetcher off",
+              analysis::format_percent(sweep3d_speedup(
+                  [](sim::MachineConfig& cfg) {
+                    cfg.lat.prefetch_enabled = false;
+                  }))});
+  sw.add_row({"no TLB-walk penalty",
+              analysis::format_percent(sweep3d_speedup(
+                  [](sim::MachineConfig& cfg) { cfg.lat.tlb_walk = 0; }))});
+  sw.add_row({"huge TLB (4096 entries)",
+              analysis::format_percent(sweep3d_speedup(
+                  [](sim::MachineConfig& cfg) { cfg.tlb_entries = 4096; }))});
+  std::printf("%s\n", sw.render().c_str());
+  std::printf("(about half the transpose gain comes from TLB reach — the "
+              "long stride touches a page per element — and the rest from "
+              "cache-line utilization; both halves of the paper's Section "
+              "5.2 diagnosis)\n");
+  return 0;
+}

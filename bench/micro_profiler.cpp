@@ -1,0 +1,174 @@
+// Microbenchmarks (google-benchmark) for the profiler's hot paths: CCT
+// insertion, heap interval-map lookup, end-to-end sample attribution,
+// memoized vs. full unwinds, and the underlying machine model.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/alloc_tracker.h"
+#include "core/cct.h"
+#include "core/profiler.h"
+#include "core/var_map.h"
+#include "pmu/pmu.h"
+#include "rt/team.h"
+#include "sim/machine.h"
+#include "workloads/harness.h"
+
+using namespace dcprof;
+
+namespace {
+
+std::vector<sim::Addr> make_path(int depth, sim::Addr seed) {
+  std::vector<sim::Addr> path;
+  path.reserve(static_cast<std::size_t>(depth));
+  for (int i = 0; i < depth; ++i) {
+    path.push_back(0x400000 + seed * 1000 + static_cast<sim::Addr>(i) * 4);
+  }
+  return path;
+}
+
+void BM_CctInsertPath(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  core::Cct cct;
+  std::uint64_t i = 0;
+  // 64 distinct paths of the given depth, repeatedly re-inserted
+  // (the common case: hot contexts recur).
+  std::vector<std::vector<sim::Addr>> paths;
+  for (int p = 0; p < 64; ++p) paths.push_back(make_path(depth, p));
+  for (auto _ : state) {
+    const auto& path = paths[i++ % paths.size()];
+    benchmark::DoNotOptimize(cct.insert_path(
+        core::Cct::kRootId, path, core::NodeKind::kLeafInstr, 0x999));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CctInsertPath)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_HeapMapLookup(benchmark::State& state) {
+  const auto blocks = static_cast<std::uint64_t>(state.range(0));
+  core::HeapVarMap map;
+  core::AllocPathSet paths;
+  auto path = paths.intern(core::AllocPath{make_path(8, 1), 0x1234});
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    map.insert(0x7f0000000000ull + b * 4096, 2048, path);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const sim::Addr addr = 0x7f0000000000ull + (i++ % blocks) * 4096 + 512;
+    benchmark::DoNotOptimize(map.find(addr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapMapLookup)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_AttributeHeapSample(benchmark::State& state) {
+  sim::MachineConfig cfg = wl::node_config();
+  sim::Machine machine(cfg);
+  rt::Team team(machine, 1);
+  binfmt::ModuleRegistry modules;
+  binfmt::LoadModule exe("bench", machine.aspace());
+  modules.load(&exe);
+  const auto f = exe.add_function("f", "f.c");
+  const sim::Addr ip = exe.add_instr(f, 1);
+  core::Profiler profiler(modules);
+  profiler.register_team(team);
+  // One tracked block.
+  rt::ThreadCtx& t = team.master();
+  t.push_frame(ip);
+  profiler.tracker().on_alloc(t, 0x7f0000000000ull, 1 << 20, ip);
+  pmu::Sample sample;
+  sample.tid = 0;
+  sample.is_memory = true;
+  sample.precise_ip = ip;
+  sample.eaddr = 0x7f0000000100ull;
+  sample.latency = 200;
+  sample.source = sim::MemLevel::kRemoteDram;
+  for (auto _ : state) {
+    profiler.handle_sample(sample);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttributeHeapSample);
+
+void BM_Unwind(benchmark::State& state) {
+  const bool memoized = state.range(0) != 0;
+  const int depth = static_cast<int>(state.range(1));
+  sim::MachineConfig cfg = wl::node_config();
+  sim::Machine machine(cfg);
+  rt::Team team(machine, 1);
+  rt::ThreadCtx& t = team.master();
+  for (int i = 0; i < depth; ++i) t.push_frame(0x400000 + i * 4ull);
+  core::HeapVarMap map;
+  core::AllocPathSet paths;
+  core::TrackerConfig tc;
+  tc.track_all = true;
+  tc.memoized_unwind = memoized;
+  core::AllocTracker tracker(map, paths, tc);
+  sim::Addr base = 0x7f0000000000ull;
+  for (auto _ : state) {
+    tracker.on_alloc(t, base, 8192, 0x500000);
+    tracker.on_free(t, base, 8192);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Unwind)
+    ->ArgsProduct({{0, 1}, {8, 32}})
+    ->ArgNames({"memoized", "depth"});
+
+void BM_MachineAccessL1Hit(benchmark::State& state) {
+  sim::Machine machine(wl::node_config());
+  sim::Cycles clock = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        machine.access(0, 0, 0x400000, 0x10000000, 8, false, clock));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineAccessL1Hit);
+
+void BM_MachineAccessStream(benchmark::State& state) {
+  sim::Machine machine(wl::node_config());
+  sim::Cycles clock = 0;
+  sim::Addr addr = 0x10000000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        machine.access(0, 0, 0x400000, addr, 8, false, clock));
+    addr += 8;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineAccessStream);
+
+void BM_PmuObserve(benchmark::State& state) {
+  sim::MachineConfig cfg = wl::node_config();
+  pmu::PmuSet pmu(cfg, wl::rmem_config(64));
+  sim::MemAccess access;
+  access.result.level = sim::MemLevel::kL1;
+  for (auto _ : state) {
+    pmu.on_access(access);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PmuObserve);
+
+void BM_ProfileSerialize(benchmark::State& state) {
+  core::ThreadProfile profile;
+  auto& cct = profile.cct(core::StorageClass::kHeap);
+  for (int p = 0; p < 512; ++p) {
+    const auto path = make_path(12, p);
+    const auto leaf = cct.insert_path(core::Cct::kRootId, path,
+                                      core::NodeKind::kLeafInstr, p);
+    core::MetricVec m;
+    m[core::Metric::kSamples] = 1;
+    cct.add_metrics(leaf, m);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.serialized_bytes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileSerialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Reproduces Table 2: AMG2006 phase times under the original allocation,
+// numactl-style global interleaving, and selective libnuma interleaving.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "workloads/amg.h"
+
+using namespace dcprof;
+
+int main() {
+  const wl::AmgVariant variants[] = {wl::AmgVariant::kOriginal,
+                                     wl::AmgVariant::kNumactl,
+                                     wl::AmgVariant::kLibnuma};
+  analysis::Table table({"phases", "initialization", "setup", "solver",
+                         "whole program"});
+  double checksum0 = 0;
+  for (const auto v : variants) {
+    wl::AmgParams prm;
+    prm.variant = v;
+    wl::ProcessCtx proc(wl::node_config(), 16, "amg2006");
+    wl::Amg amg(proc, prm);
+    const wl::RunResult r = amg.run();
+    if (v == wl::AmgVariant::kOriginal) {
+      checksum0 = r.checksum;
+    } else if (r.checksum != checksum0) {
+      std::fprintf(stderr, "checksum mismatch: %f vs %f\n", r.checksum,
+                   checksum0);
+      return 1;
+    }
+    table.add_row({to_string(v),
+                   analysis::format_count(r.phase("initialization")),
+                   analysis::format_count(r.phase("setup")),
+                   analysis::format_count(r.phase("solver")),
+                   analysis::format_count(r.sim_cycles)});
+  }
+  std::printf("Table 2: AMG2006 phase times (simulated cycles)\n%s\n",
+              table.render().c_str());
+  return 0;
+}

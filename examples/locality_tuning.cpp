@@ -1,0 +1,72 @@
+// Spatial-locality tuning workflow: IBS latency sampling exposes a
+// strided traversal (high latency + TLB misses on one access site);
+// transposing the array layout fixes it — the Sweep3D story from the
+// paper's Section 5.2, end to end.
+
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "analysis/views.h"
+#include "workloads/harness.h"
+#include "workloads/sweep3d.h"
+
+using namespace dcprof;
+
+int main() {
+  wl::Sweep3dParams prm;
+  prm.ranks = 4;
+  prm.nx = 16;
+  prm.ny = 32;
+  prm.nz = 32;
+
+  // Step 1: profile the original layout with IBS.
+  const auto before =
+      wl::run_sweep3d_cluster(prm, /*profiled=*/true, wl::ibs_config(512));
+  wl::ProcessCtx labels(wl::rank_config(), 1, "sweep3d");
+  wl::Sweep3dRank structure(labels, prm, nullptr);
+  const analysis::AnalysisContext actx = labels.actx();
+
+  std::printf("== locality tuning ==\n\n");
+  const auto accesses = analysis::access_table(
+      *before.profile, core::StorageClass::kHeap, actx,
+      core::Metric::kLatency);
+  const auto summary = analysis::summarize(*before.profile);
+  const auto grand = summary.grand[core::Metric::kLatency];
+
+  analysis::Table t({"variable", "access", "latency share", "TLB misses"});
+  for (std::size_t i = 0; i < accesses.size() && i < 5; ++i) {
+    t.add_row({accesses[i].variable, accesses[i].site,
+               analysis::format_percent(
+                   grand > 0
+                       ? static_cast<double>(
+                             accesses[i].metrics[core::Metric::kLatency]) /
+                             static_cast<double>(grand)
+                       : 0),
+               analysis::format_count(
+                   accesses[i].metrics[core::Metric::kTlbMiss])});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("diagnosis: the hot accesses walk the arrays with the "
+              "rightmost index innermost — a long column-major stride "
+              "(note the TLB misses).\n\n");
+
+  // Step 2: apply the layout transposition and verify.
+  wl::Sweep3dParams fixed_prm = prm;
+  fixed_prm.transposed = true;
+  const auto after = wl::run_sweep3d_cluster(fixed_prm, /*profiled=*/false);
+  const auto base = wl::run_sweep3d_cluster(prm, /*profiled=*/false);
+
+  if (after.checksum != base.checksum) {
+    std::fprintf(stderr, "transpose changed the results!\n");
+    return 1;
+  }
+  const double gain = (static_cast<double>(base.sim_cycles) -
+                       static_cast<double>(after.sim_cycles)) /
+                      static_cast<double>(base.sim_cycles);
+  std::printf("original:   %s cycles\ntransposed: %s cycles\n"
+              "speedup:    %s (results identical)\n",
+              analysis::format_count(base.sim_cycles).c_str(),
+              analysis::format_count(after.sim_cycles).c_str(),
+              analysis::format_percent(gain).c_str());
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "analysis/advisor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dcprof::analysis {
+
+using core::Metric;
+using core::StorageClass;
+using core::ThreadProfile;
+
+const char* to_string(AdviceKind kind) {
+  switch (kind) {
+    case AdviceKind::kNumaPlacement: return "NUMA placement";
+    case AdviceKind::kSpatialLocality: return "spatial locality";
+    case AdviceKind::kTrackingGap: return "tracking gap";
+  }
+  return "?";
+}
+
+namespace {
+
+double share_of(std::uint64_t value, std::uint64_t total) {
+  return total > 0 ? static_cast<double>(value) / static_cast<double>(total)
+                   : 0.0;
+}
+
+void numa_rule(const ThreadProfile& profile, const AnalysisContext& ctx,
+               const AdvisorOptions& opt, std::vector<Advice>& out) {
+  const ClassSummary summary = summarize(profile);
+  const std::uint64_t total_remote = summary.grand[Metric::kRemoteDram];
+  if (total_remote == 0) return;
+  for (const auto& row :
+       variable_table(profile, ctx, Metric::kRemoteDram)) {
+    const double share = share_of(row.metrics[Metric::kRemoteDram],
+                                  total_remote);
+    if (share < opt.numa_share) continue;
+    Advice a;
+    a.kind = AdviceKind::kNumaPlacement;
+    a.severity = share;
+    a.variable = row.name;
+    std::ostringstream msg;
+    if (row.cls == StorageClass::kHeap) {
+      msg << row.name << " draws "
+          << static_cast<int>(share * 100 + 0.5)
+          << "% of all remote accesses. Its pages likely sit on one NUMA "
+             "node (master-thread calloc/init). If it is initialized in "
+             "parallel, switch calloc to malloc so first touch places "
+             "pages near their users; otherwise allocate it interleaved "
+             "(libnuma) to spread the bandwidth.";
+    } else if (row.cls == StorageClass::kStatic) {
+      msg << row.name << " (static data) draws "
+          << static_cast<int>(share * 100 + 0.5)
+          << "% of all remote accesses. Initialize it in parallel so "
+             "first touch distributes its pages, or replicate the table "
+             "per socket.";
+    } else {
+      msg << "unattributed data draws "
+          << static_cast<int>(share * 100 + 0.5)
+          << "% of all remote accesses; widen allocation tracking to "
+             "identify it.";
+    }
+    a.message = msg.str();
+    out.push_back(std::move(a));
+  }
+}
+
+void stride_rule(const ThreadProfile& profile, const AnalysisContext& ctx,
+                 const AdvisorOptions& opt, std::vector<Advice>& out) {
+  const ClassSummary summary = summarize(profile);
+  const std::uint64_t total_latency = summary.grand[Metric::kLatency];
+  if (total_latency == 0) return;
+  for (const StorageClass cls :
+       {StorageClass::kHeap, StorageClass::kStatic}) {
+    for (const auto& row :
+         access_table(profile, cls, ctx, Metric::kLatency)) {
+      const auto samples = row.metrics[Metric::kSamples];
+      if (samples < 16) continue;  // too few samples to judge
+      const double tlb_ratio =
+          share_of(row.metrics[Metric::kTlbMiss], samples);
+      const double lat_share =
+          share_of(row.metrics[Metric::kLatency], total_latency);
+      if (tlb_ratio < opt.stride_tlb_ratio ||
+          lat_share < opt.stride_latency_share) {
+        continue;
+      }
+      Advice a;
+      a.kind = AdviceKind::kSpatialLocality;
+      a.severity = lat_share;
+      a.variable = row.variable;
+      a.site = row.site;
+      std::ostringstream msg;
+      msg << "the access to " << row.variable << " at " << row.site
+          << " misses the TLB on "
+          << static_cast<int>(tlb_ratio * 100 + 0.5)
+          << "% of samples and carries "
+          << static_cast<int>(lat_share * 100 + 0.5)
+          << "% of total latency — a long-stride traversal. Interchange "
+             "the loops or transpose the array so the innermost loop "
+             "walks contiguous memory.";
+      a.message = msg.str();
+      out.push_back(std::move(a));
+    }
+  }
+}
+
+void tracking_rule(const ThreadProfile& profile, const AdvisorOptions& opt,
+                   std::vector<Advice>& out) {
+  const ClassSummary summary = summarize(profile);
+  const double share =
+      summary.fraction(StorageClass::kUnknown, Metric::kSamples);
+  if (share < opt.unknown_share) return;
+  Advice a;
+  a.kind = AdviceKind::kTrackingGap;
+  a.severity = share;
+  a.variable = "unknown data";
+  std::ostringstream msg;
+  msg << static_cast<int>(share * 100 + 0.5)
+      << "% of memory samples hit data the profiler could not attribute. "
+         "Lower the allocation-tracking size threshold or enable "
+         "small-allocation sampling (TrackerConfig::small_sample_period) "
+         "to identify these objects.";
+  a.message = msg.str();
+  out.push_back(std::move(a));
+}
+
+}  // namespace
+
+std::vector<Advice> advise(const ThreadProfile& profile,
+                           const AnalysisContext& ctx,
+                           const AdvisorOptions& options) {
+  std::vector<Advice> out;
+  numa_rule(profile, ctx, options, out);
+  stride_rule(profile, ctx, options, out);
+  tracking_rule(profile, options, out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Advice& a, const Advice& b) {
+                     return a.severity > b.severity;
+                   });
+  if (out.size() > options.max_advice) out.resize(options.max_advice);
+  return out;
+}
+
+std::string render_advice(const std::vector<Advice>& advice) {
+  std::ostringstream out;
+  if (advice.empty()) {
+    out << "no data-locality problems above the reporting thresholds\n";
+    return out.str();
+  }
+  int i = 1;
+  for (const auto& a : advice) {
+    out << i++ << ". [" << to_string(a.kind) << "] " << a.message << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dcprof::analysis

@@ -1,0 +1,58 @@
+// Optimization guidance — the paper's Section 7 future-work item:
+// "enhance measurement and analysis to provide guidance for where and
+// how to improve data locality". Rule-based analysis of a merged
+// profile that turns the data-centric metrics into concrete
+// recommendations (interleave/first-touch a variable, transpose a
+// strided layout, widen allocation tracking).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/views.h"
+#include "core/profile.h"
+
+namespace dcprof::analysis {
+
+enum class AdviceKind : std::uint8_t {
+  kNumaPlacement,     ///< one variable draws a heavy remote-access share
+  kSpatialLocality,   ///< a hot access site shows stride symptoms (TLB)
+  kTrackingGap,       ///< much of the traffic is unattributed (unknown)
+};
+
+const char* to_string(AdviceKind kind);
+
+struct Advice {
+  AdviceKind kind = AdviceKind::kNumaPlacement;
+  /// Fraction of the driving metric this finding explains (sort key).
+  double severity = 0;
+  std::string variable;
+  std::string site;     ///< access site, when the finding is site-level
+  std::string message;  ///< the recommendation
+};
+
+struct AdvisorOptions {
+  /// A variable must draw at least this share of remote accesses to
+  /// trigger a NUMA-placement recommendation.
+  double numa_share = 0.10;
+  /// A site triggers the stride rule when its sampled accesses miss the
+  /// TLB at least this often...
+  double stride_tlb_ratio = 0.25;
+  /// ...and it carries at least this share of total latency.
+  double stride_latency_share = 0.05;
+  /// Unknown-data share of samples that flags a tracking gap.
+  double unknown_share = 0.10;
+  std::size_t max_advice = 16;
+};
+
+/// Analyzes a (merged) profile and returns recommendations sorted by
+/// severity, most important first.
+std::vector<Advice> advise(const core::ThreadProfile& profile,
+                           const AnalysisContext& ctx,
+                           const AdvisorOptions& options = {});
+
+/// Renders the advice as a numbered text report.
+std::string render_advice(const std::vector<Advice>& advice);
+
+}  // namespace dcprof::analysis

@@ -1,0 +1,67 @@
+#include "analysis/derived.h"
+
+#include <sstream>
+
+#include "analysis/report.h"
+#include "analysis/views.h"
+
+namespace dcprof::analysis {
+
+using core::Metric;
+
+DerivedMetrics derive_metrics(const core::ThreadProfile& profile,
+                              std::uint64_t ibs_period) {
+  const ClassSummary s = summarize(profile);
+  DerivedMetrics d;
+  d.total_samples = s.grand[Metric::kSamples];
+  const std::uint64_t nomem =
+      s.per_class[static_cast<std::size_t>(core::StorageClass::kNoMem)]
+          [Metric::kSamples];
+  d.memory_samples = d.total_samples - nomem;
+  if (d.total_samples == 0) return d;
+  d.memory_op_fraction = static_cast<double>(d.memory_samples) /
+                         static_cast<double>(d.total_samples);
+  const std::uint64_t latency = s.grand[Metric::kLatency];
+  const std::uint64_t dram =
+      s.grand[Metric::kLocalDram] + s.grand[Metric::kRemoteDram];
+  if (d.memory_samples > 0) {
+    d.avg_latency = static_cast<double>(latency) /
+                    static_cast<double>(d.memory_samples);
+    d.dram_fraction = static_cast<double>(dram) /
+                      static_cast<double>(d.memory_samples);
+    d.tlb_miss_rate = static_cast<double>(s.grand[Metric::kTlbMiss]) /
+                      static_cast<double>(d.memory_samples);
+  }
+  if (dram > 0) {
+    d.remote_fraction = static_cast<double>(s.grand[Metric::kRemoteDram]) /
+                        static_cast<double>(dram);
+  }
+  if (ibs_period > 0) {
+    // Each sample stands for `period` retired ops (~1 cycle each when
+    // not stalled); the sampled latency scales the same way.
+    const double ops = static_cast<double>(d.total_samples) *
+                       static_cast<double>(ibs_period);
+    const double est_latency = static_cast<double>(latency) *
+                               static_cast<double>(ibs_period);
+    d.est_stall_share = est_latency / (ops + est_latency);
+  }
+  return d;
+}
+
+std::string render_derived(const DerivedMetrics& d) {
+  std::ostringstream out;
+  out << "derived metrics: " << format_count(d.total_samples)
+      << " samples, " << format_percent(d.memory_op_fraction)
+      << " memory ops, avg latency " << static_cast<int>(d.avg_latency)
+      << " cycles, DRAM on " << format_percent(d.dram_fraction)
+      << " of accesses (" << format_percent(d.remote_fraction)
+      << " remote), TLB miss rate " << format_percent(d.tlb_miss_rate);
+  if (d.est_stall_share > 0) {
+    out << ", est. memory-stall share " << format_percent(d.est_stall_share)
+        << (d.memory_bound() ? " => memory-bound" : " => not memory-bound");
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace dcprof::analysis

@@ -1,0 +1,47 @@
+// Derived metrics (paper Section 5: "HPCToolkit either computes derived
+// metrics to identify whether a program is memory-bound enough for data
+// locality optimization ... We only apply data-centric analysis to
+// memory-bound programs"). Computed from a profile's raw counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/profile.h"
+
+namespace dcprof::analysis {
+
+struct DerivedMetrics {
+  std::uint64_t total_samples = 0;
+  std::uint64_t memory_samples = 0;
+  /// Fraction of sampled ops that access memory.
+  double memory_op_fraction = 0;
+  /// Mean observed latency per sampled memory access (cycles).
+  double avg_latency = 0;
+  /// Fraction of sampled memory accesses served by DRAM.
+  double dram_fraction = 0;
+  /// Fraction of DRAM-served accesses that were remote (NUMA).
+  double remote_fraction = 0;
+  /// TLB misses per sampled memory access.
+  double tlb_miss_rate = 0;
+  /// Estimated share of execution spent stalled on memory, from IBS
+  /// scaling: each sample stands for `period` retired ops.
+  double est_stall_share = 0;
+
+  /// The paper's gate: only memory-bound programs warrant data-centric
+  /// analysis.
+  bool memory_bound(double threshold = 0.2) const {
+    return est_stall_share >= threshold;
+  }
+};
+
+/// Derives the metrics from `profile`. `ibs_period` is the sampling
+/// period the profile was collected with (used for the stall estimate;
+/// pass 0 to skip it, e.g. for marked-event profiles).
+DerivedMetrics derive_metrics(const core::ThreadProfile& profile,
+                              std::uint64_t ibs_period);
+
+/// One-paragraph text summary.
+std::string render_derived(const DerivedMetrics& d);
+
+}  // namespace dcprof::analysis

@@ -1,0 +1,227 @@
+#include "analysis/html_report.h"
+
+#include <functional>
+#include <sstream>
+
+#include "analysis/advisor.h"
+#include "analysis/derived.h"
+#include "analysis/report.h"
+
+namespace dcprof::analysis {
+
+using core::Cct;
+using core::Metric;
+using core::StorageClass;
+using core::ThreadProfile;
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+const char* kStyle = R"css(
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem;
+       max-width: 72rem; color: #1a1a2e; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.5rem 0; }
+th, td { padding: 0.25rem 0.75rem; text-align: left;
+         border-bottom: 1px solid #ddd; font-size: 0.9rem; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.bar { display: inline-block; height: 0.7rem; background: #4a7ebb;
+       vertical-align: baseline; }
+details { margin-left: 1rem; font-size: 0.9rem; }
+details.root { margin-left: 0; }
+summary { cursor: pointer; }
+.leaf { margin-left: 2.1rem; }
+.metric { color: #666; font-size: 0.85em; }
+.advice { background: #fff7e0; border-left: 4px solid #e0a800;
+          padding: 0.5rem 1rem; margin: 0.5rem 0; }
+.muted { color: #777; }
+)css";
+
+void emit_bar(std::ostringstream& out, double share) {
+  out << "<span class=\"bar\" style=\"width:"
+      << static_cast<int>(share * 220) << "px\"></span> "
+      << format_percent(share);
+}
+
+void emit_summary(std::ostringstream& out, const ThreadProfile& profile,
+                  const HtmlReportOptions& opt, const ClassSummary& summary) {
+  out << "<h2>Storage classes</h2><table><tr><th>class</th><th class=num>"
+      << to_string(opt.metric) << "</th><th>share</th></tr>";
+  for (std::size_t c = 0; c < core::kNumStorageClasses; ++c) {
+    const auto cls = static_cast<StorageClass>(c);
+    out << "<tr><td>" << to_string(cls) << "</td><td class=num>"
+        << format_count(summary.per_class[c][opt.metric]) << "</td><td>";
+    emit_bar(out, summary.fraction(cls, opt.metric));
+    out << "</td></tr>";
+  }
+  out << "</table>";
+  if (opt.ibs_period > 0) {
+    out << "<p class=muted>"
+        << escape(render_derived(derive_metrics(profile, opt.ibs_period)))
+        << "</p>";
+  }
+}
+
+void emit_variables(std::ostringstream& out, const ThreadProfile& profile,
+                    const AnalysisContext& ctx,
+                    const HtmlReportOptions& opt,
+                    const ClassSummary& summary) {
+  const auto vars = variable_table(profile, ctx, opt.metric);
+  const auto grand = summary.grand[opt.metric];
+  out << "<h2>Variables (data-centric)</h2><table><tr><th>variable</th>"
+         "<th>class</th><th class=num>"
+      << to_string(opt.metric) << "</th><th>share</th></tr>";
+  std::size_t shown = 0;
+  for (const auto& row : vars) {
+    if (shown++ >= opt.max_rows) break;
+    const double share =
+        grand > 0 ? static_cast<double>(row.metrics[opt.metric]) /
+                        static_cast<double>(grand)
+                  : 0;
+    out << "<tr><td>" << escape(row.name) << "</td><td>"
+        << to_string(row.cls) << "</td><td class=num>"
+        << format_count(row.metrics[opt.metric]) << "</td><td>";
+    emit_bar(out, share);
+    out << "</td></tr>";
+  }
+  out << "</table>";
+}
+
+void emit_accesses(std::ostringstream& out, const ThreadProfile& profile,
+                   const AnalysisContext& ctx,
+                   const HtmlReportOptions& opt) {
+  const auto rows =
+      access_table(profile, StorageClass::kHeap, ctx, opt.metric);
+  out << "<h2>Hot heap accesses</h2><table><tr><th>variable</th>"
+         "<th>access site</th><th class=num>"
+      << to_string(opt.metric) << "</th></tr>";
+  for (std::size_t i = 0; i < rows.size() && i < opt.max_rows; ++i) {
+    out << "<tr><td>" << escape(rows[i].variable) << "</td><td>"
+        << escape(rows[i].site) << "</td><td class=num>"
+        << format_count(rows[i].metrics[opt.metric]) << "</td></tr>";
+  }
+  out << "</table>";
+}
+
+void emit_bottom_up(std::ostringstream& out, const ThreadProfile& profile,
+                    const AnalysisContext& ctx,
+                    const HtmlReportOptions& opt) {
+  const auto rows = bottom_up_alloc_sites(profile, ctx, opt.metric);
+  out << "<h2>Allocation sites (bottom-up)</h2><table><tr>"
+         "<th>call site</th><th>variable</th><th class=num>contexts</th>"
+         "<th class=num>"
+      << to_string(opt.metric) << "</th></tr>";
+  for (std::size_t i = 0; i < rows.size() && i < opt.max_rows; ++i) {
+    out << "<tr><td>" << escape(rows[i].site) << "</td><td>"
+        << escape(rows[i].name) << "</td><td class=num>"
+        << rows[i].contexts << "</td><td class=num>"
+        << format_count(rows[i].metrics[opt.metric]) << "</td></tr>";
+  }
+  out << "</table>";
+}
+
+void emit_top_down(std::ostringstream& out, const ThreadProfile& profile,
+                   StorageClass cls, const AnalysisContext& ctx,
+                   const HtmlReportOptions& opt,
+                   const ClassSummary& summary) {
+  const Cct& cct = profile.cct(cls);
+  if (cct.size() <= 1) return;
+  const auto inc = cct.inclusive();
+  const auto grand = summary.grand[opt.metric];
+  if (grand == 0) return;
+
+  const std::function<void(Cct::NodeId, bool)> dfs = [&](Cct::NodeId id,
+                                                         bool root) {
+    const auto value = inc[id][opt.metric];
+    const double share =
+        static_cast<double>(value) / static_cast<double>(grand);
+    if (share < opt.min_fraction) return;
+    const auto kids = cct.children(id);
+    std::vector<Cct::NodeId> big;
+    for (const auto k : kids) {
+      if (static_cast<double>(inc[k][opt.metric]) /
+              static_cast<double>(grand) >=
+          opt.min_fraction) {
+        big.push_back(k);
+      }
+    }
+    std::stable_sort(big.begin(), big.end(),
+                     [&](Cct::NodeId a, Cct::NodeId b) {
+                       return inc[a][opt.metric] > inc[b][opt.metric];
+                     });
+    const std::string label =
+        root ? std::string(to_string(cls)) +
+                   " data"
+             : node_label(cct.node(id), profile.strings, ctx);
+    if (big.empty()) {
+      out << "<div class=leaf>" << escape(label) << " <span class=metric>"
+          << format_count(value) << " (" << format_percent(share)
+          << ")</span></div>";
+      return;
+    }
+    out << "<details" << (root ? " class=root open" : "") << "><summary>"
+        << escape(label) << " <span class=metric>" << format_count(value)
+        << " (" << format_percent(share) << ")</span></summary>";
+    for (const auto k : big) dfs(k, false);
+    out << "</details>";
+  };
+  out << "<h2>Top-down: " << to_string(cls) << "</h2>";
+  dfs(Cct::kRootId, true);
+}
+
+void emit_advice(std::ostringstream& out, const ThreadProfile& profile,
+                 const AnalysisContext& ctx) {
+  const auto advice = advise(profile, ctx);
+  out << "<h2>Guidance</h2>";
+  if (advice.empty()) {
+    out << "<p class=muted>no data-locality problems above the reporting "
+           "thresholds</p>";
+    return;
+  }
+  for (const auto& a : advice) {
+    out << "<div class=advice><b>" << to_string(a.kind) << "</b> — "
+        << escape(a.message) << "</div>";
+  }
+}
+
+}  // namespace
+
+std::string render_html_report(const ThreadProfile& profile,
+                               const AnalysisContext& ctx,
+                               const HtmlReportOptions& options) {
+  const ClassSummary summary = summarize(profile);
+  std::ostringstream out;
+  out << "<!doctype html><html><head><meta charset=\"utf-8\"><title>"
+      << escape(options.title) << "</title><style>" << kStyle
+      << "</style></head><body><h1>" << escape(options.title) << "</h1>"
+      << "<p class=muted>" << format_count(profile.total_samples())
+      << " samples, sorted by " << to_string(options.metric) << "</p>";
+  emit_summary(out, profile, options, summary);
+  emit_variables(out, profile, ctx, options, summary);
+  emit_accesses(out, profile, ctx, options);
+  emit_bottom_up(out, profile, ctx, options);
+  for (const StorageClass cls :
+       {StorageClass::kHeap, StorageClass::kStatic, StorageClass::kStack,
+        StorageClass::kUnknown}) {
+    emit_top_down(out, profile, cls, ctx, options, summary);
+  }
+  emit_advice(out, profile, ctx);
+  out << "</body></html>\n";
+  return out.str();
+}
+
+}  // namespace dcprof::analysis

@@ -1,0 +1,30 @@
+// Self-contained HTML report — the analog of the paper's hpcviewer GUI:
+// storage-class summary, data-centric variable view, hot accesses,
+// bottom-up allocation sites, collapsible top-down CCTs per storage
+// class, and optimization guidance, in one file a browser can open.
+#pragma once
+
+#include <string>
+
+#include "analysis/views.h"
+#include "core/profile.h"
+
+namespace dcprof::analysis {
+
+struct HtmlReportOptions {
+  std::string title = "dcprof report";
+  core::Metric metric = core::Metric::kLatency;
+  /// IBS period used during measurement (0 if marked-event sampling);
+  /// enables the derived memory-boundedness line.
+  std::uint64_t ibs_period = 0;
+  /// Hide top-down subtrees below this share of the grand total.
+  double min_fraction = 0.005;
+  std::size_t max_rows = 25;
+};
+
+/// Renders the merged profile as one self-contained HTML document.
+std::string render_html_report(const core::ThreadProfile& profile,
+                               const AnalysisContext& ctx,
+                               const HtmlReportOptions& options = {});
+
+}  // namespace dcprof::analysis

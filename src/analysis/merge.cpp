@@ -1,0 +1,78 @@
+#include "analysis/merge.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dcprof::analysis {
+
+using core::Cct;
+using core::NodeKind;
+using core::StorageClass;
+using core::ThreadProfile;
+
+void merge_into(ThreadProfile& dst, const ThreadProfile& src) {
+  // Static-variable dummy nodes carry profile-local string ids; remap
+  // through dst's table so same-named variables coalesce.
+  const auto remap = [&](NodeKind kind, std::uint64_t sym) -> std::uint64_t {
+    if (kind == NodeKind::kVarStatic) {
+      return dst.strings.intern(src.strings.str(sym));
+    }
+    return sym;
+  };
+  for (std::size_t c = 0; c < core::kNumStorageClasses; ++c) {
+    dst.ccts[c].merge(src.ccts[c], remap);
+  }
+  if (dst.rank != src.rank) dst.rank = -1;  // aggregate across ranks
+  dst.tid = -1;
+}
+
+ThreadProfile reduce(std::vector<ThreadProfile> profiles) {
+  if (profiles.empty()) {
+    throw std::invalid_argument("reduce: no profiles");
+  }
+  // Pairwise reduction tree: round k merges neighbours 2^k apart.
+  for (std::size_t stride = 1; stride < profiles.size(); stride *= 2) {
+    for (std::size_t i = 0; i + stride < profiles.size(); i += 2 * stride) {
+      merge_into(profiles[i], profiles[i + stride]);
+    }
+  }
+  return std::move(profiles.front());
+}
+
+ThreadProfile reduce_parallel(std::vector<ThreadProfile> profiles,
+                              int workers) {
+  if (profiles.empty()) {
+    throw std::invalid_argument("reduce_parallel: no profiles");
+  }
+  if (workers < 1) workers = 1;
+  for (std::size_t stride = 1; stride < profiles.size(); stride *= 2) {
+    // The merges of one round touch disjoint pairs: run them on a
+    // worker pool, exactly as ranks merge concurrently under MPI.
+    std::vector<std::size_t> pairs;
+    for (std::size_t i = 0; i + stride < profiles.size(); i += 2 * stride) {
+      pairs.push_back(i);
+    }
+    std::atomic<std::size_t> next{0};
+    const auto drain = [&] {
+      for (std::size_t p = next.fetch_add(1); p < pairs.size();
+           p = next.fetch_add(1)) {
+        merge_into(profiles[pairs[p]], profiles[pairs[p] + stride]);
+      }
+    };
+    const int n = std::min<int>(workers, static_cast<int>(pairs.size()));
+    if (n <= 1) {
+      drain();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(n));
+      for (int w = 0; w < n; ++w) pool.emplace_back(drain);
+      for (auto& t : pool) t.join();
+    }
+  }
+  return std::move(profiles.front());
+}
+
+}  // namespace dcprof::analysis

@@ -1,0 +1,28 @@
+// Post-mortem profile merging. CCTs of the same storage class merge
+// across threads and processes: heap variables coalesce when their
+// allocation call paths match (structural CCT merge), static variables
+// coalesce by symbol name (string remap). The many-profile merge uses a
+// reduction tree, mirroring the paper's MPI-based parallel reduction.
+#pragma once
+
+#include <vector>
+
+#include "core/profile.h"
+
+namespace dcprof::analysis {
+
+/// Merges `src` into `dst` (all four storage-class CCTs).
+void merge_into(core::ThreadProfile& dst, const core::ThreadProfile& src);
+
+/// Reduces a set of per-thread/per-rank profiles to one aggregate profile
+/// via pairwise reduction-tree rounds. Consumes the input.
+core::ThreadProfile reduce(std::vector<core::ThreadProfile> profiles);
+
+/// The same reduction tree with the pairwise merges of each round
+/// executed concurrently on `workers` host threads — the analog of the
+/// paper's MPI-parallelized post-mortem merge. Merges within a round are
+/// independent, so the result is identical to `reduce`.
+core::ThreadProfile reduce_parallel(
+    std::vector<core::ThreadProfile> profiles, int workers);
+
+}  // namespace dcprof::analysis

@@ -1,0 +1,353 @@
+#include "analysis/views.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+#include "analysis/report.h"
+
+namespace dcprof::analysis {
+
+using core::Cct;
+using core::Metric;
+using core::MetricVec;
+using core::NodeKind;
+using core::StorageClass;
+using core::ThreadProfile;
+
+std::string AnalysisContext::ip_label(sim::Addr ip) const {
+  if (modules != nullptr) {
+    if (const binfmt::InstrInfo* info = modules->resolve_ip(ip)) {
+      std::ostringstream out;
+      out << info->func_name << " (" << info->file << ":" << info->line
+          << ")";
+      return out.str();
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(ip));
+  return buf;
+}
+
+std::string AnalysisContext::alloc_name(sim::Addr ip) const {
+  if (alloc_names == nullptr) return {};
+  auto it = alloc_names->find(ip);
+  return it == alloc_names->end() ? std::string{} : it->second;
+}
+
+std::string node_label(const Cct::Node& node,
+                       const core::StringTable& strings,
+                       const AnalysisContext& ctx) {
+  switch (node.kind) {
+    case NodeKind::kRoot:
+      return "<root>";
+    case NodeKind::kCallSite:
+    case NodeKind::kLeafInstr:
+      return ctx.ip_label(node.sym);
+    case NodeKind::kAllocPoint: {
+      std::string label = "alloc: " + ctx.ip_label(node.sym);
+      const std::string name = ctx.alloc_name(node.sym);
+      if (!name.empty()) label += " [" + name + "]";
+      return label;
+    }
+    case NodeKind::kVarData:
+      return "heap data accesses";
+    case NodeKind::kVarStatic:
+      return strings.str(node.sym);
+  }
+  return "?";
+}
+
+ClassSummary summarize(const ThreadProfile& profile) {
+  ClassSummary s;
+  for (std::size_t c = 0; c < core::kNumStorageClasses; ++c) {
+    s.per_class[c] = profile.ccts[c].total();
+    s.grand += s.per_class[c];
+  }
+  return s;
+}
+
+namespace {
+
+/// Identifying IP of a heap variable given its kAllocPoint node: the
+/// innermost *annotated* frame of the allocation path if any (variables
+/// are usually named where the wrapper is called, not inside it), else
+/// the direct caller of the allocation, else the allocation instruction.
+sim::Addr heap_var_ip(const Cct& cct, Cct::NodeId alloc_node,
+                      const AnalysisContext& ctx) {
+  const Cct::Node& alloc = cct.node(alloc_node);
+  if (!ctx.alloc_name(alloc.sym).empty()) return alloc.sym;
+  sim::Addr caller = alloc.sym;
+  bool first = true;
+  for (Cct::NodeId cur = alloc.parent; cur != Cct::kRootId;
+       cur = cct.node(cur).parent) {
+    const Cct::Node& n = cct.node(cur);
+    if (n.kind != NodeKind::kCallSite) break;
+    if (first) {
+      caller = n.sym;
+      first = false;
+    }
+    if (!ctx.alloc_name(n.sym).empty()) return n.sym;
+  }
+  return caller;
+}
+
+/// Name for a heap variable identified by `ip` (see heap_var_ip).
+std::string heap_var_name(sim::Addr ip, const AnalysisContext& ctx) {
+  const std::string name = ctx.alloc_name(ip);
+  if (!name.empty()) return name;
+  return "heap @ " + ctx.ip_label(ip);
+}
+
+template <typename Row>
+void sort_rows(std::vector<Row>& rows, Metric m) {
+  std::stable_sort(rows.begin(), rows.end(), [m](const Row& a, const Row& b) {
+    return a.metrics[m] > b.metrics[m];
+  });
+}
+
+}  // namespace
+
+std::vector<VariableRow> variable_table(const ThreadProfile& profile,
+                                        const AnalysisContext& ctx,
+                                        Metric sort_by) {
+  std::vector<VariableRow> rows;
+
+  const Cct& heap = profile.cct(StorageClass::kHeap);
+  const auto heap_inc = heap.inclusive();
+  for (Cct::NodeId id = 0; id < heap.size(); ++id) {
+    const Cct::Node& n = heap.node(id);
+    if (n.kind != NodeKind::kAllocPoint) continue;
+    VariableRow row;
+    row.cls = StorageClass::kHeap;
+    row.alloc_ip = heap_var_ip(heap, id, ctx);
+    row.node = id;
+    row.name = heap_var_name(row.alloc_ip, ctx);
+    row.metrics = heap_inc[id];
+    rows.push_back(std::move(row));
+  }
+
+  // Static and stack variables both hang off named dummy nodes.
+  for (const StorageClass cls : {StorageClass::kStatic,
+                                 StorageClass::kStack}) {
+    const Cct& cct = profile.cct(cls);
+    const auto inc = cct.inclusive();
+    for (Cct::NodeId id = 0; id < cct.size(); ++id) {
+      const Cct::Node& n = cct.node(id);
+      if (n.kind != NodeKind::kVarStatic) continue;
+      VariableRow row;
+      row.cls = cls;
+      row.node = id;
+      row.name = profile.strings.str(n.sym);
+      row.metrics = inc[id];
+      rows.push_back(std::move(row));
+    }
+  }
+
+  const Cct& unknown = profile.cct(StorageClass::kUnknown);
+  const MetricVec unknown_total = unknown.total();
+  if (!unknown_total.empty()) {
+    VariableRow row;
+    row.cls = StorageClass::kUnknown;
+    row.name = "unknown data";
+    row.metrics = unknown_total;
+    rows.push_back(std::move(row));
+  }
+
+  sort_rows(rows, sort_by);
+  return rows;
+}
+
+std::vector<AccessRow> access_table(const ThreadProfile& profile,
+                                    StorageClass cls,
+                                    const AnalysisContext& ctx,
+                                    Metric sort_by) {
+  const Cct& cct = profile.cct(cls);
+  // Aggregate leaf metrics by (owning variable node, leaf IP).
+  std::map<std::pair<Cct::NodeId, sim::Addr>, MetricVec> agg;
+  for (Cct::NodeId id = 0; id < cct.size(); ++id) {
+    const Cct::Node& n = cct.node(id);
+    if (n.kind != NodeKind::kLeafInstr || n.metrics.empty()) continue;
+    // Walk up to the owning variable (alloc point or static dummy).
+    Cct::NodeId var = 0;
+    for (Cct::NodeId cur = n.parent;; cur = cct.node(cur).parent) {
+      const NodeKind k = cct.node(cur).kind;
+      if (k == NodeKind::kAllocPoint || k == NodeKind::kVarStatic) {
+        var = cur;
+        break;
+      }
+      if (cur == Cct::kRootId) break;
+    }
+    agg[{var, n.sym}] += n.metrics;
+  }
+  std::vector<AccessRow> rows;
+  rows.reserve(agg.size());
+  for (const auto& [key, metrics] : agg) {
+    AccessRow row;
+    const auto [var, ip] = key;
+    if (var != Cct::kRootId) {
+      const Cct::Node& vn = cct.node(var);
+      row.variable = vn.kind == NodeKind::kVarStatic
+                         ? profile.strings.str(vn.sym)
+                         : heap_var_name(heap_var_ip(cct, var, ctx), ctx);
+    } else {
+      row.variable = to_string(cls);
+    }
+    row.site = ctx.ip_label(ip);
+    row.ip = ip;
+    row.metrics = metrics;
+    rows.push_back(std::move(row));
+  }
+  sort_rows(rows, sort_by);
+  return rows;
+}
+
+std::vector<AllocSiteRow> bottom_up_alloc_sites(const ThreadProfile& profile,
+                                                const AnalysisContext& ctx,
+                                                Metric sort_by) {
+  const Cct& heap = profile.cct(StorageClass::kHeap);
+  const auto inc = heap.inclusive();
+  // Aggregate by the call site that invoked the allocator (the paper's
+  // bottom-up view groups by allocator call sites such as the distinct
+  // callers of hypre_CAlloc).
+  std::map<sim::Addr, AllocSiteRow> agg;
+  for (Cct::NodeId id = 0; id < heap.size(); ++id) {
+    const Cct::Node& n = heap.node(id);
+    if (n.kind != NodeKind::kAllocPoint) continue;
+    const sim::Addr site_ip = heap_var_ip(heap, id, ctx);
+    AllocSiteRow& row = agg[site_ip];
+    if (row.contexts == 0) {
+      row.ip = site_ip;
+      row.site = ctx.ip_label(site_ip);
+      row.name = ctx.alloc_name(site_ip);
+    }
+    ++row.contexts;
+    row.metrics += inc[id];
+  }
+  std::vector<AllocSiteRow> rows;
+  rows.reserve(agg.size());
+  for (auto& [ip, row] : agg) rows.push_back(std::move(row));
+  sort_rows(rows, sort_by);
+  return rows;
+}
+
+std::vector<FunctionRow> function_table(const ThreadProfile& profile,
+                                        const AnalysisContext& ctx,
+                                        Metric sort_by) {
+  std::map<std::pair<std::string, std::string>, MetricVec> agg;
+  for (std::size_t c = 0; c < core::kNumStorageClasses; ++c) {
+    const Cct& cct = profile.ccts[c];
+    for (Cct::NodeId id = 0; id < cct.size(); ++id) {
+      const Cct::Node& n = cct.node(id);
+      if (n.kind != NodeKind::kLeafInstr || n.metrics.empty()) continue;
+      std::string func = "??";
+      std::string file;
+      if (ctx.modules != nullptr) {
+        if (const binfmt::InstrInfo* info = ctx.modules->resolve_ip(n.sym)) {
+          func = info->func_name;
+          file = info->file;
+        }
+      }
+      agg[{std::move(func), std::move(file)}] += n.metrics;
+    }
+  }
+  std::vector<FunctionRow> rows;
+  rows.reserve(agg.size());
+  for (auto& [key, metrics] : agg) {
+    rows.push_back(FunctionRow{key.first, key.second, metrics});
+  }
+  sort_rows(rows, sort_by);
+  return rows;
+}
+
+std::vector<ThreadRow> thread_table(
+    const std::vector<ThreadProfile>& profiles) {
+  std::vector<ThreadRow> rows;
+  rows.reserve(profiles.size());
+  for (const auto& p : profiles) {
+    ThreadRow row;
+    row.rank = p.rank;
+    row.tid = p.tid;
+    for (const auto& cct : p.ccts) row.metrics += cct.total();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string render_top_down(const ThreadProfile& profile, StorageClass cls,
+                            const AnalysisContext& ctx,
+                            const TopDownOptions& options) {
+  const Cct& cct = profile.cct(cls);
+  const auto inc = cct.inclusive();
+  const ClassSummary summary = summarize(profile);
+  const std::uint64_t grand = summary.grand[options.metric];
+  std::ostringstream out;
+  out << "=== top-down (" << to_string(cls) << ", "
+      << to_string(options.metric) << ") ===\n";
+
+  const std::function<void(Cct::NodeId, int)> dfs = [&](Cct::NodeId id,
+                                                        int depth) {
+    const std::uint64_t value = inc[id][options.metric];
+    if (grand > 0 &&
+        static_cast<double>(value) <
+            options.min_fraction * static_cast<double>(grand)) {
+      return;
+    }
+    const double share =
+        grand > 0 ? static_cast<double>(value) / static_cast<double>(grand)
+                  : 0.0;
+    std::string label = node_label(cct.node(id), profile.strings, ctx);
+    if (cct.node(id).kind == NodeKind::kAllocPoint) {
+      // Resolve the variable name through the allocation path (names
+      // usually annotate the allocator's call site, not the allocator).
+      const std::string name =
+          ctx.alloc_name(heap_var_ip(cct, id, ctx));
+      if (!name.empty() && label.find('[') == std::string::npos) {
+        label += " [" + name + "]";
+      }
+    }
+    out << std::string(static_cast<std::size_t>(depth) * 2, ' ') << label
+        << "  " << format_count(value) << " (" << format_percent(share)
+        << ")";
+    // Show the exclusive portion when an interior node carries its own
+    // samples (the GUI computes inclusive and exclusive values).
+    const auto excl = cct.node(id).metrics[options.metric];
+    if (excl > 0 && excl != value) {
+      out << " [excl " << format_count(excl) << "]";
+    }
+    out << '\n';
+    if (depth >= options.max_depth) return;
+    auto kids = cct.children(id);
+    std::stable_sort(kids.begin(), kids.end(),
+                     [&](Cct::NodeId a, Cct::NodeId b) {
+                       return inc[a][options.metric] > inc[b][options.metric];
+                     });
+    for (const Cct::NodeId kid : kids) dfs(kid, depth + 1);
+  };
+  dfs(Cct::kRootId, 0);
+  return out.str();
+}
+
+std::string render_variables(const std::vector<VariableRow>& rows,
+                             const ClassSummary& summary, Metric metric,
+                             std::size_t max_rows) {
+  Table table({"variable", "class", to_string(metric), "share"});
+  const std::uint64_t grand = summary.grand[metric];
+  std::size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ >= max_rows) break;
+    const double share =
+        grand > 0
+            ? static_cast<double>(row.metrics[metric]) /
+                  static_cast<double>(grand)
+            : 0.0;
+    table.add_row({row.name, to_string(row.cls),
+                   format_count(row.metrics[metric]),
+                   format_percent(share)});
+  }
+  return table.render();
+}
+
+}  // namespace dcprof::analysis

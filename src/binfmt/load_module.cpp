@@ -1,0 +1,96 @@
+#include "binfmt/load_module.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcprof::binfmt {
+
+namespace {
+constexpr std::uint64_t kInstrBytes = 4;
+}
+
+LoadModule::LoadModule(std::string name, sim::AddressSpace& aspace,
+                       std::uint64_t text_capacity)
+    : name_(std::move(name)), aspace_(&aspace) {
+  text_base_ = aspace_->reserve_text(text_capacity, name_);
+  text_next_ = text_base_;
+  text_end_ = text_base_ + text_capacity;
+}
+
+FuncId LoadModule::add_function(std::string func_name, std::string file) {
+  functions_.push_back(Function{std::move(func_name), std::move(file)});
+  return static_cast<FuncId>(functions_.size() - 1);
+}
+
+Addr LoadModule::add_instr(FuncId func, int line) {
+  if (func < 0 || static_cast<std::size_t>(func) >= functions_.size()) {
+    throw std::out_of_range("add_instr: unknown function");
+  }
+  if (text_next_ + kInstrBytes > text_end_) {
+    throw std::length_error("load module text capacity exhausted");
+  }
+  const Addr ip = text_next_;
+  text_next_ += kInstrBytes;
+  const Function& f = functions_[static_cast<std::size_t>(func)];
+  instrs_.emplace(ip, InstrInfo{ip, func, f.name, f.file, line, name_});
+  return ip;
+}
+
+Addr LoadModule::add_static_var(std::string var_name, std::uint64_t size) {
+  if (size == 0) throw std::invalid_argument("static var must have size > 0");
+  const Addr base = aspace_->reserve_static(size, name_ + ":" + var_name);
+  vars_.push_back(StaticVarSym{std::move(var_name), base, size});
+  var_index_.emplace(base, vars_.size() - 1);
+  return base;
+}
+
+const InstrInfo* LoadModule::resolve_ip(Addr ip) const {
+  auto it = instrs_.find(ip);
+  return it == instrs_.end() ? nullptr : &it->second;
+}
+
+const StaticVarSym* LoadModule::resolve_static(Addr addr) const {
+  auto it = var_index_.upper_bound(addr);
+  if (it == var_index_.begin()) return nullptr;
+  --it;
+  const StaticVarSym& sym = vars_[it->second];
+  if (addr >= sym.lo && addr < sym.hi()) return &sym;
+  return nullptr;
+}
+
+void ModuleRegistry::load(LoadModule* module) {
+  if (module == nullptr) throw std::invalid_argument("null module");
+  for (const auto* m : modules_) {
+    if (m->name() == module->name()) {
+      throw std::invalid_argument("module already loaded: " + module->name());
+    }
+  }
+  modules_.push_back(module);
+}
+
+bool ModuleRegistry::unload(const std::string& name) {
+  auto it = std::find_if(modules_.begin(), modules_.end(),
+                         [&](const LoadModule* m) { return m->name() == name; });
+  if (it == modules_.end()) return false;
+  modules_.erase(it);
+  return true;
+}
+
+const InstrInfo* ModuleRegistry::resolve_ip(Addr ip) const {
+  for (const auto* m : modules_) {
+    if (const InstrInfo* info = m->resolve_ip(ip)) return info;
+  }
+  return nullptr;
+}
+
+std::optional<SymbolResolver::StaticHit> ModuleRegistry::resolve_static(
+    Addr addr) const {
+  for (const auto* m : modules_) {
+    if (const StaticVarSym* sym = m->resolve_static(addr)) {
+      return StaticHit{sym, &m->name()};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dcprof::binfmt

@@ -1,0 +1,129 @@
+// Load modules: the profiler-facing model of an executable or shared
+// library — text ranges with a line map, and a symbol table of static
+// variables. Workloads register their pseudo source structure here; the
+// profiler performs the same lookups HPCToolkit performs against ELF
+// symbol tables and DWARF line info.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/address_space.h"
+#include "sim/types.h"
+
+namespace dcprof::binfmt {
+
+using sim::Addr;
+
+/// Identifies a function inside a load module.
+using FuncId = std::int32_t;
+
+/// Everything known about one (synthetic) instruction.
+struct InstrInfo {
+  Addr ip = 0;
+  FuncId func = -1;
+  std::string func_name;
+  std::string file;
+  int line = 0;
+  std::string module;
+};
+
+/// A static variable's symbol-table entry.
+struct StaticVarSym {
+  std::string name;
+  Addr lo = 0;
+  std::uint64_t size = 0;
+  Addr hi() const { return lo + size; }
+};
+
+/// One executable or shared library. Construction reserves a text segment;
+/// static variables are carved from the static data region on demand.
+class LoadModule {
+ public:
+  /// `text_capacity` bounds how many instructions may be registered.
+  LoadModule(std::string name, sim::AddressSpace& aspace,
+             std::uint64_t text_capacity = 1 << 16);
+
+  const std::string& name() const { return name_; }
+  Addr text_base() const { return text_base_; }
+
+  /// Declares a function; instructions are attached to it.
+  FuncId add_function(std::string func_name, std::string file);
+
+  /// Emits one synthetic instruction in `func` at source `line`;
+  /// returns its IP.
+  Addr add_instr(FuncId func, int line);
+
+  /// Reserves `size` bytes of static data named `var_name`; returns base.
+  Addr add_static_var(std::string var_name, std::uint64_t size);
+
+  /// IP -> instruction info (exact lookup; IPs come from add_instr).
+  const InstrInfo* resolve_ip(Addr ip) const;
+
+  /// Data address -> covering static variable, if any.
+  const StaticVarSym* resolve_static(Addr addr) const;
+
+  const std::vector<StaticVarSym>& static_vars() const { return vars_; }
+  const std::map<Addr, InstrInfo>& instr_map() const { return instrs_; }
+  std::size_t num_instrs() const { return instrs_.size(); }
+
+ private:
+  struct Function {
+    std::string name;
+    std::string file;
+  };
+
+  std::string name_;
+  sim::AddressSpace* aspace_;
+  Addr text_base_;
+  Addr text_next_;
+  Addr text_end_;
+  std::vector<Function> functions_;
+  std::map<Addr, InstrInfo> instrs_;       // keyed by ip
+  std::vector<StaticVarSym> vars_;
+  std::map<Addr, std::size_t> var_index_;  // var lo -> index into vars_
+};
+
+/// Anything that can resolve instruction pointers and static-data
+/// addresses: the live load-module list during measurement, or a
+/// deserialized structure file during post-mortem analysis.
+class SymbolResolver {
+ public:
+  virtual ~SymbolResolver() = default;
+
+  virtual const InstrInfo* resolve_ip(Addr ip) const = 0;
+
+  /// A static variable hit: the symbol plus the owning module's name.
+  struct StaticHit {
+    const StaticVarSym* sym = nullptr;
+    const std::string* module = nullptr;
+  };
+  virtual std::optional<StaticHit> resolve_static(Addr addr) const = 0;
+};
+
+/// The active load-module list. Mirrors HPCToolkit's traversal: static-data
+/// lookups walk every loaded module's symbol tree; unloading a module
+/// removes it together with its tree.
+class ModuleRegistry : public SymbolResolver {
+ public:
+  /// Registers a module (non-owning; modules usually outlive the registry
+  /// user). Duplicate names are rejected.
+  void load(LoadModule* module);
+  /// Unloads by name; lookups no longer see the module. Returns true if
+  /// the module was present.
+  bool unload(const std::string& name);
+
+  const InstrInfo* resolve_ip(Addr ip) const override;
+  std::optional<StaticHit> resolve_static(Addr addr) const override;
+
+  std::size_t num_modules() const { return modules_.size(); }
+  const std::vector<LoadModule*>& modules() const { return modules_; }
+
+ private:
+  std::vector<LoadModule*> modules_;
+};
+
+}  // namespace dcprof::binfmt

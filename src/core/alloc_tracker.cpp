@@ -1,0 +1,83 @@
+#include "core/alloc_tracker.h"
+
+#include <algorithm>
+
+namespace dcprof::core {
+
+namespace {
+// Emulates the per-frame work of a real unwinder (return-address lookup
+// and on-the-fly binary analysis to validate the frame).
+std::uint64_t frame_work(sim::Addr a) {
+  std::uint64_t h = a * 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 24; ++i) {
+    h = (h ^ (h >> 31)) * 0xbf58476d1ce4e5b9ull;
+  }
+  return h;
+}
+volatile std::uint64_t g_unwind_sink = 0;
+}  // namespace
+
+std::shared_ptr<const AllocPath> AllocTracker::unwind(rt::ThreadCtx& ctx,
+                                                      sim::Addr alloc_ip) {
+  const std::span<const sim::Addr> stack = ctx.call_stack();
+  PerThreadCache& cache = cache_[ctx.tid()];
+
+  std::size_t reuse = 0;
+  if (cfg_.memoized_unwind) {
+    // The trampoline marks the least common ancestor of this unwind and
+    // the previous one; frames above it need not be re-unwound.
+    const std::size_t limit = std::min(stack.size(), cache.last_stack.size());
+    while (reuse < limit && stack[reuse] == cache.last_stack[reuse]) ++reuse;
+    if (reuse == stack.size() && reuse == cache.last_stack.size() &&
+        alloc_ip == cache.last_alloc_ip && cache.last_path) {
+      stats_.frames_reused += reuse;
+      return cache.last_path;
+    }
+  }
+
+  std::uint64_t sink = 0;
+  for (std::size_t i = reuse; i < stack.size(); ++i) {
+    sink ^= frame_work(stack[i]);
+  }
+  g_unwind_sink = sink;
+  stats_.frames_unwound += stack.size() - reuse;
+  stats_.frames_reused += reuse;
+
+  auto path = paths_->intern(
+      AllocPath{std::vector<sim::Addr>(stack.begin(), stack.end()), alloc_ip});
+  cache.last_stack.assign(stack.begin(), stack.end());
+  cache.last_alloc_ip = alloc_ip;
+  cache.last_path = path;
+  return path;
+}
+
+void AllocTracker::on_alloc(rt::ThreadCtx& ctx, sim::Addr base,
+                            std::uint64_t size, sim::Addr alloc_ip) {
+  ++stats_.allocations_seen;
+  if (!cfg_.track_all && size < cfg_.size_threshold) {
+    // Optionally sample sub-threshold allocations at a fixed period
+    // (the paper's future-work extension for small-block data
+    // structures) instead of dropping them all.
+    if (cfg_.small_sample_period == 0 ||
+        ++small_countdown_ % cfg_.small_sample_period != 0) {
+      ++stats_.allocations_skipped;
+      return;
+    }
+    ++stats_.small_sampled;
+  }
+  ++stats_.allocations_tracked;
+  var_map_->insert(base, size, unwind(ctx, alloc_ip));
+}
+
+void AllocTracker::on_free(rt::ThreadCtx& ctx, sim::Addr base,
+                           std::uint64_t size) {
+  (void)ctx;
+  (void)size;
+  ++stats_.frees_seen;
+  // Every free is observed — even of untracked blocks — so stale ranges
+  // never linger in the map (the paper's correctness argument for
+  // wrapping all frees).
+  var_map_->erase(base);
+}
+
+}  // namespace dcprof::core

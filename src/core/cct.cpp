@@ -1,0 +1,106 @@
+#include "core/cct.h"
+
+#include <stdexcept>
+
+namespace dcprof::core {
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kRoot: return "root";
+    case NodeKind::kCallSite: return "call";
+    case NodeKind::kLeafInstr: return "instr";
+    case NodeKind::kAllocPoint: return "alloc";
+    case NodeKind::kVarData: return "data";
+    case NodeKind::kVarStatic: return "static-var";
+  }
+  return "?";
+}
+
+Cct::Cct() {
+  nodes_.push_back(Node{});
+  child_index_.emplace_back();
+}
+
+Cct::NodeId Cct::child(NodeId parent, NodeKind kind, std::uint64_t sym) {
+  const ChildKey key{static_cast<std::uint8_t>(kind), sym};
+  auto it = child_index_[parent].find(key);
+  if (it != child_index_[parent].end()) return it->second;
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{kind, sym, parent, {}});
+  child_index_.emplace_back();  // may reallocate: index parent afterwards
+  child_index_[parent].emplace(key, id);
+  return id;
+}
+
+Cct::NodeId Cct::insert_path(NodeId start,
+                             std::span<const sim::Addr> call_sites,
+                             NodeKind leaf_kind, std::uint64_t leaf_sym) {
+  NodeId cur = start;
+  for (const sim::Addr site : call_sites) {
+    cur = child(cur, NodeKind::kCallSite, site);
+  }
+  return child(cur, leaf_kind, leaf_sym);
+}
+
+std::vector<Cct::NodeId> Cct::children(NodeId id) const {
+  std::vector<NodeId> out;
+  out.reserve(child_index_[id].size());
+  for (const auto& [key, child_id] : child_index_[id]) out.push_back(child_id);
+  return out;
+}
+
+void Cct::merge(const Cct& other, const SymRemap& sym_remap) {
+  // Map other-node-id -> this-node-id, built top-down. Other's nodes are
+  // appended after their parents (construction order), so a single pass
+  // in id order sees parents first.
+  std::vector<NodeId> remap(other.nodes_.size());
+  remap[kRootId] = kRootId;
+  nodes_[kRootId].metrics += other.nodes_[kRootId].metrics;
+  for (NodeId id = 1; id < other.nodes_.size(); ++id) {
+    const Node& n = other.nodes_[id];
+    std::uint64_t sym = n.sym;
+    if (sym_remap) sym = sym_remap(n.kind, sym);
+    const NodeId mine = child(remap[n.parent], n.kind, sym);
+    remap[id] = mine;
+    nodes_[mine].metrics += n.metrics;
+  }
+}
+
+std::vector<MetricVec> Cct::inclusive() const {
+  std::vector<MetricVec> inc(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) inc[i] = nodes_[i].metrics;
+  // Children always have larger ids than parents, so accumulate in
+  // reverse id order.
+  for (std::size_t i = nodes_.size(); i-- > 1;) {
+    inc[nodes_[i].parent] += inc[i];
+  }
+  return inc;
+}
+
+MetricVec Cct::total() const {
+  MetricVec t;
+  for (const auto& n : nodes_) t += n.metrics;
+  return t;
+}
+
+void Cct::load_nodes(std::vector<Node> nodes) {
+  if (nodes.empty() || nodes[0].kind != NodeKind::kRoot) {
+    throw std::invalid_argument("CCT must start with a root node");
+  }
+  nodes_ = std::move(nodes);
+  reindex();
+}
+
+void Cct::reindex() {
+  child_index_.assign(nodes_.size(), {});
+  for (NodeId id = 1; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.parent >= id) {
+      throw std::invalid_argument("CCT nodes must follow their parents");
+    }
+    child_index_[n.parent].emplace(
+        ChildKey{static_cast<std::uint8_t>(n.kind), n.sym}, id);
+  }
+}
+
+}  // namespace dcprof::core

@@ -1,0 +1,86 @@
+// Calling context tree. Common call-path prefixes coalesce, which is what
+// keeps profiles compact (the paper's space-scalability argument). Nodes
+// carry exclusive metrics; inclusive metrics are computed post-mortem.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/metrics.h"
+#include "sim/types.h"
+
+namespace dcprof::core {
+
+enum class NodeKind : std::uint8_t {
+  kRoot,
+  kCallSite,    ///< interior frame; sym = call-site IP
+  kLeafInstr,   ///< sampled instruction; sym = precise IP
+  kAllocPoint,  ///< heap allocation instruction; sym = allocation IP
+  kVarData,     ///< dummy "data accesses" node under an allocation path
+  kVarStatic,   ///< dummy static-variable node; sym = StringId of its name
+};
+
+const char* to_string(NodeKind kind);
+
+class Cct {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kRootId = 0;
+
+  struct Node {
+    NodeKind kind = NodeKind::kRoot;
+    std::uint64_t sym = 0;  ///< IP, or StringId for kVarStatic
+    NodeId parent = kRootId;
+    MetricVec metrics;      ///< exclusive
+  };
+
+  Cct();
+
+  /// Finds or creates the child of `parent` with (kind, sym).
+  NodeId child(NodeId parent, NodeKind kind, std::uint64_t sym);
+
+  /// Inserts a call path (outermost-first call sites) under `start`,
+  /// ending in a leaf of (leaf_kind, leaf_sym). Returns the leaf node.
+  NodeId insert_path(NodeId start, std::span<const sim::Addr> call_sites,
+                     NodeKind leaf_kind, std::uint64_t leaf_sym);
+
+  void add_metrics(NodeId node, const MetricVec& m) {
+    nodes_[node].metrics += m;
+  }
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Children of `id`, in deterministic (kind, sym) order.
+  std::vector<NodeId> children(NodeId id) const;
+
+  /// Merges `other` into this tree. `sym_remap` translates symbol values
+  /// whose meaning is profile-local (static-variable StringIds).
+  using SymRemap = std::function<std::uint64_t(NodeKind, std::uint64_t)>;
+  void merge(const Cct& other, const SymRemap& sym_remap = nullptr);
+
+  /// Inclusive metrics for every node (bottom-up accumulation).
+  std::vector<MetricVec> inclusive() const;
+
+  /// Sum of all exclusive metrics in the tree.
+  MetricVec total() const;
+
+  /// Rebuilds child indices after bulk node loading (deserialization).
+  void reindex();
+
+  // Bulk access for serialization.
+  const std::vector<Node>& nodes() const { return nodes_; }
+  void load_nodes(std::vector<Node> nodes);
+
+ private:
+  using ChildKey = std::pair<std::uint8_t, std::uint64_t>;
+
+  std::vector<Node> nodes_;
+  // child_index_[parent] maps (kind, sym) -> node id.
+  std::vector<std::map<ChildKey, NodeId>> child_index_;
+};
+
+}  // namespace dcprof::core

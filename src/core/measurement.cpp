@@ -1,0 +1,64 @@
+#include "core/measurement.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dcprof::core {
+
+namespace fs = std::filesystem;
+
+std::uint64_t write_measurement_dir(const fs::path& dir,
+                                    const std::vector<ThreadProfile>& profiles,
+                                    const binfmt::StructureData& structure) {
+  fs::create_directories(dir);
+  std::uint64_t bytes = 0;
+  {
+    std::ofstream out(dir / "structure.dcst", std::ios::binary);
+    if (!out) throw std::runtime_error("cannot write structure file");
+    structure.write(out);
+    bytes += static_cast<std::uint64_t>(out.tellp());
+  }
+  for (const auto& p : profiles) {
+    std::ostringstream name;
+    name << "profile-" << p.rank << "-" << p.tid << ".dcpf";
+    std::ofstream out(dir / name.str(), std::ios::binary);
+    if (!out) throw std::runtime_error("cannot write " + name.str());
+    p.write(out);
+    bytes += static_cast<std::uint64_t>(out.tellp());
+  }
+  return bytes;
+}
+
+Measurement read_measurement_dir(const fs::path& dir) {
+  Measurement m;
+  const fs::path structure_path = dir / "structure.dcst";
+  {
+    std::ifstream in(structure_path, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("no structure file in " + dir.string());
+    }
+    m.structure = binfmt::StructureData::read(in);
+    m.total_bytes += fs::file_size(structure_path);
+  }
+  std::vector<fs::path> profile_paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".dcpf") {
+      profile_paths.push_back(entry.path());
+    }
+  }
+  std::sort(profile_paths.begin(), profile_paths.end());
+  for (const auto& path : profile_paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot read " + path.string());
+    m.profiles.push_back(ThreadProfile::read(in));
+    m.total_bytes += fs::file_size(path);
+  }
+  if (m.profiles.empty()) {
+    throw std::runtime_error("no profiles in " + dir.string());
+  }
+  return m;
+}
+
+}  // namespace dcprof::core

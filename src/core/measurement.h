@@ -1,0 +1,36 @@
+// Measurement-directory I/O: the handoff between the online profiler
+// ("hpcrun") and the post-mortem analyzer ("hpcprof"). A measurement
+// directory holds one structure file plus one profile file per
+// rank/thread:
+//
+//   <dir>/structure.dcst
+//   <dir>/profile-<rank>-<tid>.dcpf
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "binfmt/structure.h"
+#include "core/profile.h"
+
+namespace dcprof::core {
+
+/// Everything a post-mortem analysis needs.
+struct Measurement {
+  std::vector<ThreadProfile> profiles;
+  binfmt::StructureData structure;
+
+  std::uint64_t total_bytes = 0;  ///< on-disk size (set when read/written)
+};
+
+/// Writes profiles + structure into `dir` (created if absent). Returns
+/// the total bytes written.
+std::uint64_t write_measurement_dir(const std::filesystem::path& dir,
+                                    const std::vector<ThreadProfile>& profiles,
+                                    const binfmt::StructureData& structure);
+
+/// Loads a measurement directory. Throws std::runtime_error if the
+/// directory has no structure file or no profiles.
+Measurement read_measurement_dir(const std::filesystem::path& dir);
+
+}  // namespace dcprof::core

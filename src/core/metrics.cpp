@@ -1,0 +1,20 @@
+#include "core/metrics.h"
+
+namespace dcprof::core {
+
+const char* to_string(Metric m) {
+  switch (m) {
+    case Metric::kSamples: return "SAMPLES";
+    case Metric::kLatency: return "LATENCY";
+    case Metric::kL1Hits: return "L1_HIT";
+    case Metric::kL2Hits: return "L2_HIT";
+    case Metric::kL3Hits: return "L3_HIT";
+    case Metric::kLocalDram: return "L_DRAM";
+    case Metric::kRemoteDram: return "R_DRAM";
+    case Metric::kTlbMiss: return "TLB_MISS";
+    case Metric::kCount_: break;
+  }
+  return "?";
+}
+
+}  // namespace dcprof::core

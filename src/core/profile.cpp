@@ -1,0 +1,137 @@
+#include "core/profile.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dcprof::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x64637066;  // "dcpf"
+constexpr std::uint32_t kVersion = 2;
+
+void put_u8(std::ostream& o, std::uint8_t v) {
+  o.put(static_cast<char>(v));
+}
+void put_u32(std::ostream& o, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) o.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void put_u64(std::ostream& o, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) o.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+std::uint8_t get_u8(std::istream& in) {
+  return static_cast<std::uint8_t>(in.get());
+}
+std::uint32_t get_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in.get()))
+         << (8 * i);
+  }
+  return v;
+}
+std::uint64_t get_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in.get()))
+         << (8 * i);
+  }
+  return v;
+}
+
+void require(std::istream& in, const char* what) {
+  if (!in) throw std::runtime_error(std::string("truncated profile: ") + what);
+}
+
+void write_cct(std::ostream& o, const Cct& cct) {
+  put_u32(o, static_cast<std::uint32_t>(cct.size()));
+  for (const auto& n : cct.nodes()) {
+    put_u8(o, static_cast<std::uint8_t>(n.kind));
+    put_u64(o, n.sym);
+    put_u32(o, n.parent);
+    for (auto m : n.metrics.v) put_u64(o, m);
+  }
+}
+
+Cct read_cct(std::istream& in) {
+  const std::uint32_t count = get_u32(in);
+  require(in, "cct node count");
+  std::vector<Cct::Node> nodes;
+  nodes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Cct::Node n;
+    n.kind = static_cast<NodeKind>(get_u8(in));
+    n.sym = get_u64(in);
+    n.parent = get_u32(in);
+    for (auto& m : n.metrics.v) m = get_u64(in);
+    require(in, "cct node");
+    nodes.push_back(std::move(n));
+  }
+  Cct cct;
+  cct.load_nodes(std::move(nodes));
+  return cct;
+}
+
+}  // namespace
+
+const char* to_string(StorageClass c) {
+  switch (c) {
+    case StorageClass::kNoMem: return "no-memory";
+    case StorageClass::kStatic: return "static";
+    case StorageClass::kHeap: return "heap";
+    case StorageClass::kStack: return "stack";
+    case StorageClass::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+std::uint64_t ThreadProfile::total_samples() const {
+  std::uint64_t total = 0;
+  for (const auto& c : ccts) total += c.total()[Metric::kSamples];
+  return total;
+}
+
+void ThreadProfile::write(std::ostream& out) const {
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(rank));
+  put_u32(out, static_cast<std::uint32_t>(tid));
+  put_u32(out, static_cast<std::uint32_t>(strings.size()));
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    const std::string& s = strings.str(i);
+    put_u32(out, static_cast<std::uint32_t>(s.size()));
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+  for (const auto& c : ccts) write_cct(out, c);
+}
+
+ThreadProfile ThreadProfile::read(std::istream& in) {
+  if (get_u32(in) != kMagic) throw std::runtime_error("bad profile magic");
+  if (get_u32(in) != kVersion) throw std::runtime_error("bad profile version");
+  ThreadProfile p;
+  p.rank = static_cast<std::int32_t>(get_u32(in));
+  p.tid = static_cast<std::int32_t>(get_u32(in));
+  const std::uint32_t nstrings = get_u32(in);
+  require(in, "string count");
+  for (std::uint32_t i = 0; i < nstrings; ++i) {
+    const std::uint32_t len = get_u32(in);
+    require(in, "string length");
+    std::string s(len, '\0');
+    in.read(s.data(), static_cast<std::streamsize>(len));
+    require(in, "string data");
+    p.strings.intern(s);
+  }
+  for (auto& c : p.ccts) c = read_cct(in);
+  require(in, "profile body");
+  return p;
+}
+
+std::uint64_t ThreadProfile::serialized_bytes() const {
+  std::ostringstream os;
+  write(os);
+  return static_cast<std::uint64_t>(os.str().size());
+}
+
+}  // namespace dcprof::core

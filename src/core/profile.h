@@ -1,0 +1,50 @@
+// A per-thread data-centric profile: one CCT per storage class, plus the
+// compact binary serialization used for post-mortem analysis.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/cct.h"
+#include "core/string_table.h"
+
+namespace dcprof::core {
+
+/// The storage classes the paper separates profiles into (static, heap,
+/// unknown), plus the CCT for samples that touch no memory and — the
+/// paper's future-work extension — a class for stack-allocated data.
+enum class StorageClass : std::uint8_t {
+  kNoMem,
+  kStatic,
+  kHeap,
+  kStack,
+  kUnknown,
+};
+
+inline constexpr std::size_t kNumStorageClasses = 5;
+
+const char* to_string(StorageClass c);
+
+struct ThreadProfile {
+  std::int32_t rank = 0;
+  std::int32_t tid = 0;
+  StringTable strings;
+  Cct ccts[kNumStorageClasses];
+
+  Cct& cct(StorageClass c) { return ccts[static_cast<std::size_t>(c)]; }
+  const Cct& cct(StorageClass c) const {
+    return ccts[static_cast<std::size_t>(c)];
+  }
+
+  /// Sum of kSamples over every CCT.
+  std::uint64_t total_samples() const;
+
+  void write(std::ostream& out) const;
+  static ThreadProfile read(std::istream& in);
+
+  /// Size of the serialized form, in bytes (the paper's space overhead).
+  std::uint64_t serialized_bytes() const;
+};
+
+}  // namespace dcprof::core

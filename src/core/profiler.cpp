@@ -1,0 +1,139 @@
+#include "core/profiler.h"
+
+#include <string>
+
+#include "sim/address_space.h"
+
+namespace dcprof::core {
+
+Profiler::Profiler(binfmt::ModuleRegistry& modules, ProfilerConfig cfg,
+                   std::int32_t rank)
+    : modules_(&modules), cfg_(cfg), rank_(rank),
+      tracker_(var_map_, paths_, cfg.tracker) {}
+
+void Profiler::attach(pmu::PmuSet& pmu) {
+  pmu.set_handler([this](const pmu::Sample& s) { handle_sample(s); });
+}
+
+void Profiler::attach(rt::Allocator& alloc) {
+  alloc.set_hooks(rt::AllocHooks{
+      [this](rt::ThreadCtx& ctx, sim::Addr base, std::uint64_t size,
+             sim::Addr ip) { tracker_.on_alloc(ctx, base, size, ip); },
+      [this](rt::ThreadCtx& ctx, sim::Addr base, std::uint64_t size) {
+        tracker_.on_free(ctx, base, size);
+      }});
+}
+
+void Profiler::register_thread(rt::ThreadCtx& ctx) {
+  const auto tid = static_cast<std::size_t>(ctx.tid());
+  if (threads_.size() <= tid) threads_.resize(tid + 1, nullptr);
+  threads_[tid] = &ctx;
+}
+
+void Profiler::register_team(rt::Team& team) {
+  for (int t = 0; t < team.size(); ++t) register_thread(team.thread(t));
+}
+
+ThreadProfile& Profiler::profile(sim::ThreadId tid) {
+  const auto i = static_cast<std::size_t>(tid);
+  if (profiles_.size() <= i) profiles_.resize(i + 1);
+  if (!profiles_[i]) {
+    profiles_[i] = std::make_unique<ThreadProfile>();
+    profiles_[i]->rank = rank_;
+    profiles_[i]->tid = tid;
+  }
+  return *profiles_[i];
+}
+
+void Profiler::attribute_heap(ThreadProfile& tp, rt::ThreadCtx& ctx,
+                              const HeapBlock& block, sim::Addr leaf_ip,
+                              const MetricVec& m) {
+  Cct& cct = tp.cct(StorageClass::kHeap);
+  // Prepend the variable's allocation path (possibly unwound in another
+  // thread; AllocPaths are immutable so this copy is lock-free), then the
+  // dummy data node, then this sample's own calling context.
+  Cct::NodeId cur = Cct::kRootId;
+  for (const sim::Addr frame : block.path->frames) {
+    cur = cct.child(cur, NodeKind::kCallSite, frame);
+  }
+  cur = cct.child(cur, NodeKind::kAllocPoint, block.path->alloc_ip);
+  cur = cct.child(cur, NodeKind::kVarData, 0);
+  const Cct::NodeId leaf =
+      cct.insert_path(cur, ctx.call_stack(), NodeKind::kLeafInstr, leaf_ip);
+  cct.add_metrics(leaf, m);
+}
+
+void Profiler::handle_sample(const pmu::Sample& sample) {
+  const auto tid = static_cast<std::size_t>(sample.tid);
+  if (tid >= threads_.size() || threads_[tid] == nullptr) {
+    ++stats_.samples_dropped;
+    return;
+  }
+  rt::ThreadCtx& ctx = *threads_[tid];
+  ThreadProfile& tp = profile(sample.tid);
+  const MetricVec m = MetricVec::from_sample(sample);
+  // The unwind from the signal context ends at the skidded IP; the paper
+  // swaps in the precise IP recorded by the PMU.
+  const sim::Addr leaf_ip =
+      cfg_.use_precise_ip ? sample.precise_ip : sample.signal_ip;
+  ++stats_.samples_handled;
+
+  if (!sample.is_memory) {
+    ++stats_.nomem_samples;
+    Cct& cct = tp.cct(StorageClass::kNoMem);
+    cct.add_metrics(cct.insert_path(Cct::kRootId, ctx.call_stack(),
+                                    NodeKind::kLeafInstr, leaf_ip),
+                    m);
+    return;
+  }
+
+  if (const HeapBlock* block = var_map_.find(sample.eaddr)) {
+    ++stats_.heap_samples;
+    attribute_heap(tp, ctx, *block, leaf_ip, m);
+    return;
+  }
+
+  if (auto hit = modules_->resolve_static(sample.eaddr)) {
+    ++stats_.static_samples;
+    Cct& cct = tp.cct(StorageClass::kStatic);
+    const StringId name = tp.strings.intern(hit->sym->name);
+    const Cct::NodeId dummy =
+        cct.child(Cct::kRootId, NodeKind::kVarStatic, name);
+    cct.add_metrics(cct.insert_path(dummy, ctx.call_stack(),
+                                    NodeKind::kLeafInstr, leaf_ip),
+                    m);
+    return;
+  }
+
+  if (cfg_.attribute_stack && sample.eaddr >= sim::kStackBase) {
+    ++stats_.stack_samples;
+    Cct& cct = tp.cct(StorageClass::kStack);
+    const auto owner = static_cast<long>(
+        (sample.eaddr - sim::kStackBase) >> 20);
+    const StringId name = tp.strings.intern(
+        "stack (thread " + std::to_string(owner) + ")");
+    const Cct::NodeId dummy =
+        cct.child(Cct::kRootId, NodeKind::kVarStatic, name);
+    cct.add_metrics(cct.insert_path(dummy, ctx.call_stack(),
+                                    NodeKind::kLeafInstr, leaf_ip),
+                    m);
+    return;
+  }
+
+  ++stats_.unknown_samples;
+  Cct& cct = tp.cct(StorageClass::kUnknown);
+  cct.add_metrics(cct.insert_path(Cct::kRootId, ctx.call_stack(),
+                                  NodeKind::kLeafInstr, leaf_ip),
+                  m);
+}
+
+std::vector<ThreadProfile> Profiler::take_profiles() {
+  std::vector<ThreadProfile> out;
+  for (auto& p : profiles_) {
+    if (p) out.push_back(std::move(*p));
+  }
+  profiles_.clear();
+  return out;
+}
+
+}  // namespace dcprof::core

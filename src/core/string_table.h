@@ -1,0 +1,32 @@
+// Per-profile string interning (static-variable names and the like).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dcprof::core {
+
+using StringId = std::uint64_t;
+
+class StringTable {
+ public:
+  StringId intern(const std::string& s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    const StringId id = strings_.size();
+    strings_.push_back(s);
+    index_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  const std::string& str(StringId id) const { return strings_.at(id); }
+  std::size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, StringId> index_;
+};
+
+}  // namespace dcprof::core

@@ -1,0 +1,83 @@
+#include "core/trace.h"
+
+#include <ostream>
+
+namespace dcprof::core {
+
+void TraceRecorder::attach(pmu::PmuSet& pmu) {
+  pmu.set_handler([this](const pmu::Sample& s) { record_sample(s); });
+}
+
+void TraceRecorder::attach(rt::Allocator& alloc) {
+  alloc.set_hooks(rt::AllocHooks{
+      [this](rt::ThreadCtx& ctx, sim::Addr base, std::uint64_t size,
+             sim::Addr) { record_alloc(ctx, base, size); },
+      [this](rt::ThreadCtx& ctx, sim::Addr base, std::uint64_t) {
+        record_free(ctx.tid(), base);
+      }});
+}
+
+void TraceRecorder::record_sample(const pmu::Sample& sample) {
+  TraceSample s;
+  s.tid = sample.tid;
+  s.ip = sample.precise_ip;
+  s.eaddr = sample.eaddr;
+  s.latency = static_cast<std::uint32_t>(sample.latency);
+  s.source = static_cast<std::uint8_t>(sample.source);
+  s.is_store = sample.is_store ? 1 : 0;
+  samples_.push_back(s);
+}
+
+void TraceRecorder::record_alloc(rt::ThreadCtx& ctx, sim::Addr base,
+                                 std::uint64_t size) {
+  TraceAllocEvent e;
+  e.tid = ctx.tid();
+  e.base = base;
+  e.size = size;
+  const auto stack = ctx.call_stack();
+  e.call_path.assign(stack.begin(), stack.end());
+  alloc_events_.push_back(std::move(e));
+}
+
+void TraceRecorder::record_free(sim::ThreadId tid, sim::Addr base) {
+  TraceAllocEvent e;
+  e.tid = tid;
+  e.base = base;
+  e.size = 0;
+  alloc_events_.push_back(std::move(e));
+}
+
+std::uint64_t TraceRecorder::serialized_bytes() const {
+  // Per-sample record: tid(4) ip(8) eaddr(8) latency(4) source(1)
+  // store(1) = 26 bytes.
+  std::uint64_t bytes = samples_.size() * 26;
+  // Per allocation event: tid(4) base(8) size(8) depth(4) + 8/frame.
+  for (const auto& e : alloc_events_) {
+    bytes += 24 + 8 * e.call_path.size();
+  }
+  return bytes;
+}
+
+void TraceRecorder::write(std::ostream& out) const {
+  const auto put = [&out](const void* p, std::size_t n) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  };
+  for (const auto& s : samples_) {
+    put(&s.tid, 4);
+    put(&s.ip, 8);
+    put(&s.eaddr, 8);
+    put(&s.latency, 4);
+    put(&s.source, 1);
+    put(&s.is_store, 1);
+  }
+  for (const auto& e : alloc_events_) {
+    put(&e.tid, 4);
+    put(&e.base, 8);
+    put(&e.size, 8);
+    const auto depth = static_cast<std::uint32_t>(e.call_path.size());
+    put(&depth, 4);
+    for (const auto f : e.call_path) put(&f, 8);
+  }
+}
+
+}  // namespace dcprof::core

@@ -1,0 +1,35 @@
+#include "core/var_map.h"
+
+namespace dcprof::core {
+
+std::shared_ptr<const AllocPath> AllocPathSet::intern(AllocPath path) {
+  auto it = paths_.find(path);
+  if (it != paths_.end()) return it->second;
+  auto ptr = std::make_shared<const AllocPath>(path);
+  paths_.emplace(std::move(path), ptr);
+  return ptr;
+}
+
+void HeapVarMap::insert(sim::Addr base, std::uint64_t size,
+                        std::shared_ptr<const AllocPath> path) {
+  blocks_[base] = HeapBlock{base, size, std::move(path)};
+}
+
+std::optional<HeapBlock> HeapVarMap::erase(sim::Addr base) {
+  auto it = blocks_.find(base);
+  if (it == blocks_.end()) return std::nullopt;
+  HeapBlock block = std::move(it->second);
+  blocks_.erase(it);
+  return block;
+}
+
+const HeapBlock* HeapVarMap::find(sim::Addr addr) const {
+  auto it = blocks_.upper_bound(addr);
+  if (it == blocks_.begin()) return nullptr;
+  --it;
+  const HeapBlock& b = it->second;
+  if (addr >= b.base && addr < b.base + b.size) return &b;
+  return nullptr;
+}
+
+}  // namespace dcprof::core

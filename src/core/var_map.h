@@ -1,0 +1,76 @@
+// Heap variable tracking: an interval map from live address ranges to the
+// canonicalized allocation call path that *is* the variable's identity.
+// Allocations sharing a call path share one AllocPath instance, which is
+// how "100 allocations in a loop" coalesce into a single logical variable
+// (the paper's Figure 2 semantics). AllocPaths are immutable once built,
+// so cross-thread path copies need no lock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace dcprof::core {
+
+/// An immutable allocation calling context: outermost-first call-site IPs
+/// plus the allocation instruction itself.
+struct AllocPath {
+  std::vector<sim::Addr> frames;
+  sim::Addr alloc_ip = 0;
+
+  bool operator==(const AllocPath& o) const {
+    return alloc_ip == o.alloc_ip && frames == o.frames;
+  }
+};
+
+/// Interns AllocPaths so identical paths share one instance.
+class AllocPathSet {
+ public:
+  std::shared_ptr<const AllocPath> intern(AllocPath path);
+  std::size_t size() const { return paths_.size(); }
+
+ private:
+  struct Hash {
+    std::size_t operator()(const AllocPath& p) const {
+      std::size_t h = std::hash<sim::Addr>{}(p.alloc_ip);
+      for (const sim::Addr a : p.frames) {
+        h = h * 1099511628211ull ^ std::hash<sim::Addr>{}(a);
+      }
+      return h;
+    }
+  };
+  std::unordered_map<AllocPath, std::shared_ptr<const AllocPath>, Hash>
+      paths_;
+};
+
+/// One live heap block.
+struct HeapBlock {
+  sim::Addr base = 0;
+  std::uint64_t size = 0;
+  std::shared_ptr<const AllocPath> path;  ///< null for untracked blocks
+};
+
+/// Address-interval map over live heap blocks.
+class HeapVarMap {
+ public:
+  void insert(sim::Addr base, std::uint64_t size,
+              std::shared_ptr<const AllocPath> path);
+
+  /// Removes the block starting at `base`; returns it if known.
+  std::optional<HeapBlock> erase(sim::Addr base);
+
+  /// The live block covering `addr`, if any.
+  const HeapBlock* find(sim::Addr addr) const;
+
+  std::size_t size() const { return blocks_.size(); }
+
+ private:
+  std::map<sim::Addr, HeapBlock> blocks_;  // keyed by base
+};
+
+}  // namespace dcprof::core

@@ -1,0 +1,102 @@
+// Software performance-monitoring unit: instruction-based sampling (the
+// AMD IBS analog) and marked-event sampling (the POWER7 SIAR/SDAR analog).
+// Attaches to the simulated machine as its AccessObserver and delivers
+// samples — precise IP, effective address, latency, data source — to a
+// handler, exactly the tuple the paper's hardware provides.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/machine.h"
+#include "sim/types.h"
+
+namespace dcprof::pmu {
+
+/// The sampling events the paper uses (and close relatives).
+enum class EventKind : std::uint8_t {
+  kIbsOp,                ///< sample every Nth retired op (AMD IBS)
+  kMarkedDataFromRMem,   ///< PM_MRK_DATA_FROM_RMEM: remote-DRAM fills
+  kMarkedDataFromLMem,   ///< PM_MRK_DATA_FROM_LMEM: local-DRAM fills
+  kMarkedDataFromL3,     ///< PM_MRK_DATA_FROM_L3: L3 fills
+  kMarkedTlbMiss,        ///< marked TLB misses
+};
+
+const char* to_string(EventKind kind);
+
+/// One PMU sample. `precise_ip` is what IBS/SIAR report; `signal_ip` is
+/// where the overflow signal lands after out-of-order skid (profilers
+/// that unwind from the signal context naively attribute there).
+struct Sample {
+  sim::ThreadId tid = 0;
+  sim::CoreId core = 0;
+  sim::Addr precise_ip = 0;
+  sim::Addr signal_ip = 0;
+  bool is_memory = false;
+  sim::Addr eaddr = 0;            ///< effective data address (SDAR)
+  std::uint32_t size = 0;
+  bool is_store = false;
+  sim::Cycles latency = 0;
+  sim::MemLevel source = sim::MemLevel::kL1;
+  bool tlb_miss = false;
+  EventKind event = EventKind::kIbsOp;
+  sim::Cycles at = 0;
+};
+
+using SampleHandler = std::function<void(const Sample&)>;
+
+/// One sampling configuration: which event, and the period between samples.
+struct PmuConfig {
+  EventKind event = EventKind::kIbsOp;
+  std::uint64_t period = 4096;
+  /// Instructions of skid applied to signal_ip (0 = no skid).
+  std::uint64_t skid_instrs = 2;
+  /// Randomization range applied to each period (+/- jitter), mirroring
+  /// IBS's counter randomization; prevents the sample stream aliasing
+  /// with loop structure. 0 = strictly periodic.
+  std::uint64_t jitter = 0;
+};
+
+/// The machine-wide set of per-core PMUs. Each core has an independent
+/// countdown per configured event, mirroring per-core PMU hardware.
+class PmuSet : public sim::AccessObserver {
+ public:
+  PmuSet(const sim::MachineConfig& machine_cfg, std::vector<PmuConfig> cfgs);
+
+  void set_handler(SampleHandler handler) { handler_ = std::move(handler); }
+
+  /// Enables/disables sample delivery without detaching from the machine.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // sim::AccessObserver:
+  void on_access(const sim::MemAccess& access) override;
+  void on_compute(sim::ThreadId tid, sim::CoreId core, std::uint64_t instrs,
+                  sim::Addr ip, sim::Cycles now) override;
+
+  std::uint64_t samples_taken() const { return samples_; }
+  std::uint64_t events_counted(std::size_t cfg_index) const;
+  const std::vector<PmuConfig>& configs() const { return configs_; }
+
+ private:
+  bool event_matches(const PmuConfig& cfg, const sim::MemAccess& a) const;
+  void emit(const PmuConfig& cfg, const Sample& sample);
+  /// Next countdown value for (cfg, core): period +/- jitter from a
+  /// deterministic per-core generator.
+  std::uint64_t next_period(std::size_t cfg_index, sim::CoreId core);
+
+  std::vector<PmuConfig> configs_;
+  std::size_t cores_ = 0;
+  // Flattened [cfg * cores_ + core] — one indirection on the hot path.
+  std::vector<std::uint64_t> countdown_;
+  std::vector<std::uint64_t> rng_state_;
+  std::vector<std::uint64_t> event_counts_;  // per cfg
+  SampleHandler handler_;
+  bool enabled_ = true;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace dcprof::pmu

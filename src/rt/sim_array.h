@@ -1,0 +1,147 @@
+// Typed array views pairing real host storage (so workloads compute real
+// values that tests can verify) with a simulated address range (so every
+// element access drives the machine model and is observable by the PMU).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "binfmt/load_module.h"
+#include "rt/alloc.h"
+#include "rt/thread.h"
+
+namespace dcprof::rt {
+
+/// A heap-allocated array. `get`/`set` issue simulated accesses and read/
+/// write the backing host storage; `host` bypasses the simulation (for
+/// verification and setup that should not be measured).
+template <typename T>
+class SimArray {
+ public:
+  SimArray() = default;
+
+  /// malloc semantics: pages placed lazily by first touch (or `policy`).
+  static SimArray malloc_in(Allocator& alloc, ThreadCtx& ctx,
+                            std::uint64_t count, sim::Addr ip,
+                            AllocPolicy policy = AllocPolicy::kDefault,
+                            sim::NodeId node = sim::kNoNode) {
+    SimArray a;
+    a.base_ = alloc.malloc(ctx, count * sizeof(T), ip, policy, node);
+    a.data_.assign(count, T{});
+    return a;
+  }
+
+  /// calloc semantics: the calling thread touches (zeroes) all pages now.
+  static SimArray calloc_in(Allocator& alloc, ThreadCtx& ctx,
+                            std::uint64_t count, sim::Addr ip,
+                            AllocPolicy policy = AllocPolicy::kDefault,
+                            sim::NodeId node = sim::kNoNode) {
+    SimArray a;
+    a.base_ = alloc.calloc(ctx, count, sizeof(T), ip, policy, node);
+    a.data_.assign(count, T{});
+    return a;
+  }
+
+  void free_in(Allocator& alloc, ThreadCtx& ctx) {
+    if (base_ != 0) {
+      alloc.free(ctx, base_);
+      base_ = 0;
+      data_.clear();
+    }
+  }
+
+  T get(ThreadCtx& ctx, std::uint64_t i, sim::Addr ip) const {
+    ctx.load(addr(i), sizeof(T), ip);
+    return data_[i];
+  }
+  void set(ThreadCtx& ctx, std::uint64_t i, T value, sim::Addr ip) {
+    ctx.store(addr(i), sizeof(T), ip);
+    data_[i] = value;
+  }
+
+  /// Unsimulated access to the backing storage.
+  T& host(std::uint64_t i) { return data_[i]; }
+  const T& host(std::uint64_t i) const { return data_[i]; }
+
+  sim::Addr addr(std::uint64_t i) const {
+    return base_ + i * sizeof(T);
+  }
+  sim::Addr base() const { return base_; }
+  std::uint64_t size() const { return data_.size(); }
+  bool allocated() const { return base_ != 0; }
+
+ private:
+  sim::Addr base_ = 0;
+  std::vector<T> data_;
+};
+
+/// A stack-resident array: bump-allocated from the owning thread's stack
+/// segment (released on destruction, LIFO). The profiler attributes its
+/// accesses to "stack (thread N)" — the paper's future-work extension.
+template <typename T>
+class StackArray {
+ public:
+  StackArray(ThreadCtx& ctx, std::uint64_t count)
+      : ctx_(&ctx), base_(ctx.stack_alloc(count * sizeof(T))),
+        data_(count, T{}) {}
+  ~StackArray() {
+    ctx_->stack_release(data_.size() * sizeof(T));
+  }
+  StackArray(const StackArray&) = delete;
+  StackArray& operator=(const StackArray&) = delete;
+
+  T get(ThreadCtx& ctx, std::uint64_t i, sim::Addr ip) const {
+    ctx.load(addr(i), sizeof(T), ip);
+    return data_[i];
+  }
+  void set(ThreadCtx& ctx, std::uint64_t i, T value, sim::Addr ip) {
+    ctx.store(addr(i), sizeof(T), ip);
+    data_[i] = value;
+  }
+
+  T& host(std::uint64_t i) { return data_[i]; }
+  sim::Addr addr(std::uint64_t i) const { return base_ + i * sizeof(T); }
+  std::uint64_t size() const { return data_.size(); }
+
+ private:
+  ThreadCtx* ctx_;
+  sim::Addr base_;
+  std::vector<T> data_;
+};
+
+/// A static (load-module .bss) array: registered in the module's symbol
+/// table so the profiler attributes accesses to the variable by name.
+template <typename T>
+class StaticArray {
+ public:
+  StaticArray() = default;
+
+  StaticArray(binfmt::LoadModule& module, const std::string& name,
+              std::uint64_t count)
+      : base_(module.add_static_var(name, count * sizeof(T))),
+        data_(count, T{}) {}
+
+  T get(ThreadCtx& ctx, std::uint64_t i, sim::Addr ip) const {
+    ctx.load(addr(i), sizeof(T), ip);
+    return data_[i];
+  }
+  void set(ThreadCtx& ctx, std::uint64_t i, T value, sim::Addr ip) {
+    ctx.store(addr(i), sizeof(T), ip);
+    data_[i] = value;
+  }
+
+  T& host(std::uint64_t i) { return data_[i]; }
+  const T& host(std::uint64_t i) const { return data_[i]; }
+
+  sim::Addr addr(std::uint64_t i) const { return base_ + i * sizeof(T); }
+  sim::Addr base() const { return base_; }
+  std::uint64_t size() const { return data_.size(); }
+
+ private:
+  sim::Addr base_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace dcprof::rt

@@ -1,0 +1,33 @@
+#include "rt/team.h"
+
+#include <stdexcept>
+
+namespace dcprof::rt {
+
+Team::Team(sim::Machine& machine, int nthreads) {
+  if (nthreads <= 0) throw std::invalid_argument("team needs >= 1 thread");
+  const int cores = machine.config().num_cores();
+  threads_.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    threads_.push_back(
+        std::make_unique<ThreadCtx>(machine, t, t % cores));
+  }
+}
+
+void Team::barrier() {
+  Cycles max = 0;
+  for (const auto& t : threads_) {
+    if (t->clock() > max) max = t->clock();
+  }
+  for (auto& t : threads_) t->set_clock(max);
+}
+
+Cycles Team::now() const {
+  Cycles max = 0;
+  for (const auto& t : threads_) {
+    if (t->clock() > max) max = t->clock();
+  }
+  return max;
+}
+
+}  // namespace dcprof::rt

@@ -1,0 +1,117 @@
+// An OpenMP-like team of virtual threads with deterministic round-robin
+// interleaved execution of parallel loops. Interleaving at chunk
+// granularity is what lets the (single real thread) simulation reproduce
+// shared-L3 and DRAM-controller contention between worker threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rt/thread.h"
+#include "sim/machine.h"
+
+namespace dcprof::rt {
+
+class Team {
+ public:
+  /// Creates `nthreads` virtual threads on `machine`, assigned to cores
+  /// round-robin (SMT-style oversubscription allowed, as on POWER7).
+  Team(sim::Machine& machine, int nthreads);
+
+  int size() const { return static_cast<int>(threads_.size()); }
+  ThreadCtx& thread(int t) { return *threads_[static_cast<std::size_t>(t)]; }
+  ThreadCtx& master() { return *threads_[0]; }
+
+  /// Synchronizes all thread clocks to the team maximum (a barrier).
+  void barrier();
+
+  /// Team wall-clock: the maximum thread clock.
+  Cycles now() const;
+
+  /// OpenMP-style static-scheduled parallel for over [begin, end).
+  /// Each thread owns a contiguous block; execution interleaves one
+  /// `chunk`-iteration slice per thread, round-robin, and ends with a
+  /// barrier. `body(ThreadCtx&, i)` runs each iteration.
+  template <typename Body>
+  void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
+                    std::int64_t chunk = 16) {
+    barrier();
+    const std::int64_t len = end - begin;
+    if (len <= 0) return;
+    const auto nt = static_cast<std::int64_t>(threads_.size());
+    const std::int64_t per = (len + nt - 1) / nt;
+    struct Range {
+      std::int64_t next;
+      std::int64_t end;
+    };
+    std::vector<Range> ranges;
+    ranges.reserve(static_cast<std::size_t>(nt));
+    for (std::int64_t t = 0; t < nt; ++t) {
+      const std::int64_t lo = begin + t * per;
+      const std::int64_t hi = lo + per < end ? lo + per : end;
+      ranges.push_back(Range{lo, hi > lo ? hi : lo});
+    }
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::int64_t t = 0; t < nt; ++t) {
+        auto& r = ranges[static_cast<std::size_t>(t)];
+        if (r.next >= r.end) continue;
+        any = true;
+        ThreadCtx& ctx = *threads_[static_cast<std::size_t>(t)];
+        const std::int64_t stop =
+            r.next + chunk < r.end ? r.next + chunk : r.end;
+        for (std::int64_t i = r.next; i < stop; ++i) body(ctx, i);
+        r.next = stop;
+      }
+    }
+    barrier();
+  }
+
+  /// Runs `body(ThreadCtx&)` once per thread (like an OpenMP parallel
+  /// region with thread-id dispatch); threads execute their body to
+  /// completion in tid order, then barrier.
+  template <typename Body>
+  void parallel_region(Body&& body) {
+    barrier();
+    for (auto& t : threads_) body(*t);
+    barrier();
+  }
+
+  /// Runs `body` on the master thread only (like `#pragma omp master`
+  /// followed by a barrier).
+  template <typename Body>
+  void single(Body&& body) {
+    barrier();
+    body(master());
+    barrier();
+  }
+
+ private:
+  std::vector<std::unique_ptr<ThreadCtx>> threads_;
+};
+
+/// RAII frame pushed on *every* team thread: models workers executing an
+/// outlined parallel-region function within the enclosing calling context
+/// (so worker samples carry the full call path, as in the paper's GUI).
+class TeamScope {
+ public:
+  TeamScope(Team& team, Addr call_site_ip) : team_(&team) {
+    for (int t = 0; t < team_->size(); ++t) {
+      team_->thread(t).push_frame(call_site_ip);
+    }
+  }
+  ~TeamScope() {
+    for (int t = 0; t < team_->size(); ++t) {
+      team_->thread(t).pop_frame();
+    }
+  }
+  TeamScope(const TeamScope&) = delete;
+  TeamScope& operator=(const TeamScope&) = delete;
+
+ private:
+  Team* team_;
+};
+
+}  // namespace dcprof::rt

@@ -1,0 +1,96 @@
+#include "sim/address_space.h"
+
+#include <new>
+#include <stdexcept>
+
+namespace dcprof::sim {
+
+namespace {
+constexpr std::uint64_t kAlign = 64;
+std::uint64_t round_up(std::uint64_t v) { return (v + kAlign - 1) & ~(kAlign - 1); }
+}  // namespace
+
+AddressSpace::AddressSpace()
+    : next_static_(kStaticBase), next_text_(kTextBase) {
+  free_list_.emplace(kHeapBase, kHeapLimit - kHeapBase);
+}
+
+Addr AddressSpace::reserve_static(std::uint64_t size, const std::string& name) {
+  const Addr base = next_static_;
+  next_static_ += round_up(size);
+  static_segments_.emplace(base, Segment{base, size, name});
+  return base;
+}
+
+Addr AddressSpace::reserve_text(std::uint64_t size, const std::string& name) {
+  const Addr base = next_text_;
+  next_text_ += round_up(size);
+  text_segments_.emplace(base, Segment{base, size, name});
+  return base;
+}
+
+Addr AddressSpace::stack_base(ThreadId tid) const {
+  return kStackBase + static_cast<Addr>(tid) * (1ull << 20);
+}
+
+Addr AddressSpace::heap_alloc(std::uint64_t size) {
+  if (size == 0) size = 1;
+  size = round_up(size);
+  // First fit.
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->second >= size) {
+      const Addr base = it->first;
+      const std::uint64_t remaining = it->second - size;
+      free_list_.erase(it);
+      if (remaining > 0) free_list_.emplace(base + size, remaining);
+      allocated_.emplace(base, size);
+      heap_in_use_ += size;
+      return base;
+    }
+  }
+  throw std::bad_alloc();
+}
+
+std::uint64_t AddressSpace::heap_free(Addr addr) {
+  auto it = allocated_.find(addr);
+  if (it == allocated_.end()) {
+    throw std::invalid_argument("heap_free: not an allocated block");
+  }
+  const std::uint64_t size = it->second;
+  allocated_.erase(it);
+  heap_in_use_ -= size;
+
+  // Insert into the free list, coalescing with neighbours.
+  auto [pos, inserted] = free_list_.emplace(addr, size);
+  (void)inserted;
+  // Coalesce with successor.
+  auto next = std::next(pos);
+  if (next != free_list_.end() && pos->first + pos->second == next->first) {
+    pos->second += next->second;
+    free_list_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (pos != free_list_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->first + prev->second == pos->first) {
+      prev->second += pos->second;
+      free_list_.erase(pos);
+    }
+  }
+  return size;
+}
+
+Addr AddressSpace::brk_extend(std::uint64_t size) {
+  const Addr old = brk_;
+  brk_ += round_up(size);
+  if (brk_ >= kHeapBase) throw std::bad_alloc();
+  return old;
+}
+
+std::optional<std::uint64_t> AddressSpace::block_size(Addr addr) const {
+  auto it = allocated_.find(addr);
+  if (it == allocated_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace dcprof::sim

@@ -1,0 +1,104 @@
+#include "sim/cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace dcprof::sim {
+
+namespace {
+unsigned log2_exact(std::uint64_t v, const char* what) {
+  if (v == 0 || (v & (v - 1)) != 0) {
+    throw std::invalid_argument(std::string(what) + " must be a power of two");
+  }
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+}  // namespace
+
+SetAssocCache::SetAssocCache(const CacheConfig& cfg)
+    : line_shift_(log2_exact(cfg.line_bytes, "cache line size")),
+      sets_(cfg.size_bytes / (cfg.line_bytes * cfg.associativity)),
+      assoc_(cfg.associativity) {
+  if (sets_ == 0) throw std::invalid_argument("cache too small for geometry");
+  log2_exact(sets_, "cache set count");
+  ways_.resize(sets_ * assoc_);
+}
+
+bool SetAssocCache::access(Addr addr) {
+  const std::size_t set = set_index(addr);
+  const Addr tag = tag_of(addr);
+  Way* base = &ways_[set * assoc_];
+  for (unsigned i = 0; i < assoc_; ++i) {
+    if (base[i].valid && base[i].tag == tag) {
+      // Move to MRU position.
+      std::rotate(base, base + i, base + i + 1);
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  // Fill: shift everything down one way, insert at MRU; LRU way falls off.
+  std::rotate(base, base + assoc_ - 1, base + assoc_);
+  base[0] = Way{tag, true};
+  return false;
+}
+
+bool SetAssocCache::contains(Addr addr) const {
+  const std::size_t set = set_index(addr);
+  const Addr tag = tag_of(addr);
+  const Way* base = &ways_[set * assoc_];
+  for (unsigned i = 0; i < assoc_; ++i) {
+    if (base[i].valid && base[i].tag == tag) return true;
+  }
+  return false;
+}
+
+void SetAssocCache::invalidate(Addr addr) {
+  const std::size_t set = set_index(addr);
+  const Addr tag = tag_of(addr);
+  Way* base = &ways_[set * assoc_];
+  for (unsigned i = 0; i < assoc_; ++i) {
+    if (base[i].valid && base[i].tag == tag) {
+      base[i].valid = false;
+      return;
+    }
+  }
+}
+
+void SetAssocCache::clear() {
+  for (auto& w : ways_) w.valid = false;
+}
+
+Tlb::Tlb(unsigned entries, std::size_t page_bytes)
+    : page_shift_(log2_exact(page_bytes, "page size")), entries_(entries) {
+  pages_.reserve(entries_);
+}
+
+bool Tlb::access(Addr addr) {
+  const Addr page = addr >> page_shift_;
+  auto it = std::find(pages_.begin(), pages_.end(), page);
+  if (it != pages_.end()) {
+    std::rotate(pages_.begin(), it, it + 1);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (pages_.size() == entries_) pages_.pop_back();
+  pages_.insert(pages_.begin(), page);
+  return false;
+}
+
+void Tlb::clear() { pages_.clear(); }
+
+const char* to_string(MemLevel level) {
+  switch (level) {
+    case MemLevel::kL1: return "L1";
+    case MemLevel::kL2: return "L2";
+    case MemLevel::kL3: return "L3";
+    case MemLevel::kLocalDram: return "LocalDram";
+    case MemLevel::kRemoteDram: return "RemoteDram";
+  }
+  return "?";
+}
+
+}  // namespace dcprof::sim

@@ -1,0 +1,77 @@
+// Set-associative LRU cache model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/types.h"
+
+namespace dcprof::sim {
+
+/// A set-associative cache with true-LRU replacement. Addresses are
+/// looked up by cache line; the cache stores tags only (no data).
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& cfg);
+
+  /// Looks up `addr`; on a miss, fills the line (evicting LRU).
+  /// Returns true on hit.
+  bool access(Addr addr);
+
+  /// Looks up without filling. Used by tests and inclusive-probe logic.
+  bool contains(Addr addr) const;
+
+  /// Invalidates the line holding `addr` if present.
+  void invalidate(Addr addr);
+
+  /// Drops all lines.
+  void clear();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  unsigned line_bytes() const { return 1u << line_shift_; }
+  std::size_t num_sets() const { return sets_; }
+  unsigned associativity() const { return assoc_; }
+
+ private:
+  struct Way {
+    Addr tag = 0;
+    bool valid = false;
+  };
+
+  std::size_t set_index(Addr addr) const {
+    return (addr >> line_shift_) & (sets_ - 1);
+  }
+  Addr tag_of(Addr addr) const { return addr >> line_shift_; }
+
+  unsigned line_shift_;
+  std::size_t sets_;
+  unsigned assoc_;
+  // Ways within a set are kept in MRU-first order; eviction takes the back.
+  std::vector<Way> ways_;  // sets_ * assoc_, set-major
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Fully-associative LRU TLB over pages.
+class Tlb {
+ public:
+  Tlb(unsigned entries, std::size_t page_bytes);
+
+  /// Returns true on hit; on miss, installs the translation.
+  bool access(Addr addr);
+  void clear();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  unsigned page_shift_;
+  unsigned entries_;
+  std::vector<Addr> pages_;  // MRU-first
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dcprof::sim

@@ -1,0 +1,94 @@
+#include "sim/memory_system.h"
+
+namespace dcprof::sim {
+
+MemorySystem::MemorySystem(const MachineConfig& cfg)
+    : cfg_(cfg), page_table_(cfg.page_bytes, cfg.num_nodes()) {
+  const int cores = cfg_.num_cores();
+  l1_.reserve(static_cast<std::size_t>(cores));
+  l2_.reserve(static_cast<std::size_t>(cores));
+  tlbs_.reserve(static_cast<std::size_t>(cores));
+  for (int c = 0; c < cores; ++c) {
+    l1_.emplace_back(cfg_.l1);
+    l2_.emplace_back(cfg_.l2);
+    tlbs_.emplace_back(cfg_.tlb_entries, cfg_.page_bytes);
+    prefetchers_.emplace_back();
+  }
+  for (int s = 0; s < cfg_.sockets; ++s) l3_.emplace_back(cfg_.l3);
+  for (int n = 0; n < cfg_.num_nodes(); ++n) {
+    controllers_.emplace_back(cfg_.lat.dram_service, cfg_.lat.dram_banks);
+  }
+}
+
+AccessResult MemorySystem::access(CoreId core, Addr addr, bool is_store,
+                                  Cycles now) {
+  AccessResult r;
+  const auto ci = static_cast<std::size_t>(core);
+
+  const bool tlb_hit = tlbs_[ci].access(addr);
+  r.tlb_miss = !tlb_hit;
+  if (r.tlb_miss) {
+    r.latency += cfg_.lat.tlb_walk;
+    ++stats_.tlb_misses;
+  }
+
+  if (l1_[ci].access(addr)) {
+    // Store hits drain through the store buffer without a stall.
+    r.latency += is_store ? cfg_.lat.store_hit : cfg_.lat.l1;
+    r.level = MemLevel::kL1;
+    ++stats_.l1_hits;
+    return r;
+  }
+  if (l2_[ci].access(addr)) {
+    r.latency += cfg_.lat.l2;
+    r.level = MemLevel::kL2;
+    ++stats_.l2_hits;
+    return r;
+  }
+  const auto si = static_cast<std::size_t>(cfg_.socket_of(core));
+  if (l3_[si].access(addr)) {
+    r.latency += cfg_.lat.l3;
+    r.level = MemLevel::kL3;
+    ++stats_.l3_hits;
+    return r;
+  }
+
+  // DRAM fill: bind the page (first touch) and pay the home controller.
+  const NodeId toucher = cfg_.node_of(core);
+  const NodeId home = page_table_.touch(addr, toucher);
+  r.home = home;
+  const bool remote = home != toucher;
+  r.queue_wait = controllers_[static_cast<std::size_t>(home)].serve(now);
+  const Addr line = addr / cfg_.l1.line_bytes;
+  const auto lines_per_page =
+      static_cast<unsigned>(cfg_.page_bytes / cfg_.l1.line_bytes);
+  r.prefetched = cfg_.lat.prefetch_enabled &&
+                 prefetchers_[ci].access(line, lines_per_page);
+  if (r.prefetched) {
+    // The stream prefetcher hid most of the fill; the access still
+    // consumed controller bandwidth (the serve() above).
+    r.latency += cfg_.lat.prefetch_hit + r.queue_wait +
+                 (remote ? cfg_.lat.prefetch_remote_extra : 0);
+    ++stats_.prefetched;
+  } else {
+    r.latency += cfg_.lat.l3 + cfg_.lat.dram + r.queue_wait +
+                 (remote ? cfg_.lat.remote_extra : 0);
+  }
+  if (remote) {
+    r.level = MemLevel::kRemoteDram;
+    ++stats_.remote_dram;
+  } else {
+    r.level = MemLevel::kLocalDram;
+    ++stats_.local_dram;
+  }
+  return r;
+}
+
+void MemorySystem::flush_caches() {
+  for (auto& c : l1_) c.clear();
+  for (auto& c : l2_) c.clear();
+  for (auto& c : l3_) c.clear();
+  for (auto& t : tlbs_) t.clear();
+}
+
+}  // namespace dcprof::sim

@@ -1,0 +1,104 @@
+#include "sim/page_table.h"
+
+#include <stdexcept>
+
+namespace dcprof::sim {
+
+const char* to_string(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kFirstTouch: return "first-touch";
+    case PlacementPolicy::kInterleave: return "interleave";
+    case PlacementPolicy::kFixed: return "fixed";
+  }
+  return "?";
+}
+
+PageTable::PageTable(std::size_t page_bytes, int num_nodes)
+    : page_bytes_(page_bytes), num_nodes_(num_nodes) {
+  if (num_nodes_ <= 0) throw std::invalid_argument("num_nodes must be > 0");
+}
+
+void PageTable::set_policy(Addr base, std::uint64_t size,
+                           PlacementPolicy policy, NodeId fixed_node) {
+  if (size == 0) return;
+  if (policy == PlacementPolicy::kFixed &&
+      (fixed_node < 0 || fixed_node >= num_nodes_)) {
+    throw std::invalid_argument("fixed placement needs a valid node");
+  }
+  regions_[base] = Region{base + size, policy, fixed_node};
+}
+
+void PageTable::release_range(Addr base, std::uint64_t size) {
+  const Addr end = base + size;
+  for (auto it = regions_.lower_bound(base);
+       it != regions_.end() && it->first < end;) {
+    if (it->second.end <= end) {
+      it = regions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Only pages fully contained in the released range are unmapped;
+  // boundary pages may still back neighbouring live blocks.
+  const Addr first = (base + page_bytes_ - 1) / page_bytes_;
+  const Addr last = end / page_bytes_;  // exclusive
+  for (Addr p = first; p < last; ++p) {
+    page_node_.erase(p);
+  }
+}
+
+PageTable::Region* PageTable::region_covering(Addr addr) {
+  auto it = regions_.upper_bound(addr);
+  if (it == regions_.begin()) return nullptr;
+  --it;
+  if (addr < it->second.end) return &it->second;
+  return nullptr;
+}
+
+NodeId PageTable::touch(Addr addr, NodeId toucher) {
+  const Addr page = page_of(addr);
+  if (auto it = page_node_.find(page); it != page_node_.end()) {
+    return it->second;
+  }
+  PlacementPolicy policy = default_policy_;
+  NodeId fixed = kNoNode;
+  Region* region = region_covering(addr);
+  if (region != nullptr) {
+    policy = region->policy;
+    fixed = region->fixed_node;
+  }
+  NodeId node;
+  switch (policy) {
+    case PlacementPolicy::kFirstTouch:
+      node = toucher;
+      break;
+    case PlacementPolicy::kInterleave:
+      node = static_cast<NodeId>(interleave_cursor_++ %
+                                 static_cast<std::uint64_t>(num_nodes_));
+      break;
+    case PlacementPolicy::kFixed:
+      node = fixed;
+      break;
+    default:
+      node = toucher;
+  }
+  if (node < 0 || node >= num_nodes_) node = 0;
+  page_node_.emplace(page, node);
+  return node;
+}
+
+NodeId PageTable::node_of(Addr addr) const {
+  auto it = page_node_.find(page_of(addr));
+  return it == page_node_.end() ? kNoNode : it->second;
+}
+
+std::vector<std::uint64_t> PageTable::pages_per_node() const {
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(num_nodes_), 0);
+  for (const auto& [page, node] : page_node_) {
+    (void)page;
+    if (node >= 0 && node < num_nodes_) ++counts[static_cast<std::size_t>(node)];
+  }
+  return counts;
+}
+
+}  // namespace dcprof::sim

@@ -1,0 +1,75 @@
+// Page table with NUMA placement policies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace dcprof::sim {
+
+/// How pages of a region are assigned to NUMA nodes when first touched.
+enum class PlacementPolicy : std::uint8_t {
+  kFirstTouch,  ///< page lands on the toucher's node (Linux default)
+  kInterleave,  ///< pages round-robin across all nodes (numactl/libnuma)
+  kFixed,       ///< all pages on one designated node (membind)
+};
+
+const char* to_string(PlacementPolicy p);
+
+/// Maps pages to NUMA nodes. Regions carry a placement policy; a page is
+/// bound to a node the first time it is touched ("first touch" happens at
+/// page granularity, exactly as in Linux).
+class PageTable {
+ public:
+  PageTable(std::size_t page_bytes, int num_nodes);
+
+  /// Declares the placement policy for [base, base+size). Later
+  /// declarations override earlier ones for overlapping ranges only if
+  /// the pages are still unmapped.
+  void set_policy(Addr base, std::uint64_t size, PlacementPolicy policy,
+                  NodeId fixed_node = kNoNode);
+
+  /// Removes policy regions fully inside [base, base+size) and unmaps its
+  /// pages (used when the heap frees a block so reuse re-places pages).
+  void release_range(Addr base, std::uint64_t size);
+
+  /// Node holding the page of `addr`, binding it on first touch.
+  /// `toucher` is the node of the accessing core.
+  NodeId touch(Addr addr, NodeId toucher);
+
+  /// Node holding the page of `addr`, or kNoNode if never touched.
+  NodeId node_of(Addr addr) const;
+
+  /// Default policy used for addresses outside any declared region.
+  void set_default_policy(PlacementPolicy policy) { default_policy_ = policy; }
+  PlacementPolicy default_policy() const { return default_policy_; }
+
+  /// Pages currently resident on each node.
+  std::vector<std::uint64_t> pages_per_node() const;
+
+  std::size_t mapped_pages() const { return page_node_.size(); }
+
+ private:
+  struct Region {
+    Addr end = 0;  // exclusive
+    PlacementPolicy policy = PlacementPolicy::kFirstTouch;
+    NodeId fixed_node = kNoNode;
+  };
+
+  Addr page_of(Addr addr) const { return addr / page_bytes_; }
+  Region* region_covering(Addr addr);
+
+  std::size_t page_bytes_;
+  int num_nodes_;
+  PlacementPolicy default_policy_ = PlacementPolicy::kFirstTouch;
+  // Interleaving uses one process-wide round-robin cursor, mirroring
+  // Linux MPOL_INTERLEAVE's per-task cursor.
+  std::uint64_t interleave_cursor_ = 0;
+  std::map<Addr, Region> regions_;                 // keyed by region base
+  std::unordered_map<Addr, NodeId> page_node_;     // page index -> node
+};
+
+}  // namespace dcprof::sim

@@ -1,0 +1,391 @@
+#include "workloads/amg.h"
+
+#include <chrono>
+
+namespace dcprof::wl {
+
+const char* to_string(AmgVariant v) {
+  switch (v) {
+    case AmgVariant::kOriginal: return "original";
+    case AmgVariant::kNumactl: return "numactl";
+    case AmgVariant::kLibnuma: return "libnuma";
+  }
+  return "?";
+}
+
+Amg::Amg(ProcessCtx& proc, const AmgParams& params, rt::Rank* rank)
+    : p_(&proc), prm_(params), rank_(rank),
+      nnz_(params.rows * params.nnz_per_row) {
+  binfmt::LoadModule& m = p_->exe();
+
+  const auto f_main = m.add_function("main", "amg2006.c");
+  ip_call_init_ = m.add_instr(f_main, 120);
+  ip_call_setup_ = m.add_instr(f_main, 130);
+  ip_call_solve_ = m.add_instr(f_main, 140);
+
+  const auto f_calloc = m.add_function("hypre_CAlloc", "hypre_memory.c");
+  ip_calloc_ = m.add_instr(f_calloc, 175);
+  ip_malloc_ = m.add_instr(f_calloc, 181);
+
+  const auto f_init = m.add_function("hypre_InitializeData", "amg_init.c");
+  ip_call_vec_create_ = m.add_instr(f_init, 88);
+  ip_alloc_workspace_ = m.add_instr(f_init, 92);
+  ip_grid_build_ = m.add_instr(f_init, 101);
+  const auto f_vec_create =
+      m.add_function("hypre_SeqVectorCreate", "seq_vector.c");
+  ip_small_alloc_ = m.add_instr(f_vec_create, 55);
+
+  const auto f_setup =
+      m.add_function("hypre_BoomerAMGSetup", "par_amg_setup.c");
+  const auto f_csr_init =
+      m.add_function("hypre_CSRMatrixInitialize", "csr_matrix.c");
+  (void)f_setup;
+  ip_alloc_S_j_ = m.add_instr(f_csr_init, 175);
+  ip_alloc_A_i_ = m.add_instr(f_csr_init, 176);
+  ip_alloc_A_j_ = m.add_instr(f_csr_init, 177);
+  ip_alloc_A_data_ = m.add_instr(f_csr_init, 178);
+  ip_alloc_x_ = m.add_instr(f_csr_init, 182);
+  ip_alloc_b_ = m.add_instr(f_csr_init, 183);
+  ip_alloc_y_ = m.add_instr(f_csr_init, 184);
+  ip_call_fill_ = m.add_instr(f_setup, 300);
+  ip_symbolic_ = m.add_instr(f_setup, 340);
+  const auto f_fill = m.add_function("hypre_CSRMatrixFill", "csr_matrix.c");
+  ip_fill_Ai_ = m.add_instr(f_fill, 320);
+  ip_fill_row_ = m.add_instr(f_fill, 322);
+  ip_vec_init_ = m.add_instr(f_fill, 330);
+
+  const auto f_solve =
+      m.add_function("hypre_BoomerAMGSolve", "par_amg_solve.c");
+  ip_call_strength_ = m.add_instr(f_solve, 210);
+  ip_call_interp_ = m.add_instr(f_solve, 220);
+  ip_call_matvec_ = m.add_instr(f_solve, 230);
+  ip_call_axpy_ = m.add_instr(f_solve, 240);
+
+  const auto f_strength =
+      m.add_function("hypre_BoomerAMGCreateS$$OL$$1", "par_strength.c");
+  ip_S1_Ai_ = m.add_instr(f_strength, 273);
+  ip_S_access1_ = m.add_instr(f_strength, 275);
+  const auto f_interp =
+      m.add_function("hypre_BoomerAMGBuildInterp$$OL$$2", "par_interp.c");
+  ip_S_access2_ = m.add_instr(f_interp, 410);
+  const auto f_matvec =
+      m.add_function("hypre_CSRMatrixMatvec$$OL$$3", "csr_matvec.c");
+  ip_mv_Ai_ = m.add_instr(f_matvec, 662);
+  ip_mv_Aj_ = m.add_instr(f_matvec, 664);
+  ip_mv_Adata_ = m.add_instr(f_matvec, 665);
+  ip_mv_x_ = m.add_instr(f_matvec, 666);
+  ip_mv_y_ = m.add_instr(f_matvec, 667);
+  const auto f_axpy = m.add_function("hypre_SeqAxpy$$OL$$4", "seq_vector.c");
+  ip_axpy_ = m.add_instr(f_axpy, 142);
+  ip_axpy_w_ = m.add_instr(f_axpy, 144);
+  ip_alloc_levels_ = m.add_instr(f_setup, 310);
+  ip_level_read_ = m.add_instr(f_solve, 245);
+
+  relax_weights_ =
+      rt::StaticArray<double>(m, "relax_weights", 128 * 1024);
+
+  // Source-pane variable annotations (resolvable even from a
+  // structure-only instance used for post-mortem label resolution).
+  p_->annotate(ip_alloc_S_j_, "S_diag_j");
+  p_->annotate(ip_alloc_A_i_, "A_diag_i");
+  p_->annotate(ip_alloc_A_j_, "A_diag_j");
+  p_->annotate(ip_alloc_A_data_, "A_diag_data");
+  p_->annotate(ip_alloc_x_, "vec_x");
+  p_->annotate(ip_alloc_b_, "vec_b");
+  p_->annotate(ip_alloc_y_, "vec_y");
+  p_->annotate(ip_alloc_workspace_, "grid_workspace");
+  p_->annotate(ip_alloc_levels_, "level_vectors");
+
+  if (prm_.variant == AmgVariant::kNumactl) {
+    p_->alloc().set_global_interleave(true);
+  }
+}
+
+template <typename T>
+rt::SimArray<T> Amg::hypre_calloc(rt::ThreadCtx& t, sim::Addr call_site,
+                                  std::int64_t count, const char* name,
+                                  rt::AllocPolicy policy) {
+  p_->annotate(call_site, name);
+  rt::Scope frame(t, call_site);
+  return rt::SimArray<T>::calloc_in(p_->alloc(), t,
+                                    static_cast<std::uint64_t>(count),
+                                    ip_calloc_, policy);
+}
+
+template <typename T>
+rt::SimArray<T> Amg::hypre_malloc(rt::ThreadCtx& t, sim::Addr call_site,
+                                  std::int64_t count, const char* name,
+                                  rt::AllocPolicy policy) {
+  p_->annotate(call_site, name);
+  rt::Scope frame(t, call_site);
+  return rt::SimArray<T>::malloc_in(p_->alloc(), t,
+                                    static_cast<std::uint64_t>(count),
+                                    ip_malloc_, policy);
+}
+
+std::int64_t Amg::col_of(std::int64_t row, int k) const {
+  // Banded (stencil-like) columns: row-local, so x reuse is cache-friendly.
+  const std::int64_t offset = k - prm_.nnz_per_row / 2;
+  std::int64_t col = row + offset * 3;
+  if (col < 0) col += prm_.rows;
+  if (col >= prm_.rows) col -= prm_.rows;
+  return col;
+}
+
+void Amg::phase_init() {
+  rt::Team& team = p_->team();
+  team.single([&](rt::ThreadCtx& t) {
+    rt::Scope s_main(t, ip_call_init_);
+    std::vector<sim::Addr> blocks;
+    blocks.reserve(static_cast<std::size_t>(prm_.small_allocs));
+    for (int i = 0; i < prm_.small_allocs; ++i) {
+      // Real hypre allocates through a deep call chain
+      // (CreateLevel -> ParVectorCreate -> SeqVectorCreate -> CAlloc);
+      // the unwinder pays per frame.
+      rt::Scope s1(t, ip_call_vec_create_);
+      rt::Scope s2(t, ip_grid_build_);
+      rt::Scope s3(t, ip_alloc_workspace_);
+      rt::Scope s4(t, ip_call_vec_create_);
+      rt::Scope s_alloc(t, ip_small_alloc_);
+      // Small work vectors, all below the 4 KB tracking threshold.
+      const std::uint64_t bytes = 64 + 128 * (i % 16);
+      blocks.push_back(p_->alloc().calloc(t, bytes, 1, ip_calloc_));
+    }
+    // The master builds the (transient) unstructured-grid workspace:
+    // a sequential construct-then-consume pass. Under process-wide
+    // interleaving (numactl) these pages land mostly on remote nodes,
+    // which is exactly why the paper's initialization phase doubled.
+    rt::SimArray<double> workspace;
+    {
+      rt::Scope s_alloc(t, ip_alloc_workspace_);
+      p_->annotate(ip_alloc_workspace_, "grid_workspace");
+      workspace = rt::SimArray<double>::malloc_in(
+          p_->alloc(), t, static_cast<std::uint64_t>(prm_.workspace_doubles),
+          ip_malloc_);
+    }
+    for (std::int64_t i = 0; i < prm_.workspace_doubles; ++i) {
+      workspace.set(t, static_cast<std::uint64_t>(i),
+                    static_cast<double>(i % 17), ip_grid_build_);
+    }
+    double acc = 0;
+    for (std::int64_t i = 0; i < prm_.workspace_doubles; i += 2) {
+      acc += workspace.get(t, static_cast<std::uint64_t>(i), ip_grid_build_);
+    }
+    strength_acc_ += acc * 1e-9;
+    workspace.free_in(p_->alloc(), t);
+
+    // Transient structures are freed again within initialization.
+    for (std::size_t i = 0; i < blocks.size(); i += 2) {
+      p_->alloc().free(t, blocks[i]);
+    }
+    t.compute(20'000, ip_call_init_);
+  });
+}
+
+void Amg::phase_setup() {
+  rt::Team& team = p_->team();
+  const bool selective = prm_.variant == AmgVariant::kLibnuma;
+  const rt::AllocPolicy matrix_policy =
+      selective ? rt::AllocPolicy::kInterleave : rt::AllocPolicy::kDefault;
+
+  team.single([&](rt::ThreadCtx& t) {
+    rt::Scope s_main(t, ip_call_setup_);
+    // The matrix arrays: master-calloc'ed in the original code.
+    S_j_ = hypre_calloc<std::int64_t>(t, ip_alloc_S_j_, nnz_, "S_diag_j",
+                                      matrix_policy);
+    A_i_ = hypre_calloc<std::int64_t>(t, ip_alloc_A_i_, prm_.rows + 1,
+                                      "A_diag_i", matrix_policy);
+    A_j_ = hypre_calloc<std::int64_t>(t, ip_alloc_A_j_, nnz_, "A_diag_j",
+                                      matrix_policy);
+    A_data_ = hypre_calloc<double>(t, ip_alloc_A_data_, nnz_, "A_diag_data",
+                                   matrix_policy);
+    if (selective) {
+      // The paper's fix: vectors are initialized in parallel, so switch
+      // calloc -> malloc and let first touch place their pages.
+      x_ = hypre_malloc<double>(t, ip_alloc_x_, prm_.rows, "vec_x",
+                                rt::AllocPolicy::kFirstTouch);
+      b_ = hypre_malloc<double>(t, ip_alloc_b_, prm_.rows, "vec_b",
+                                rt::AllocPolicy::kFirstTouch);
+      y_ = hypre_malloc<double>(t, ip_alloc_y_, prm_.rows, "vec_y",
+                                rt::AllocPolicy::kFirstTouch);
+    } else {
+      x_ = hypre_calloc<double>(t, ip_alloc_x_, prm_.rows, "vec_x",
+                                rt::AllocPolicy::kDefault);
+      b_ = hypre_calloc<double>(t, ip_alloc_b_, prm_.rows, "vec_b",
+                                rt::AllocPolicy::kDefault);
+      y_ = hypre_calloc<double>(t, ip_alloc_y_, prm_.rows, "vec_y",
+                                rt::AllocPolicy::kDefault);
+    }
+
+    // Master fills the matrix (sequential read-modify-write passes: CSR
+    // construction reads the graph it is building).
+    {
+      rt::Scope s_fill(t, ip_call_fill_);
+      for (std::int64_t i = 0; i < prm_.rows; ++i) {
+        A_i_.set(t, static_cast<std::uint64_t>(i), i * prm_.nnz_per_row,
+                 ip_fill_Ai_);
+        for (int k = 0; k < prm_.nnz_per_row; ++k) {
+          const auto e = static_cast<std::uint64_t>(i * prm_.nnz_per_row + k);
+          const std::int64_t col = col_of(i, k);
+          A_j_.set(t, e, col, ip_fill_row_);
+          S_j_.set(t, e, col, ip_fill_row_);
+          A_data_.set(t, e, col == i ? 4.0 : -0.5, ip_fill_row_);
+        }
+      }
+      A_i_.set(t, static_cast<std::uint64_t>(prm_.rows),
+               prm_.rows * prm_.nnz_per_row, ip_fill_Ai_);
+      // Consistency sweep: re-reads the built structure.
+      std::int64_t acc = 0;
+      for (std::int64_t e = 0; e < nnz_; ++e) {
+        const auto u = static_cast<std::uint64_t>(e);
+        acc += A_j_.get(t, u, ip_fill_row_) + S_j_.get(t, u, ip_fill_row_);
+        if (A_data_.get(t, u, ip_fill_row_) > 0) ++acc;
+      }
+      strength_acc_ += static_cast<double>(acc % 1009) * 1e-9;
+    }
+    // Per-level work vectors: repeated allocations from one call path
+    // (Figure 2) — they merge online into a single logical variable.
+    p_->annotate(ip_alloc_levels_, "level_vectors");
+    for (int level = 0; level < 4; ++level) {
+      rt::Scope s_lvl(t, ip_alloc_levels_);
+      level_work_.push_back(rt::SimArray<double>::calloc_in(
+          p_->alloc(), t, 2048, ip_calloc_));
+    }
+    // Static relaxation-weight table, first-touched by the master.
+    for (std::uint64_t w = 0; w < relax_weights_.size(); ++w) {
+      relax_weights_.set(t, w, 0.5 + 0.4 * static_cast<double>(w % 3),
+                         ip_vec_init_);
+    }
+    // Symbolic coarse-grid selection: master-side, compute-bound.
+    {
+      rt::Scope s_sym(t, ip_symbolic_);
+      t.compute(static_cast<std::uint64_t>(prm_.rows *
+                                           prm_.symbolic_cycles_per_row),
+                ip_symbolic_);
+    }
+  });
+
+  // Vector value initialization. In the libnuma variant this is the
+  // first touch and runs in parallel; otherwise pages already belong to
+  // the master and this is a plain parallel write.
+  rt::TeamScope region(team, ip_call_setup_);
+  team.parallel_for(0, prm_.rows, [&](rt::ThreadCtx& t, std::int64_t i) {
+    const auto u = static_cast<std::uint64_t>(i);
+    b_.set(t, u, 1.0 + static_cast<double>(i % 7), ip_vec_init_);
+    x_.set(t, u, 0.0, ip_vec_init_);
+    y_.set(t, u, 0.0, ip_vec_init_);
+  });
+}
+
+void Amg::phase_solve() {
+  rt::Team& team = p_->team();
+  rt::TeamScope s_solve(team, ip_call_solve_);
+  std::vector<double> partial(static_cast<std::size_t>(team.size()), 0.0);
+
+  for (int iter = 0; iter < prm_.iters; ++iter) {
+    {  // Strength-of-connection pass: the heavy S_diag_j access.
+      rt::TeamScope s(team, ip_call_strength_);
+      team.parallel_for(0, prm_.rows, [&](rt::ThreadCtx& t, std::int64_t i) {
+        const auto lo = A_i_.get(t, static_cast<std::uint64_t>(i), ip_S1_Ai_);
+        const auto hi =
+            A_i_.get(t, static_cast<std::uint64_t>(i + 1), ip_S1_Ai_);
+        std::int64_t acc = 0;
+        for (std::int64_t k = lo; k < hi; ++k) {
+          acc += S_j_.get(t, static_cast<std::uint64_t>(k), ip_S_access1_);
+        }
+        partial[static_cast<std::size_t>(t.tid())] +=
+            static_cast<double>(acc % 97);
+        t.compute(24, ip_S_access1_);
+      });
+    }
+    {  // y = A * x.
+      rt::TeamScope s(team, ip_call_matvec_);
+      team.parallel_for(0, prm_.rows, [&](rt::ThreadCtx& t, std::int64_t i) {
+        const auto lo = A_i_.get(t, static_cast<std::uint64_t>(i), ip_mv_Ai_);
+        const auto hi =
+            A_i_.get(t, static_cast<std::uint64_t>(i + 1), ip_mv_Ai_);
+        double sum = 0;
+        for (std::int64_t k = lo; k < hi; ++k) {
+          const auto e = static_cast<std::uint64_t>(k);
+          const auto col = A_j_.get(t, e, ip_mv_Aj_);
+          sum += A_data_.get(t, e, ip_mv_Adata_) *
+                 x_.get(t, static_cast<std::uint64_t>(col), ip_mv_x_);
+        }
+        y_.set(t, static_cast<std::uint64_t>(i), sum, ip_mv_y_);
+        t.compute(30, ip_mv_Adata_);
+      });
+    }
+    {  // Interpolation pass: the light S_diag_j access (every 3rd row).
+      rt::TeamScope s(team, ip_call_interp_);
+      team.parallel_for(0, prm_.rows / 3,
+                        [&](rt::ThreadCtx& t, std::int64_t r) {
+        const std::int64_t i = r * 3;
+        for (int k = 0; k < prm_.nnz_per_row; ++k) {
+          const auto e = static_cast<std::uint64_t>(i * prm_.nnz_per_row + k);
+          partial[static_cast<std::size_t>(t.tid())] += static_cast<double>(
+              S_j_.get(t, e, ip_S_access2_) % 13);
+        }
+        // Per-level workspace lookup (a Figure 2 variable).
+        const auto& lvl =
+            level_work_[static_cast<std::size_t>(r % 4)];
+        partial[static_cast<std::size_t>(t.tid())] +=
+            lvl.get(t, static_cast<std::uint64_t>(r) % lvl.size(),
+                    ip_level_read_) *
+            1e-12;
+      });
+    }
+    {  // Weighted-Jacobi update: x += w(i) * (b - y) / diag.
+      rt::TeamScope s(team, ip_call_axpy_);
+      team.parallel_for(0, prm_.rows, [&](rt::ThreadCtx& t, std::int64_t i) {
+        const auto u = static_cast<std::uint64_t>(i);
+        const double r = b_.get(t, u, ip_axpy_) - y_.get(t, u, ip_axpy_);
+        const double w = relax_weights_.get(
+            t, u % relax_weights_.size(), ip_axpy_w_);
+        x_.set(t, u, x_.host(u) + 0.2 * w * r, ip_axpy_);
+        t.compute(10, ip_axpy_);
+      });
+    }
+    if (rank_ != nullptr) {
+      // Residual-norm allreduce across MPI ranks each V-cycle.
+      double local = 0;
+      for (std::int64_t i = 0; i < prm_.rows; i += 1024) {
+        local += x_.host(static_cast<std::uint64_t>(i));
+      }
+      strength_acc_ += 1e-12 * rank_->allreduce_sum(local);
+    }
+  }
+  for (const double v : partial) strength_acc_ += v;
+}
+
+RunResult Amg::run() {
+  RunResult result;
+  rt::Team& team = p_->team();
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  sim::Cycles t0 = team.now();
+  phase_init();
+  team.barrier();
+  result.phases.emplace_back("initialization", team.now() - t0);
+
+  t0 = team.now();
+  phase_setup();
+  team.barrier();
+  result.phases.emplace_back("setup", team.now() - t0);
+
+  t0 = team.now();
+  phase_solve();
+  team.barrier();
+  result.phases.emplace_back("solver", team.now() - t0);
+
+  result.sim_cycles = team.now();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  double xsum = 0;
+  for (std::uint64_t i = 0; i < x_.size(); ++i) xsum += x_.host(i);
+  result.checksum = xsum + strength_acc_;
+  return result;
+}
+
+}  // namespace dcprof::wl

@@ -1,0 +1,129 @@
+// AMG2006-mini: an algebraic-multigrid-shaped MPI+OpenMP workload
+// reproducing the paper's Section 5.1 case study. Three phases
+// (initialization, setup, solve); the setup phase master-callocs the
+// sparse-matrix arrays (hypre_CAlloc style), so every page lands on the
+// master's NUMA node and the parallel solve contends for one memory
+// controller. Variants mirror the paper's fixes:
+//  * kNumactl  — process-wide interleaving (everything, incl. small
+//                init allocations, pays interleaved-allocation cost);
+//  * kLibnuma  — selective: interleave only the problematic matrix
+//                arrays; vectors switch calloc->malloc and are
+//                first-touch initialized in parallel.
+#pragma once
+
+#include <cstdint>
+
+#include "rt/sim_array.h"
+#include "workloads/harness.h"
+
+namespace dcprof::wl {
+
+enum class AmgVariant { kOriginal, kNumactl, kLibnuma };
+
+const char* to_string(AmgVariant v);
+
+struct AmgParams {
+  std::int64_t rows = 100'000;
+  int nnz_per_row = 5;
+  int iters = 4;
+  /// Initialization-phase small-allocation churn (all below the 4 KB
+  /// tracking threshold).
+  int small_allocs = 1200;
+  /// Grid workspace the master builds (and frees) during initialization.
+  std::int64_t workspace_doubles = 4'000'000;
+  /// Master-side symbolic setup work (coarse-grid selection), cycles/row.
+  std::int64_t symbolic_cycles_per_row = 2000;
+  AmgVariant variant = AmgVariant::kOriginal;
+};
+
+class Amg {
+ public:
+  /// `rank` may be null (single-process run); when set, the solver
+  /// performs an MPI-style allreduce per iteration (hybrid MPI+OpenMP).
+  Amg(ProcessCtx& proc, const AmgParams& params, rt::Rank* rank = nullptr);
+
+  /// Runs init + setup + solve; phases are reported separately.
+  RunResult run();
+
+  /// IPs of the two S_diag_j access sites (Figure 4's two accesses).
+  sim::Addr ip_s_access_heavy() const { return ip_S_access1_; }
+  sim::Addr ip_s_access_light() const { return ip_S_access2_; }
+  sim::Addr ip_alloc_S_j() const { return ip_alloc_S_j_; }
+
+ private:
+  void phase_init();
+  void phase_setup();
+  void phase_solve();
+
+  template <typename T>
+  rt::SimArray<T> hypre_calloc(rt::ThreadCtx& t, sim::Addr call_site,
+                               std::int64_t count, const char* name,
+                               rt::AllocPolicy policy);
+  template <typename T>
+  rt::SimArray<T> hypre_malloc(rt::ThreadCtx& t, sim::Addr call_site,
+                               std::int64_t count, const char* name,
+                               rt::AllocPolicy policy);
+
+  std::int64_t col_of(std::int64_t row, int k) const;
+
+  ProcessCtx* p_;
+  AmgParams prm_;
+  rt::Rank* rank_;
+  std::int64_t nnz_;
+  double strength_acc_ = 0;
+
+  // Matrix and vectors.
+  rt::SimArray<std::int64_t> S_j_;
+  rt::SimArray<std::int64_t> A_i_;
+  rt::SimArray<std::int64_t> A_j_;
+  rt::SimArray<double> A_data_;
+  rt::SimArray<double> x_;
+  rt::SimArray<double> b_;
+  rt::SimArray<double> y_;
+  /// Per-level work vectors allocated in a loop from one call path —
+  /// the paper's Figure 2 pattern; they coalesce into one variable.
+  std::vector<rt::SimArray<double>> level_work_;
+  /// Static relaxation-weight table (gives AMG a static-data share).
+  rt::StaticArray<double> relax_weights_;
+
+  // Code structure (synthetic IPs).
+  sim::Addr ip_calloc_ = 0;       // hypre_memory.c:175, the calloc itself
+  sim::Addr ip_malloc_ = 0;       // hypre_memory.c:181
+  sim::Addr ip_call_init_ = 0;
+  sim::Addr ip_call_setup_ = 0;
+  sim::Addr ip_call_solve_ = 0;
+  sim::Addr ip_small_alloc_ = 0;  // hypre_SeqVectorCreate call site
+  sim::Addr ip_call_vec_create_ = 0;
+  sim::Addr ip_alloc_workspace_ = 0;
+  sim::Addr ip_grid_build_ = 0;
+  sim::Addr ip_symbolic_ = 0;
+  sim::Addr ip_alloc_S_j_ = 0;
+  sim::Addr ip_alloc_A_i_ = 0;
+  sim::Addr ip_alloc_A_j_ = 0;
+  sim::Addr ip_alloc_A_data_ = 0;
+  sim::Addr ip_alloc_x_ = 0;
+  sim::Addr ip_alloc_b_ = 0;
+  sim::Addr ip_alloc_y_ = 0;
+  sim::Addr ip_call_fill_ = 0;
+  sim::Addr ip_fill_Ai_ = 0;
+  sim::Addr ip_fill_row_ = 0;
+  sim::Addr ip_vec_init_ = 0;
+  sim::Addr ip_call_strength_ = 0;
+  sim::Addr ip_S1_Ai_ = 0;
+  sim::Addr ip_S_access1_ = 0;    // the heavy S_diag_j access
+  sim::Addr ip_call_interp_ = 0;
+  sim::Addr ip_S_access2_ = 0;    // the light S_diag_j access
+  sim::Addr ip_call_matvec_ = 0;
+  sim::Addr ip_mv_Ai_ = 0;
+  sim::Addr ip_mv_Aj_ = 0;
+  sim::Addr ip_mv_Adata_ = 0;
+  sim::Addr ip_mv_x_ = 0;
+  sim::Addr ip_mv_y_ = 0;
+  sim::Addr ip_call_axpy_ = 0;
+  sim::Addr ip_axpy_ = 0;
+  sim::Addr ip_axpy_w_ = 0;
+  sim::Addr ip_alloc_levels_ = 0;
+  sim::Addr ip_level_read_ = 0;
+};
+
+}  // namespace dcprof::wl

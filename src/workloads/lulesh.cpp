@@ -1,0 +1,221 @@
+#include "workloads/lulesh.h"
+
+#include <chrono>
+
+namespace dcprof::wl {
+
+namespace {
+const char* const kHeapNames[9] = {"m_x", "m_y",  "m_z",  "m_xd", "m_yd",
+                                   "m_zd", "m_e", "m_p",  "nodeElemCornerList"};
+}
+
+Lulesh::Lulesh(ProcessCtx& proc, const LuleshParams& params)
+    : p_(&proc), prm_(params) {
+  binfmt::LoadModule& m = p_->exe();
+  const auto f_main = m.add_function("main", "lulesh.cc");
+  const auto f_domain = m.add_function("Domain::Domain", "lulesh.cc");
+  for (int a = 0; a < 9; ++a) {
+    ip_alloc_[a] = m.add_instr(f_domain, 120 + a);
+    p_->annotate(ip_alloc_[a], kHeapNames[a]);
+  }
+  ip_master_init_ = m.add_instr(f_domain, 160);
+  ip_call_force_ = m.add_instr(f_main, 2530);
+  const auto f_force =
+      m.add_function("CalcForceForNodes$$OL$$1", "lulesh.cc");
+  ip_felem_store_ = m.add_instr(f_force, 780);
+  ip_corner_load_ = m.add_instr(f_force, 801);
+  ip_felem_gather_ = m.add_instr(f_force, 802);
+  ip_gamma_load_ = m.add_instr(f_force, 806);
+  ip_call_vel_ = m.add_instr(f_main, 2550);
+  const auto f_vel =
+      m.add_function("CalcVelocityForNodes$$OL$$2", "lulesh.cc");
+  ip_vel_pos_ = m.add_instr(f_vel, 1050);
+  ip_vel_vel_ = m.add_instr(f_vel, 1052);
+  ip_call_energy_ = m.add_instr(f_main, 2560);
+  const auto f_energy =
+      m.add_function("CalcEnergyForElems$$OL$$3", "lulesh.cc");
+  ip_energy_ = m.add_instr(f_energy, 1420);
+
+  ip_scratch_ = m.add_instr(f_force, 810);
+
+  f_elem_ = rt::StaticArray<double>(
+      m, "f_elem", static_cast<std::uint64_t>(prm_.nelem) * 3 * 8);
+  gamma_table_ = rt::StaticArray<double>(m, "Gamma", 256);
+
+  // Per-thread frame-local gather buffers (stack data).
+  rt::Team& team = p_->team();
+  scratch_.reserve(static_cast<std::size_t>(team.size()));
+  for (int t = 0; t < team.size(); ++t) {
+    scratch_.push_back(team.thread(t).stack_alloc(8 * sizeof(double)));
+  }
+}
+
+std::uint64_t Lulesh::felem_index(std::int64_t elem, int comp,
+                                  int pos) const {
+  if (prm_.transpose_static) {
+    // Transposed [n][8][3]: the 0..2 component is innermost (one line).
+    return static_cast<std::uint64_t>((elem * 8 + pos) * 3 + comp);
+  }
+  // Original [n][3][8]: components stride 8 doubles — a full cache line.
+  return static_cast<std::uint64_t>((elem * 3 + comp) * 8 + pos);
+}
+
+void Lulesh::allocate_and_init() {
+  rt::Team& team = p_->team();
+  const rt::AllocPolicy policy = prm_.interleave_heap
+                                     ? rt::AllocPolicy::kInterleave
+                                     : rt::AllocPolicy::kDefault;
+  team.single([&](rt::ThreadCtx& t) {
+    rt::SimArray<double>* arrays[8] = {&x_, &y_, &z_, &xd_,
+                                       &yd_, &zd_, &e_, &pres_};
+    for (int a = 0; a < 8; ++a) {
+      rt::Scope s(t, ip_alloc_[a]);
+      *arrays[a] = rt::SimArray<double>::calloc_in(
+          p_->alloc(), t, static_cast<std::uint64_t>(prm_.nelem),
+          ip_alloc_[a], policy);
+    }
+    {
+      rt::Scope s(t, ip_alloc_[8]);
+      corner_list_ = rt::SimArray<std::int64_t>::calloc_in(
+          p_->alloc(), t, static_cast<std::uint64_t>(prm_.nelem) * 4,
+          ip_alloc_[8], policy);
+    }
+    // Master-thread initialization (the original's first-touch bug for
+    // the default policy).
+    for (std::int64_t i = 0; i < prm_.nelem; ++i) {
+      const auto u = static_cast<std::uint64_t>(i);
+      x_.set(t, u, 0.01 * static_cast<double>(i % 100), ip_master_init_);
+      y_.set(t, u, 0.02 * static_cast<double>(i % 50), ip_master_init_);
+      z_.set(t, u, 0.005 * static_cast<double>(i % 200), ip_master_init_);
+      e_.set(t, u, 1.0, ip_master_init_);
+      for (int c = 0; c < 4; ++c) {
+        // Near-local connectivity with a deterministic shuffle.
+        const std::int64_t target =
+            (i + (c * 7 + (i % 11)) - 5 + prm_.nelem) % prm_.nelem;
+        corner_list_.set(t, u * 4 + static_cast<std::uint64_t>(c), target,
+                         ip_master_init_);
+      }
+    }
+    for (std::uint64_t g = 0; g < gamma_table_.size(); ++g) {
+      gamma_table_.set(t, g, 1.4 + 0.001 * static_cast<double>(g),
+                       ip_master_init_);
+    }
+  });
+}
+
+void Lulesh::calc_force(int iter) {
+  rt::Team& team = p_->team();
+  rt::TeamScope s(team, ip_call_force_);
+  // Element pass: write per-corner forces into f_elem (streaming).
+  team.parallel_for(0, prm_.nelem, [&](rt::ThreadCtx& t, std::int64_t e) {
+    const double ev = e_.host(static_cast<std::uint64_t>(e));
+    // Full 8-corner x 3-component sweep: this pass touches the same 24
+    // doubles per element under either layout (transpose-neutral).
+    for (int pos = 0; pos < 8; ++pos) {
+      for (int c = 0; c < 3; ++c) {
+        f_elem_.set(t, felem_index(e, c, pos),
+                    ev * 0.125 + 0.01 * c + 0.001 * pos, ip_felem_store_);
+      }
+    }
+    t.compute(24, ip_felem_store_);
+  });
+  // Node pass: gather forces through the indirection list. The middle
+  // (component) index is the inner loop — the paper's Figure 9 pattern.
+  std::vector<double> partial(static_cast<std::size_t>(team.size()), 0.0);
+  team.parallel_for(0, prm_.nelem / 4, [&](rt::ThreadCtx& t, std::int64_t g) {
+    const std::int64_t n = g * 4;
+    double acc = 0;
+    const auto ce = corner_list_.get(
+        t, static_cast<std::uint64_t>(n) * 4, ip_corner_load_);
+    const int pos = static_cast<int>((n + iter) % 8);  // Find_Pos
+    for (int c = 0; c < 3; ++c) {
+      acc += f_elem_.get(t, felem_index(ce, c, pos), ip_felem_gather_);
+    }
+    acc *= gamma_table_.get(
+        t, static_cast<std::uint64_t>(n % 256), ip_gamma_load_);
+    // Stage through the frame-local scratch buffer (stack data).
+    const sim::Addr slot =
+        scratch_[static_cast<std::size_t>(t.tid())] +
+        static_cast<sim::Addr>(n % 8) * sizeof(double);
+    t.store(slot, 8, ip_scratch_);
+    partial[static_cast<std::size_t>(t.tid())] += acc;
+    t.compute(14, ip_felem_gather_);
+  });
+  for (const double v : partial) force_acc_ += v;
+}
+
+void Lulesh::stream_kernels(int iter) {
+  rt::Team& team = p_->team();
+  (void)iter;
+  {
+    rt::TeamScope s(team, ip_call_vel_);
+    team.parallel_for(0, prm_.nelem, [&](rt::ThreadCtx& t, std::int64_t i) {
+      const auto u = static_cast<std::uint64_t>(i);
+      const double ax = x_.get(t, u, ip_vel_pos_);
+      const double ay = y_.get(t, u, ip_vel_pos_);
+      const double az = z_.get(t, u, ip_vel_pos_);
+      xd_.set(t, u, xd_.host(u) + 0.01 * ax, ip_vel_vel_);
+      yd_.set(t, u, yd_.host(u) + 0.01 * ay, ip_vel_vel_);
+      zd_.set(t, u, zd_.host(u) + 0.01 * az, ip_vel_vel_);
+    });
+  }
+  {  // Position update: x += dt * xd (and y, z).
+    rt::TeamScope s(team, ip_call_vel_);
+    team.parallel_for(0, prm_.nelem, [&](rt::ThreadCtx& t, std::int64_t i) {
+      const auto u = static_cast<std::uint64_t>(i);
+      x_.set(t, u, x_.host(u) + 1e-4 * xd_.get(t, u, ip_vel_vel_),
+             ip_vel_pos_);
+      y_.set(t, u, y_.host(u) + 1e-4 * yd_.get(t, u, ip_vel_vel_),
+             ip_vel_pos_);
+      z_.set(t, u, z_.host(u) + 1e-4 * zd_.get(t, u, ip_vel_vel_),
+             ip_vel_pos_);
+      t.compute(6, ip_vel_pos_);
+    });
+  }
+  {
+    rt::TeamScope s(team, ip_call_energy_);
+    team.parallel_for(0, prm_.nelem, [&](rt::ThreadCtx& t, std::int64_t i) {
+      const auto u = static_cast<std::uint64_t>(i);
+      const double ev = e_.get(t, u, ip_energy_);
+      const double pv = pres_.get(t, u, ip_energy_);
+      e_.set(t, u, ev + 0.001 * (pv - ev), ip_energy_);
+      pres_.set(t, u, pv * 0.999 + 0.0001 * ev, ip_energy_);
+      // Equation-of-state evaluation is flop-heavy.
+      t.compute(90, ip_energy_);
+    });
+  }
+}
+
+RunResult Lulesh::run() {
+  RunResult result;
+  rt::Team& team = p_->team();
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  sim::Cycles t0 = team.now();
+  allocate_and_init();
+  team.barrier();
+  result.phases.emplace_back("init", team.now() - t0);
+
+  t0 = team.now();
+  for (int iter = 0; iter < prm_.iters; ++iter) {
+    calc_force(iter);
+    // The real code runs ~30 nodal/element stream kernels per step; two
+    // rounds of our three approximate that volume.
+    stream_kernels(iter);
+    stream_kernels(iter);
+  }
+  team.barrier();
+  result.phases.emplace_back("timesteps", team.now() - t0);
+
+  result.sim_cycles = team.now();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  double sum = force_acc_;
+  for (std::uint64_t i = 0; i < e_.size(); ++i) sum += e_.host(i);
+  result.checksum = sum;
+  return result;
+}
+
+}  // namespace dcprof::wl

@@ -1,0 +1,73 @@
+// LULESH-mini: a shock-hydrodynamics-shaped OpenMP workload reproducing
+// the paper's Section 5.3 case study. All nodal/element heap arrays are
+// allocated *and initialized* by the master thread, so Linux first touch
+// places them on the master's NUMA node and every worker socket contends
+// for that node's bandwidth. A large static array f_elem is accessed with
+// an indirect first index and a computed last index; its middle dimension
+// (0..2) strides a full cache line in the original layout.
+// Fixes mirror the paper: libnuma-interleave the hot heap arrays (~13%),
+// and transpose f_elem so the short dimension is innermost (~2.2%).
+#pragma once
+
+#include <cstdint>
+
+#include "rt/sim_array.h"
+#include "workloads/harness.h"
+
+namespace dcprof::wl {
+
+struct LuleshParams {
+  std::int64_t nelem = 50'000;
+  int iters = 5;
+  bool interleave_heap = false;   ///< fix 1: libnuma interleaving
+  bool transpose_static = false;  ///< fix 2: f_elem dimension transpose
+};
+
+class Lulesh {
+ public:
+  Lulesh(ProcessCtx& proc, const LuleshParams& params);
+
+  RunResult run();
+
+  sim::Addr ip_felem_gather() const { return ip_felem_gather_; }
+
+ private:
+  std::uint64_t felem_index(std::int64_t elem, int comp, int pos) const;
+  void allocate_and_init();
+  void calc_force(int iter);
+  void stream_kernels(int iter);
+
+  ProcessCtx* p_;
+  LuleshParams prm_;
+  double force_acc_ = 0;
+
+  // Heap arrays (master-allocated, master-initialized in the original).
+  rt::SimArray<double> x_, y_, z_;     // coordinates
+  rt::SimArray<double> xd_, yd_, zd_;  // velocities
+  rt::SimArray<double> e_, pres_;      // energy, pressure
+  rt::SimArray<std::int64_t> corner_list_;  // nodeElemCornerList
+
+  // Static arrays.
+  rt::StaticArray<double> f_elem_;          // [n][3][8] or [n][8][3]
+  rt::StaticArray<double> gamma_table_;     // small lookup table
+
+  // Per-thread stack scratch (gather staging buffers). Exercises the
+  // stack storage class; per the paper, stack data is rarely hot.
+  std::vector<sim::Addr> scratch_;
+
+  sim::Addr ip_alloc_[9] = {};
+  sim::Addr ip_master_init_ = 0;
+  sim::Addr ip_call_force_ = 0;
+  sim::Addr ip_felem_store_ = 0;
+  sim::Addr ip_corner_load_ = 0;
+  sim::Addr ip_felem_gather_ = 0;
+  sim::Addr ip_gamma_load_ = 0;
+  sim::Addr ip_call_vel_ = 0;
+  sim::Addr ip_vel_pos_ = 0;
+  sim::Addr ip_vel_vel_ = 0;
+  sim::Addr ip_call_energy_ = 0;
+  sim::Addr ip_energy_ = 0;
+  sim::Addr ip_scratch_ = 0;
+};
+
+}  // namespace dcprof::wl

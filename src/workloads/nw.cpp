@@ -1,0 +1,137 @@
+#include "workloads/nw.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dcprof::wl {
+
+Nw::Nw(ProcessCtx& proc, const NwParams& params) : p_(&proc), prm_(params) {
+  binfmt::LoadModule& m = p_->exe();
+  const auto f_main = m.add_function("main", "needle.cpp");
+  const auto f_runtest = m.add_function("runTest", "needle.cpp");
+  ip_alloc_ref_ = m.add_instr(f_runtest, 98);
+  ip_alloc_items_ = m.add_instr(f_runtest, 99);
+  ip_init_ = m.add_instr(f_runtest, 120);
+  ip_call_kernel_ = m.add_instr(f_main, 60);
+  const auto f_kernel =
+      m.add_function("_Z7runTestiPPc.omp_fn.0", "needle.cpp");
+  ip_max_ref_ = m.add_instr(f_kernel, 163);
+  ip_max_diag_ = m.add_instr(f_kernel, 164);
+  ip_max_store_ = m.add_instr(f_kernel, 165);
+
+  p_->annotate(ip_alloc_ref_, "referrence");
+  p_->annotate(ip_alloc_items_, "input_itemsets");
+
+  blosum62_ = rt::StaticArray<std::int32_t>(m, "blosum62", 24 * 24);
+}
+
+void Nw::allocate_and_init() {
+  rt::Team& team = p_->team();
+  const std::int64_t dim = prm_.n + 1;
+  const auto cells = static_cast<std::uint64_t>(dim) *
+                     static_cast<std::uint64_t>(dim);
+  const rt::AllocPolicy policy = prm_.interleave
+                                     ? rt::AllocPolicy::kInterleave
+                                     : rt::AllocPolicy::kDefault;
+  team.single([&](rt::ThreadCtx& t) {
+    {
+      rt::Scope s(t, ip_alloc_ref_);
+      referrence_ = rt::SimArray<std::int64_t>::calloc_in(
+          p_->alloc(), t, cells, ip_alloc_ref_, policy);
+    }
+    {
+      rt::Scope s(t, ip_alloc_items_);
+      input_itemsets_ = rt::SimArray<std::int32_t>::calloc_in(
+          p_->alloc(), t, cells, ip_alloc_items_, policy);
+    }
+    // BLOSUM62-style scoring table (static data).
+    for (std::uint64_t b = 0; b < blosum62_.size(); ++b) {
+      blosum62_.set(t, b,
+                    static_cast<std::int32_t>((b * 7 + 3) % 17) - 8,
+                    ip_init_);
+    }
+    // Master initializes the reference scores and DP boundary — exactly
+    // the first-touch pattern the paper diagnoses.
+    for (std::int64_t i = 1; i < dim; ++i) {
+      for (std::int64_t j = 1; j < dim; ++j) {
+        const auto b = static_cast<std::uint64_t>(
+            ((i * 29 + j * 13) % 576));
+        referrence_.set(t, at(i, j), blosum62_.host(b), ip_init_);
+      }
+    }
+    for (std::int64_t i = 0; i < dim; ++i) {
+      input_itemsets_.set(t, at(i, 0),
+                          static_cast<std::int32_t>(-i * prm_.penalty),
+                          ip_init_);
+      input_itemsets_.set(t, at(0, i),
+                          static_cast<std::int32_t>(-i * prm_.penalty),
+                          ip_init_);
+    }
+  });
+}
+
+void Nw::wavefront() {
+  rt::Team& team = p_->team();
+  rt::TeamScope s(team, ip_call_kernel_);
+  const std::int64_t n = prm_.n;
+  const std::int64_t tile = prm_.tile;
+  const std::int64_t tiles = (n + tile - 1) / tile;
+  // Tiled anti-diagonal wavefront (Rodinia blocks): tiles on a diagonal
+  // are independent; each tile is swept sequentially.
+  for (std::int64_t d = 0; d < 2 * tiles - 1; ++d) {
+    const std::int64_t lo = std::max<std::int64_t>(0, d - tiles + 1);
+    const std::int64_t hi = std::min<std::int64_t>(tiles - 1, d);
+    team.parallel_for(
+        lo, hi + 1,
+        [&](rt::ThreadCtx& t, std::int64_t ti) {
+          const std::int64_t tj = d - ti;
+          const std::int64_t i_end = std::min(n, (ti + 1) * tile);
+          const std::int64_t j_end = std::min(n, (tj + 1) * tile);
+          for (std::int64_t i = ti * tile + 1; i <= i_end; ++i) {
+            for (std::int64_t j = tj * tile + 1; j <= j_end; ++j) {
+              const std::int32_t match =
+                  input_itemsets_.get(t, at(i - 1, j - 1), ip_max_diag_) +
+                  static_cast<std::int32_t>(
+                      referrence_.get(t, at(i, j), ip_max_ref_));
+              const std::int32_t del =
+                  input_itemsets_.get(t, at(i - 1, j), ip_max_diag_) -
+                  prm_.penalty;
+              const std::int32_t ins =
+                  input_itemsets_.get(t, at(i, j - 1), ip_max_diag_) -
+                  prm_.penalty;
+              input_itemsets_.set(t, at(i, j), std::max({match, del, ins}),
+                                  ip_max_store_);
+              t.compute(4, ip_max_store_);
+            }
+          }
+        },
+        /*chunk=*/1);
+  }
+}
+
+RunResult Nw::run() {
+  RunResult result;
+  rt::Team& team = p_->team();
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  sim::Cycles t0 = team.now();
+  allocate_and_init();
+  team.barrier();
+  result.phases.emplace_back("init", team.now() - t0);
+
+  t0 = team.now();
+  wavefront();
+  team.barrier();
+  result.phases.emplace_back("alignment", team.now() - t0);
+
+  result.sim_cycles = team.now();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  result.checksum =
+      static_cast<double>(input_itemsets_.host(at(prm_.n, prm_.n)));
+  return result;
+}
+
+}  // namespace dcprof::wl

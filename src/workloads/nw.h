@@ -1,0 +1,56 @@
+// Needleman-Wunsch-mini: the Rodinia DNA sequence-alignment workload of
+// the paper's Section 5.5. Two n x n integer arrays — `referrence` (the
+// substitution-score matrix, built from a static BLOSUM table) and
+// `input_itemsets` (the DP table) — are allocated and initialized by the
+// master thread; the anti-diagonal wavefront then reads them from every
+// socket. The paper's fix interleaves both arrays across NUMA nodes
+// (~53% end-to-end speedup, the largest of the five studies).
+#pragma once
+
+#include <cstdint>
+
+#include "rt/sim_array.h"
+#include "workloads/harness.h"
+
+namespace dcprof::wl {
+
+struct NwParams {
+  std::int64_t n = 1600;    ///< DP table is (n+1) x (n+1)
+  std::int64_t tile = 16;   ///< wavefront tile edge (Rodinia blocks)
+  int penalty = 10;
+  bool interleave = false;  ///< the paper's libnuma fix
+};
+
+class Nw {
+ public:
+  Nw(ProcessCtx& proc, const NwParams& params);
+
+  RunResult run();
+
+  sim::Addr ip_max_ref() const { return ip_max_ref_; }
+
+ private:
+  void allocate_and_init();
+  void wavefront();
+
+  std::uint64_t at(std::int64_t i, std::int64_t j) const {
+    return static_cast<std::uint64_t>(i * (prm_.n + 1) + j);
+  }
+
+  ProcessCtx* p_;
+  NwParams prm_;
+
+  rt::SimArray<std::int64_t> referrence_;  // substitution scores
+  rt::SimArray<std::int32_t> input_itemsets_;
+  rt::StaticArray<std::int32_t> blosum62_;
+
+  sim::Addr ip_alloc_ref_ = 0;
+  sim::Addr ip_alloc_items_ = 0;
+  sim::Addr ip_init_ = 0;
+  sim::Addr ip_call_kernel_ = 0;
+  sim::Addr ip_max_ref_ = 0;     // nw.cpp:163 — referrence load
+  sim::Addr ip_max_diag_ = 0;    // nw.cpp:164 — input_itemsets loads
+  sim::Addr ip_max_store_ = 0;   // nw.cpp:165
+};
+
+}  // namespace dcprof::wl

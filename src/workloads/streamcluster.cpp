@@ -1,0 +1,145 @@
+#include "workloads/streamcluster.h"
+
+#include <chrono>
+
+namespace dcprof::wl {
+
+Streamcluster::Streamcluster(ProcessCtx& proc,
+                             const StreamclusterParams& params)
+    : p_(&proc), prm_(params) {
+  binfmt::LoadModule& m = p_->exe();
+  const auto f_main = m.add_function("main", "streamcluster.cpp");
+  const auto f_stream =
+      m.add_function("SimStream::read", "streamcluster.cpp");
+  ip_alloc_block_ = m.add_instr(f_stream, 1748);
+  ip_alloc_weight_ = m.add_instr(f_stream, 1752);
+  ip_alloc_center_ = m.add_instr(f_stream, 1756);
+  ip_init_ = m.add_instr(f_stream, 1770);
+  ip_call_pgain_ = m.add_instr(f_main, 1190);
+  const auto f_dist = m.add_function("dist$$OL$$1", "streamcluster.cpp");
+  ip_dist_load_ = m.add_instr(f_dist, 175);
+  ip_center_load_ = m.add_instr(f_dist, 176);
+  const auto f_pgain = m.add_function("pgain$$OL$$2", "streamcluster.cpp");
+  ip_weight_load_ = m.add_instr(f_pgain, 653);
+
+  p_->annotate(ip_alloc_block_, "block");
+  p_->annotate(ip_alloc_weight_, "point.p");
+  p_->annotate(ip_alloc_center_, "centers");
+}
+
+void Streamcluster::allocate_and_init() {
+  rt::Team& team = p_->team();
+  const std::uint64_t n = static_cast<std::uint64_t>(prm_.npoints);
+  const std::uint64_t d = static_cast<std::uint64_t>(prm_.dim);
+
+  if (prm_.parallel_first_touch) {
+    // The fix: malloc (no touch), then parallel first-touch init.
+    team.single([&](rt::ThreadCtx& t) {
+      rt::Scope s(t, ip_alloc_block_);
+      block_ = rt::SimArray<float>::malloc_in(p_->alloc(), t, n * d,
+                                              ip_alloc_block_);
+    });
+    team.single([&](rt::ThreadCtx& t) {
+      rt::Scope s(t, ip_alloc_weight_);
+      weight_ =
+          rt::SimArray<float>::malloc_in(p_->alloc(), t, n, ip_alloc_weight_);
+    });
+    rt::TeamScope region(team, ip_call_pgain_);
+    team.parallel_for(0, prm_.npoints,
+                      [&](rt::ThreadCtx& t, std::int64_t i) {
+      const auto u = static_cast<std::uint64_t>(i);
+      for (std::uint64_t k = 0; k < d; ++k) {
+        block_.set(t, u * d + k,
+                   static_cast<float>((i * 31 + static_cast<std::int64_t>(k) * 7) % 97) *
+                       0.01f,
+                   ip_init_);
+      }
+      weight_.set(t, u, 1.0f + static_cast<float>(i % 4), ip_init_);
+    });
+  } else {
+    // Original: master callocs and initializes everything.
+    team.single([&](rt::ThreadCtx& t) {
+      {
+        rt::Scope s(t, ip_alloc_block_);
+        block_ = rt::SimArray<float>::calloc_in(p_->alloc(), t, n * d,
+                                                ip_alloc_block_);
+      }
+      {
+        rt::Scope s(t, ip_alloc_weight_);
+        weight_ = rt::SimArray<float>::calloc_in(p_->alloc(), t, n,
+                                                 ip_alloc_weight_);
+      }
+      for (std::int64_t i = 0; i < prm_.npoints; ++i) {
+        const auto u = static_cast<std::uint64_t>(i);
+        for (std::uint64_t k = 0; k < d; ++k) {
+          block_.set(t, u * d + k,
+                     static_cast<float>((i * 31 + static_cast<std::int64_t>(k) * 7) % 97) *
+                         0.01f,
+                     ip_init_);
+        }
+        weight_.set(t, u, 1.0f + static_cast<float>(i % 4), ip_init_);
+      }
+    });
+  }
+
+  team.single([&](rt::ThreadCtx& t) {
+    rt::Scope s(t, ip_alloc_center_);
+    center_ = rt::SimArray<float>::calloc_in(p_->alloc(), t, d,
+                                             ip_alloc_center_);
+    for (std::uint64_t k = 0; k < d; ++k) {
+      center_.set(t, k, 0.5f * static_cast<float>(k % 5), ip_init_);
+    }
+  });
+}
+
+void Streamcluster::cluster_pass(int iter) {
+  rt::Team& team = p_->team();
+  rt::TeamScope s(team, ip_call_pgain_);
+  const auto d = static_cast<std::uint64_t>(prm_.dim);
+  std::vector<double> partial(static_cast<std::size_t>(team.size()), 0.0);
+  team.parallel_for(0, prm_.npoints, [&](rt::ThreadCtx& t, std::int64_t i) {
+    const auto u = static_cast<std::uint64_t>(i);
+    double dist = 0;
+    for (std::uint64_t k = 0; k < d; ++k) {
+      const double delta =
+          static_cast<double>(block_.get(t, u * d + k, ip_dist_load_)) -
+          static_cast<double>(
+              center_.get(t, (k + static_cast<std::uint64_t>(iter)) % d,
+                          ip_center_load_));
+      dist += delta * delta;
+      // pgain's arithmetic per coordinate (distance + gain bookkeeping):
+      // streamcluster is not purely memory-bound.
+      t.compute(70, ip_dist_load_);
+    }
+    const double w =
+        static_cast<double>(weight_.get(t, u, ip_weight_load_));
+    partial[static_cast<std::size_t>(t.tid())] += dist * w;
+  });
+  for (const double v : partial) gain_acc_ += v;
+}
+
+RunResult Streamcluster::run() {
+  RunResult result;
+  rt::Team& team = p_->team();
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  sim::Cycles t0 = team.now();
+  allocate_and_init();
+  team.barrier();
+  result.phases.emplace_back("init", team.now() - t0);
+
+  t0 = team.now();
+  for (int iter = 0; iter < prm_.iters; ++iter) cluster_pass(iter);
+  team.barrier();
+  result.phases.emplace_back("cluster", team.now() - t0);
+
+  result.sim_cycles = team.now();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  result.checksum = gain_acc_;
+  return result;
+}
+
+}  // namespace dcprof::wl

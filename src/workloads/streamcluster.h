@@ -1,0 +1,52 @@
+// Streamcluster-mini: the Rodinia clustering workload of the paper's
+// Section 5.4. The point block (`block`) is allocated and initialized by
+// the master thread, so all worker accesses are remote and contend for
+// one memory controller. The paper's fix — first-touch: allocate with
+// malloc and initialize in parallel so each worker's slice is local.
+#pragma once
+
+#include <cstdint>
+
+#include "rt/sim_array.h"
+#include "workloads/harness.h"
+
+namespace dcprof::wl {
+
+struct StreamclusterParams {
+  std::int64_t npoints = 60'000;
+  int dim = 32;
+  int iters = 4;
+  bool parallel_first_touch = false;  ///< the paper's fix (~28%)
+};
+
+class Streamcluster {
+ public:
+  Streamcluster(ProcessCtx& proc, const StreamclusterParams& params);
+
+  RunResult run();
+
+  sim::Addr ip_dist_load() const { return ip_dist_load_; }
+
+ private:
+  void allocate_and_init();
+  void cluster_pass(int iter);
+
+  ProcessCtx* p_;
+  StreamclusterParams prm_;
+  double gain_acc_ = 0;
+
+  rt::SimArray<float> block_;    // npoints x dim coordinates
+  rt::SimArray<float> weight_;   // point.p weights
+  rt::SimArray<float> center_;   // one candidate center per pass
+
+  sim::Addr ip_alloc_block_ = 0;
+  sim::Addr ip_alloc_weight_ = 0;
+  sim::Addr ip_alloc_center_ = 0;
+  sim::Addr ip_init_ = 0;
+  sim::Addr ip_call_pgain_ = 0;
+  sim::Addr ip_dist_load_ = 0;   // streamcluster.cpp:175 (p1/p2.coord)
+  sim::Addr ip_weight_load_ = 0;
+  sim::Addr ip_center_load_ = 0;
+};
+
+}  // namespace dcprof::wl

@@ -1,0 +1,90 @@
+// Sweep3D-mini: a wavefront neutron-transport-shaped pure-MPI workload
+// reproducing the paper's Section 5.2 case study. Each rank owns a slab
+// of the 3D grid and three heap arrays (Flux, Src, Face) laid out
+// column-major, Fortran style. The original sweep walks Flux/Src with the
+// rightmost index innermost — a long stride that defeats spatial locality
+// and the TLB. The optimized variant transposes the arrays so the
+// innermost-traversed dimension is contiguous (the paper's data-layout
+// fix, worth ~15% end to end).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/profile.h"
+#include "rt/cluster.h"
+#include "rt/sim_array.h"
+#include "workloads/harness.h"
+
+namespace dcprof::wl {
+
+struct Sweep3dParams {
+  int ranks = 8;       // 1-D decomposition along x
+  int nx = 24;         // per-rank
+  int ny = 40;
+  int nz = 40;
+  int octants = 8;
+  int sweeps = 1;
+  /// Arithmetic per cell (cycles): the sweep's compute floor. Sweep3D is
+  /// not purely memory-bound, which is why the paper's layout fix buys
+  /// 15% rather than a multiple.
+  int compute_per_cell = 560;
+  bool transposed = false;  ///< the paper's layout fix
+};
+
+/// One rank's share of the computation. Constructing registers the code
+/// structure (usable standalone for label resolution); running requires
+/// a live cluster rank for the wavefront messages unless ranks == 1.
+class Sweep3dRank {
+ public:
+  Sweep3dRank(ProcessCtx& proc, const Sweep3dParams& params, rt::Rank* rank);
+
+  RunResult run();
+
+  sim::Addr ip_flux_load() const { return ip_flux_load_; }
+  sim::Addr ip_alloc_flux() const { return ip_alloc_flux_; }
+
+ private:
+  std::uint64_t vol_index(std::int64_t i, std::int64_t j,
+                          std::int64_t k) const;
+  void sweep_octant(int octant);
+
+  ProcessCtx* p_;
+  Sweep3dParams prm_;
+  rt::Rank* rank_;
+
+  rt::SimArray<double> flux_;
+  rt::SimArray<double> src_;
+  rt::SimArray<double> face_;          // ny x nz x 6, touched per cell
+  rt::StaticArray<double> w_mu_;       // angular weights (static data)
+
+  sim::Addr ip_call_sweep_ = 0;
+  sim::Addr ip_alloc_flux_ = 0;
+  sim::Addr ip_alloc_src_ = 0;
+  sim::Addr ip_alloc_face_ = 0;
+  sim::Addr ip_src_init_ = 0;
+  sim::Addr ip_flux_load_ = 0;   // sweep.f:480 — the hot access
+  sim::Addr ip_flux_store_ = 0;
+  sim::Addr ip_src_load_ = 0;
+  sim::Addr ip_src_load2_ = 0;
+  sim::Addr ip_face_load_ = 0;
+  sim::Addr ip_face_store_ = 0;
+  sim::Addr ip_wmu_load_ = 0;
+};
+
+struct Sweep3dClusterResult {
+  sim::Cycles sim_cycles = 0;   ///< max across ranks
+  double wall_seconds = 0;
+  double checksum = 0;          ///< global flux sum
+  std::optional<core::ThreadProfile> profile;  ///< merged across ranks
+};
+
+/// Runs the full MPI job; profiles each rank when `profiled`. With
+/// `tool_attached == false` the PMU counts but no tool consumes samples
+/// (the overhead baseline).
+Sweep3dClusterResult run_sweep3d_cluster(
+    const Sweep3dParams& params, bool profiled,
+    std::vector<pmu::PmuConfig> pmu_cfgs = ibs_config(),
+    bool tool_attached = true);
+
+}  // namespace dcprof::wl

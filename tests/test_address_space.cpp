@@ -1,0 +1,140 @@
+#include "sim/address_space.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dcprof::sim {
+namespace {
+
+TEST(AddressSpace, HeapAllocReturnsAlignedDistinctBlocks) {
+  AddressSpace as;
+  const Addr a = as.heap_alloc(100);
+  const Addr b = as.heap_alloc(100);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(a, kHeapBase);
+}
+
+TEST(AddressSpace, BlockSizeIsRoundedUp) {
+  AddressSpace as;
+  const Addr a = as.heap_alloc(100);
+  EXPECT_EQ(as.block_size(a).value(), 128u);
+}
+
+TEST(AddressSpace, ZeroSizeAllocationStillDistinct) {
+  AddressSpace as;
+  const Addr a = as.heap_alloc(0);
+  const Addr b = as.heap_alloc(0);
+  EXPECT_NE(a, b);
+}
+
+TEST(AddressSpace, FreeReturnsSizeAndAllowsReuse) {
+  AddressSpace as;
+  const Addr a = as.heap_alloc(4096);
+  EXPECT_EQ(as.heap_free(a), 4096u);
+  // First-fit: the freed range is reused.
+  const Addr b = as.heap_alloc(4096);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AddressSpace, FreeUnknownAddressThrows) {
+  AddressSpace as;
+  EXPECT_THROW(as.heap_free(0x1234), std::invalid_argument);
+  const Addr a = as.heap_alloc(64);
+  EXPECT_THROW(as.heap_free(a + 64), std::invalid_argument);
+  as.heap_free(a);
+  EXPECT_THROW(as.heap_free(a), std::invalid_argument);  // double free
+}
+
+TEST(AddressSpace, CoalescingMergesNeighbours) {
+  AddressSpace as;
+  const Addr a = as.heap_alloc(64);
+  const Addr b = as.heap_alloc(64);
+  const Addr c = as.heap_alloc(64);
+  (void)b;
+  // Free in an order that requires both-side coalescing.
+  as.heap_free(a);
+  as.heap_free(c);
+  as.heap_free(b);
+  // A single request spanning all three must fit at the original base.
+  const Addr big = as.heap_alloc(192);
+  EXPECT_EQ(big, a);
+}
+
+TEST(AddressSpace, LiveAccountingTracksBytes) {
+  AddressSpace as;
+  EXPECT_EQ(as.heap_bytes_in_use(), 0u);
+  const Addr a = as.heap_alloc(128);
+  const Addr b = as.heap_alloc(64);
+  EXPECT_EQ(as.heap_bytes_in_use(), 192u);
+  EXPECT_EQ(as.heap_live_blocks(), 2u);
+  as.heap_free(a);
+  as.heap_free(b);
+  EXPECT_EQ(as.heap_bytes_in_use(), 0u);
+  EXPECT_EQ(as.heap_live_blocks(), 0u);
+}
+
+TEST(AddressSpace, BlockSizeForUnknownIsEmpty) {
+  AddressSpace as;
+  EXPECT_FALSE(as.block_size(0xdead).has_value());
+}
+
+TEST(AddressSpace, StaticSegmentsDoNotOverlap) {
+  AddressSpace as;
+  const Addr a = as.reserve_static(100, "a");
+  const Addr b = as.reserve_static(100, "b");
+  EXPECT_GE(b, a + 100);
+  EXPECT_GE(a, kStaticBase);
+  EXPECT_LT(a, kHeapBase);
+}
+
+TEST(AddressSpace, TextSegmentsDoNotOverlapStaticOrHeap) {
+  AddressSpace as;
+  const Addr t = as.reserve_text(1 << 16, "exe");
+  EXPECT_GE(t, kTextBase);
+  EXPECT_LT(t + (1 << 16), kStaticBase);
+}
+
+TEST(AddressSpace, StackBasesAreDisjointPerThread) {
+  AddressSpace as;
+  EXPECT_EQ(as.stack_base(1) - as.stack_base(0), 1u << 20);
+  EXPECT_GE(as.stack_base(0), kStackBase);
+}
+
+// Property: a randomized alloc/free workload never hands out
+// overlapping blocks and always survives coalescing.
+TEST(AddressSpace, RandomizedAllocFreeNeverOverlaps) {
+  AddressSpace as;
+  std::vector<std::pair<Addr, std::uint64_t>> live;
+  std::uint64_t seed = 12345;
+  const auto next = [&seed] {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    return seed >> 33;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    if (live.size() > 20 && next() % 2 == 0) {
+      const std::size_t victim = next() % live.size();
+      as.heap_free(live[victim].first);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else {
+      const std::uint64_t size = 1 + next() % 10000;
+      const Addr base = as.heap_alloc(size);
+      for (const auto& [lb, ls] : live) {
+        const bool disjoint = base + size <= lb || lb + ls <= base;
+        ASSERT_TRUE(disjoint) << "overlap at iteration " << i;
+      }
+      live.emplace_back(base, as.block_size(base).value());
+    }
+  }
+  for (const auto& [base, size] : live) {
+    (void)size;
+    as.heap_free(base);
+  }
+  EXPECT_EQ(as.heap_bytes_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace dcprof::sim

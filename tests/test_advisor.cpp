@@ -1,0 +1,173 @@
+#include "analysis/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/harness.h"
+#include "workloads/sweep3d.h"
+
+namespace dcprof::analysis {
+namespace {
+
+using core::Cct;
+using core::Metric;
+using core::MetricVec;
+using core::NodeKind;
+using core::StorageClass;
+using core::ThreadProfile;
+
+MetricVec metrics(std::uint64_t samples, std::uint64_t remote,
+                  std::uint64_t latency, std::uint64_t tlb = 0) {
+  MetricVec m;
+  m[Metric::kSamples] = samples;
+  m[Metric::kRemoteDram] = remote;
+  m[Metric::kLatency] = latency;
+  m[Metric::kTlbMiss] = tlb;
+  return m;
+}
+
+Cct::NodeId add_heap_var(ThreadProfile& p, sim::Addr site, sim::Addr ip,
+                         const MetricVec& m) {
+  Cct& heap = p.cct(StorageClass::kHeap);
+  auto cur = heap.child(Cct::kRootId, NodeKind::kCallSite, site);
+  cur = heap.child(cur, NodeKind::kAllocPoint, 0x99);
+  cur = heap.child(cur, NodeKind::kVarData, 0);
+  const auto leaf = heap.child(cur, NodeKind::kLeafInstr, ip);
+  heap.add_metrics(leaf, m);
+  return leaf;
+}
+
+TEST(Advisor, QuietProfileGivesNoAdvice) {
+  ThreadProfile p;
+  add_heap_var(p, 0x1, 0x500, metrics(100, 0, 400));  // all local, cached
+  const AnalysisContext ctx;
+  EXPECT_TRUE(advise(p, ctx).empty());
+  EXPECT_NE(render_advice({}).find("no data-locality problems"),
+            std::string::npos);
+}
+
+TEST(Advisor, RemoteHeavyHeapVariableTriggersNumaRule) {
+  ThreadProfile p;
+  add_heap_var(p, 0x1, 0x500, metrics(100, 90, 30'000));
+  add_heap_var(p, 0x2, 0x501, metrics(100, 5, 1'000));
+  std::map<sim::Addr, std::string> names{{0x1, "block"}};
+  AnalysisContext ctx;
+  ctx.alloc_names = &names;
+  const auto advice = advise(p, ctx);
+  ASSERT_FALSE(advice.empty());
+  EXPECT_EQ(advice[0].kind, AdviceKind::kNumaPlacement);
+  EXPECT_EQ(advice[0].variable, "block");
+  EXPECT_NE(advice[0].message.find("interleaved"), std::string::npos);
+  // The 5%-remote variable stays below the threshold.
+  for (const auto& a : advice) EXPECT_NE(a.variable, "heap @ 0x2");
+}
+
+TEST(Advisor, StaticVariableGetsStaticSpecificAdvice) {
+  ThreadProfile p;
+  Cct& stat = p.cct(StorageClass::kStatic);
+  const auto dummy = stat.child(Cct::kRootId, NodeKind::kVarStatic,
+                                p.strings.intern("f_elem"));
+  stat.add_metrics(stat.child(dummy, NodeKind::kLeafInstr, 0x500),
+                   metrics(100, 80, 20'000));
+  const AnalysisContext ctx;
+  const auto advice = advise(p, ctx);
+  ASSERT_FALSE(advice.empty());
+  EXPECT_EQ(advice[0].variable, "f_elem");
+  EXPECT_NE(advice[0].message.find("static"), std::string::npos);
+}
+
+TEST(Advisor, TlbHeavyAccessTriggersStrideRule) {
+  ThreadProfile p;
+  // Hot site: half its samples miss the TLB and it carries most latency.
+  add_heap_var(p, 0x1, 0x480, metrics(200, 10, 90'000, 100));
+  std::map<sim::Addr, std::string> names{{0x1, "Flux"}};
+  AnalysisContext ctx;
+  ctx.alloc_names = &names;
+  AdvisorOptions opt;
+  opt.numa_share = 1.1;  // silence the NUMA rule for this test
+  const auto advice = advise(p, ctx, opt);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].kind, AdviceKind::kSpatialLocality);
+  EXPECT_EQ(advice[0].variable, "Flux");
+  EXPECT_NE(advice[0].message.find("transpose"), std::string::npos);
+}
+
+TEST(Advisor, StrideRuleIgnoresThinSamples) {
+  ThreadProfile p;
+  add_heap_var(p, 0x1, 0x480, metrics(8, 2, 5'000, 8));  // only 8 samples
+  AnalysisContext ctx;
+  AdvisorOptions opt;
+  opt.numa_share = 1.1;
+  EXPECT_TRUE(advise(p, ctx, opt).empty());
+}
+
+TEST(Advisor, UnknownShareTriggersTrackingGap) {
+  ThreadProfile p;
+  Cct& unknown = p.cct(StorageClass::kUnknown);
+  unknown.add_metrics(unknown.child(Cct::kRootId, NodeKind::kLeafInstr, 0x9),
+                      metrics(50, 0, 1'000));
+  add_heap_var(p, 0x1, 0x500, metrics(50, 0, 1'000));
+  const AnalysisContext ctx;
+  const auto advice = advise(p, ctx);
+  ASSERT_FALSE(advice.empty());
+  bool found = false;
+  for (const auto& a : advice) {
+    if (a.kind == AdviceKind::kTrackingGap) {
+      EXPECT_NE(a.message.find("small_sample_period"), std::string::npos);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Advisor, AdviceSortedBySeverityAndCapped) {
+  ThreadProfile p;
+  for (sim::Addr v = 0; v < 8; ++v) {
+    add_heap_var(p, 0x100 + v, 0x500 + v,
+                 metrics(100, 10 + v, 1'000));
+  }
+  const AnalysisContext ctx;
+  AdvisorOptions opt;
+  opt.numa_share = 0.05;
+  opt.max_advice = 3;
+  const auto advice = advise(p, ctx, opt);
+  ASSERT_EQ(advice.size(), 3u);
+  EXPECT_GE(advice[0].severity, advice[1].severity);
+  EXPECT_GE(advice[1].severity, advice[2].severity);
+}
+
+TEST(Advisor, FlagsSweep3dStrideEndToEnd) {
+  // The real Sweep3D workload, profiled with IBS: the advisor must flag
+  // the strided Flux/Src sweep accesses as a spatial-locality problem.
+  wl::Sweep3dParams prm;
+  prm.ranks = 1;
+  prm.nx = 16;
+  prm.ny = 40;
+  prm.nz = 40;
+  prm.compute_per_cell = 20;
+  wl::ProcessCtx proc(wl::rank_config(), 1, "sweep3d");
+  proc.enable_profiling(wl::ibs_config(256));  // before any allocation
+  wl::Sweep3dRank rank(proc, prm, nullptr);
+  rank.run();
+  const ThreadProfile merged = proc.merged_profile();
+  const auto advice = advise(merged, proc.actx());
+  bool stride_on_volume_array = false;
+  for (const auto& a : advice) {
+    if (a.kind == AdviceKind::kSpatialLocality &&
+        (a.variable == "Flux" || a.variable == "Src")) {
+      stride_on_volume_array = true;
+    }
+  }
+  EXPECT_TRUE(stride_on_volume_array)
+      << render_advice(advice);
+}
+
+TEST(Advisor, RenderNumbersTheFindings) {
+  ThreadProfile p;
+  add_heap_var(p, 0x1, 0x500, metrics(100, 90, 30'000));
+  const AnalysisContext ctx;
+  const std::string out = render_advice(advise(p, ctx));
+  EXPECT_NE(out.find("1. [NUMA placement]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcprof::analysis

@@ -1,0 +1,198 @@
+#include "rt/alloc.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "rt/team.h"
+
+namespace dcprof::rt {
+namespace {
+
+sim::MachineConfig four_nodes() {
+  sim::MachineConfig cfg;
+  cfg.sockets = 4;
+  cfg.cores_per_socket = 1;
+  cfg.l1 = sim::CacheConfig{1024, 2, 64};
+  cfg.l2 = sim::CacheConfig{4096, 4, 64};
+  cfg.l3 = sim::CacheConfig{16384, 8, 64};
+  return cfg;
+}
+
+struct Fixture {
+  Fixture() : machine(four_nodes()), team(machine, 4), alloc(machine) {}
+  sim::Machine machine;
+  Team team;
+  Allocator alloc;
+};
+
+TEST(Allocator, MallocDoesNotTouchPages) {
+  Fixture f;
+  const sim::Addr base = f.alloc.malloc(f.team.master(), 64 * 1024, 0x1);
+  EXPECT_EQ(f.machine.memory().page_table().node_of(base), sim::kNoNode);
+}
+
+TEST(Allocator, MallocFirstTouchPlacesAtToucher) {
+  Fixture f;
+  const sim::Addr base = f.alloc.malloc(f.team.master(), 64 * 1024, 0x1);
+  // Thread 3 runs on node 3; its touch claims the page.
+  f.team.thread(3).load(base, 8, 0x2);
+  EXPECT_EQ(f.machine.memory().page_table().node_of(base), 3);
+}
+
+TEST(Allocator, CallocTouchesEveryPageInCaller) {
+  Fixture f;
+  const std::uint64_t size = 8 * 4096;
+  const sim::Addr base = f.alloc.calloc(f.team.thread(2), size, 1, 0x1);
+  auto& pt = f.machine.memory().page_table();
+  for (std::uint64_t off = 0; off < size; off += 4096) {
+    EXPECT_EQ(pt.node_of(base + off), 2) << "page at offset " << off;
+  }
+}
+
+TEST(Allocator, InterleavePolicySpreadsPages) {
+  Fixture f;
+  const std::uint64_t size = 8 * 4096;
+  const sim::Addr base = f.alloc.calloc(f.team.master(), size, 1, 0x1,
+                                        AllocPolicy::kInterleave);
+  auto& pt = f.machine.memory().page_table();
+  std::vector<std::uint64_t> counts(4, 0);
+  for (std::uint64_t off = 0; off < size; off += 4096) {
+    ++counts[static_cast<std::size_t>(pt.node_of(base + off))];
+  }
+  for (const auto c : counts) EXPECT_EQ(c, 2u);
+}
+
+TEST(Allocator, OnNodePolicyBindsAllPages) {
+  Fixture f;
+  const sim::Addr base = f.alloc.calloc(f.team.master(), 4 * 4096, 1, 0x1,
+                                        AllocPolicy::kOnNode, 2);
+  auto& pt = f.machine.memory().page_table();
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(pt.node_of(base + static_cast<sim::Addr>(p) * 4096), 2);
+  }
+}
+
+TEST(Allocator, GlobalInterleaveChangesDefault) {
+  Fixture f;
+  f.alloc.set_global_interleave(true);
+  const sim::Addr base = f.alloc.calloc(f.team.master(), 4 * 4096, 1, 0x1);
+  auto& pt = f.machine.memory().page_table();
+  std::vector<sim::NodeId> nodes;
+  for (int p = 0; p < 4; ++p) {
+    nodes.push_back(pt.node_of(base + static_cast<sim::Addr>(p) * 4096));
+  }
+  // Pages round-robin instead of all landing on the master's node 0.
+  EXPECT_NE(nodes[0], nodes[1]);
+}
+
+TEST(Allocator, ExplicitPolicyOverridesGlobalInterleave) {
+  Fixture f;
+  f.alloc.set_global_interleave(true);
+  const sim::Addr base = f.alloc.calloc(f.team.master(), 4 * 4096, 1, 0x1,
+                                        AllocPolicy::kFirstTouch);
+  EXPECT_EQ(f.machine.memory().page_table().node_of(base), 0);
+}
+
+TEST(Allocator, FreeReleasesPagesForReplacement) {
+  Fixture f;
+  const sim::Addr base = f.alloc.calloc(f.team.master(), 4 * 4096, 1, 0x1);
+  EXPECT_EQ(f.machine.memory().page_table().node_of(base), 0);
+  f.alloc.free(f.team.master(), base);
+  // Same range reused: new owner's first touch re-places it.
+  const sim::Addr again = f.alloc.malloc(f.team.master(), 4 * 4096, 0x1);
+  EXPECT_EQ(again, base);
+  f.team.thread(1).store(again, 8, 0x2);
+  EXPECT_EQ(f.machine.memory().page_table().node_of(again), 1);
+}
+
+TEST(Allocator, FreeNullIsNoop) {
+  Fixture f;
+  f.alloc.free(f.team.master(), 0);
+  EXPECT_EQ(f.alloc.frees(), 0u);
+}
+
+TEST(Allocator, ReallocPreservesTrackingAndFreesOld) {
+  Fixture f;
+  ThreadCtx& t = f.team.master();
+  const sim::Addr old_base = f.alloc.malloc(t, 4096, 0x1);
+  const sim::Addr new_base = f.alloc.realloc(t, old_base, 64 * 1024, 0x1);
+  EXPECT_NE(new_base, 0u);
+  EXPECT_FALSE(f.machine.aspace().block_size(old_base).has_value());
+  EXPECT_EQ(f.machine.aspace().block_size(new_base).value(), 64u * 1024);
+}
+
+TEST(Allocator, ReallocOfNullBehavesLikeMalloc) {
+  Fixture f;
+  const sim::Addr base = f.alloc.realloc(f.team.master(), 0, 4096, 0x1);
+  EXPECT_NE(base, 0u);
+  EXPECT_EQ(f.alloc.allocations(), 1u);
+}
+
+TEST(Allocator, HooksObserveAllocationAndFree) {
+  Fixture f;
+  struct Event {
+    sim::Addr base;
+    std::uint64_t size;
+    sim::Addr ip;
+  };
+  std::vector<Event> allocs;
+  std::vector<Event> frees;
+  f.alloc.set_hooks(AllocHooks{
+      [&](ThreadCtx&, sim::Addr base, std::uint64_t size, sim::Addr ip) {
+        allocs.push_back({base, size, ip});
+      },
+      [&](ThreadCtx&, sim::Addr base, std::uint64_t size) {
+        frees.push_back({base, size, 0});
+      }});
+  const sim::Addr base = f.alloc.malloc(f.team.master(), 300, 0xabc);
+  f.alloc.free(f.team.master(), base);
+  ASSERT_EQ(allocs.size(), 1u);
+  EXPECT_EQ(allocs[0].base, base);
+  EXPECT_EQ(allocs[0].size, 300u);
+  EXPECT_EQ(allocs[0].ip, 0xabcu);
+  ASSERT_EQ(frees.size(), 1u);
+  EXPECT_EQ(frees[0].base, base);
+  EXPECT_EQ(frees[0].size, 320u);  // rounded to 64
+}
+
+TEST(Allocator, HooksFireBeforeCallocTouches) {
+  // The profiler must see the allocation before the zeroing stores, or
+  // the first touches would be unattributable.
+  Fixture f;
+  bool alloc_seen = false;
+  bool touched_before_hook = false;
+  f.alloc.set_hooks(AllocHooks{
+      [&](ThreadCtx& t, sim::Addr, std::uint64_t, sim::Addr) {
+        alloc_seen = true;
+        touched_before_hook = t.clock() > 1000;  // zeroing not yet charged
+      },
+      nullptr});
+  f.alloc.calloc(f.team.master(), 16 * 4096, 1, 0x1);
+  EXPECT_TRUE(alloc_seen);
+  EXPECT_FALSE(touched_before_hook);
+}
+
+TEST(Allocator, CallocRejectsOverflowingSizes) {
+  Fixture f;
+  EXPECT_THROW(f.alloc.calloc(f.team.master(),
+                              std::numeric_limits<std::uint64_t>::max() / 2,
+                              16, 0x1),
+               std::bad_alloc);
+}
+
+TEST(Allocator, CountsAllocationsAndFrees) {
+  Fixture f;
+  ThreadCtx& t = f.team.master();
+  const auto a = f.alloc.malloc(t, 100, 0x1);
+  const auto b = f.alloc.calloc(t, 10, 10, 0x1);
+  f.alloc.free(t, a);
+  f.alloc.free(t, b);
+  EXPECT_EQ(f.alloc.allocations(), 2u);
+  EXPECT_EQ(f.alloc.frees(), 2u);
+  EXPECT_EQ(f.alloc.bytes_live(), 0u);
+}
+
+}  // namespace
+}  // namespace dcprof::rt

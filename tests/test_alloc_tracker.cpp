@@ -1,0 +1,196 @@
+#include "core/alloc_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "rt/team.h"
+
+namespace dcprof::core {
+namespace {
+
+sim::MachineConfig tiny() {
+  sim::MachineConfig cfg;
+  cfg.sockets = 1;
+  cfg.cores_per_socket = 2;
+  cfg.l1 = sim::CacheConfig{1024, 2, 64};
+  cfg.l2 = sim::CacheConfig{4096, 4, 64};
+  cfg.l3 = sim::CacheConfig{16384, 8, 64};
+  return cfg;
+}
+
+struct Fixture {
+  Fixture(TrackerConfig cfg = {})
+      : machine(tiny()), team(machine, 2),
+        tracker(map, paths, cfg) {}
+  sim::Machine machine;
+  rt::Team team;
+  HeapVarMap map;
+  AllocPathSet paths;
+  AllocTracker tracker;
+};
+
+TEST(AllocTracker, TracksLargeAllocationsWithPath) {
+  Fixture f;
+  rt::ThreadCtx& t = f.team.master();
+  t.push_frame(0x10);
+  t.push_frame(0x20);
+  f.tracker.on_alloc(t, 0x1000, 8192, 0x99);
+  const HeapBlock* block = f.map.find(0x1500);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->path->alloc_ip, 0x99u);
+  ASSERT_EQ(block->path->frames.size(), 2u);
+  EXPECT_EQ(block->path->frames[0], 0x10u);
+  EXPECT_EQ(block->path->frames[1], 0x20u);
+}
+
+TEST(AllocTracker, SkipsAllocationsBelowThreshold) {
+  Fixture f;
+  f.tracker.on_alloc(f.team.master(), 0x1000, 1024, 0x99);
+  EXPECT_EQ(f.map.find(0x1000), nullptr);
+  EXPECT_EQ(f.tracker.stats().allocations_skipped, 1u);
+  EXPECT_EQ(f.tracker.stats().allocations_tracked, 0u);
+}
+
+TEST(AllocTracker, ThresholdBoundaryIsInclusive) {
+  Fixture f;
+  f.tracker.on_alloc(f.team.master(), 0x1000, 4096, 0x99);  // exactly 4K
+  EXPECT_NE(f.map.find(0x1000), nullptr);
+}
+
+TEST(AllocTracker, TrackAllIgnoresThreshold) {
+  Fixture f(TrackerConfig{4096, true, true});
+  f.tracker.on_alloc(f.team.master(), 0x1000, 64, 0x99);
+  EXPECT_NE(f.map.find(0x1000), nullptr);
+}
+
+TEST(AllocTracker, FreeAlwaysErasesEvenUntracked) {
+  Fixture f;
+  rt::ThreadCtx& t = f.team.master();
+  f.tracker.on_alloc(t, 0x1000, 8192, 0x99);
+  f.tracker.on_free(t, 0x1000, 8192);
+  EXPECT_EQ(f.map.find(0x1000), nullptr);
+  // Frees of untracked blocks are observed without error.
+  f.tracker.on_free(t, 0x9000, 64);
+  EXPECT_EQ(f.tracker.stats().frees_seen, 2u);
+}
+
+TEST(AllocTracker, SameContextAllocationsShareOneVariable) {
+  // The Figure 2 semantics: 100 allocations from one call path are one
+  // logical variable (one interned AllocPath).
+  Fixture f;
+  rt::ThreadCtx& t = f.team.master();
+  t.push_frame(0x10);
+  for (int i = 0; i < 100; ++i) {
+    f.tracker.on_alloc(t, 0x10000 + static_cast<sim::Addr>(i) * 0x2000,
+                       8192, 0x99);
+  }
+  EXPECT_EQ(f.paths.size(), 1u);
+  EXPECT_EQ(f.map.find(0x10000)->path.get(),
+            f.map.find(0x10000 + 99 * 0x2000)->path.get());
+}
+
+TEST(AllocTracker, MemoizationReusesFramesForRepeatedContexts) {
+  Fixture f(TrackerConfig{4096, false, true});
+  rt::ThreadCtx& t = f.team.master();
+  t.push_frame(0x10);
+  t.push_frame(0x20);
+  t.push_frame(0x30);
+  f.tracker.on_alloc(t, 0x1000, 8192, 0x99);
+  EXPECT_EQ(f.tracker.stats().frames_unwound, 3u);
+  f.tracker.on_alloc(t, 0x4000, 8192, 0x99);
+  // Second unwind reused the whole stack via the trampoline marker.
+  EXPECT_EQ(f.tracker.stats().frames_unwound, 3u);
+  EXPECT_EQ(f.tracker.stats().frames_reused, 3u);
+}
+
+TEST(AllocTracker, MemoizationReunwindsChangedSuffixOnly) {
+  Fixture f(TrackerConfig{4096, false, true});
+  rt::ThreadCtx& t = f.team.master();
+  t.push_frame(0x10);
+  t.push_frame(0x20);
+  f.tracker.on_alloc(t, 0x1000, 8192, 0x99);  // unwinds 2
+  t.pop_frame();
+  t.push_frame(0x21);
+  f.tracker.on_alloc(t, 0x4000, 8192, 0x99);
+  // Common prefix (0x10) reused; only the new frame walked.
+  EXPECT_EQ(f.tracker.stats().frames_unwound, 3u);
+  EXPECT_EQ(f.tracker.stats().frames_reused, 1u);
+  // Paths are nevertheless distinct variables.
+  EXPECT_NE(f.map.find(0x1000)->path.get(), f.map.find(0x4000)->path.get());
+}
+
+TEST(AllocTracker, FullUnwindModeNeverReuses) {
+  Fixture f(TrackerConfig{4096, false, false});
+  rt::ThreadCtx& t = f.team.master();
+  t.push_frame(0x10);
+  f.tracker.on_alloc(t, 0x1000, 8192, 0x99);
+  f.tracker.on_alloc(t, 0x4000, 8192, 0x99);
+  EXPECT_EQ(f.tracker.stats().frames_unwound, 2u);
+  EXPECT_EQ(f.tracker.stats().frames_reused, 0u);
+}
+
+TEST(AllocTracker, PerThreadMemoizationCaches) {
+  Fixture f;
+  rt::ThreadCtx& t0 = f.team.thread(0);
+  rt::ThreadCtx& t1 = f.team.thread(1);
+  t0.push_frame(0x10);
+  t1.push_frame(0x10);
+  f.tracker.on_alloc(t0, 0x1000, 8192, 0x99);
+  // Thread 1's first unwind cannot reuse thread 0's marker.
+  f.tracker.on_alloc(t1, 0x4000, 8192, 0x99);
+  EXPECT_EQ(f.tracker.stats().frames_unwound, 2u);
+  // But both end with the same interned path (same context).
+  EXPECT_EQ(f.map.find(0x1000)->path.get(), f.map.find(0x4000)->path.get());
+}
+
+TEST(AllocTracker, DifferentAllocIpDifferentVariable) {
+  Fixture f;
+  rt::ThreadCtx& t = f.team.master();
+  t.push_frame(0x10);
+  f.tracker.on_alloc(t, 0x1000, 8192, 0x99);   // calloc site
+  f.tracker.on_alloc(t, 0x4000, 8192, 0x9b);   // malloc site
+  EXPECT_NE(f.map.find(0x1000)->path.get(), f.map.find(0x4000)->path.get());
+}
+
+TEST(AllocTracker, SmallAllocationSamplingTracksEveryNth) {
+  // The paper's future-work extension: monitor some small allocations
+  // instead of dropping them all.
+  TrackerConfig cfg;
+  cfg.small_sample_period = 4;
+  Fixture f(cfg);
+  rt::ThreadCtx& t = f.team.master();
+  int tracked = 0;
+  for (int i = 0; i < 16; ++i) {
+    const sim::Addr base = 0x1000 + static_cast<sim::Addr>(i) * 0x100;
+    f.tracker.on_alloc(t, base, 64, 0x99);
+    if (f.map.find(base) != nullptr) ++tracked;
+  }
+  EXPECT_EQ(tracked, 4);  // every 4th
+  EXPECT_EQ(f.tracker.stats().small_sampled, 4u);
+  EXPECT_EQ(f.tracker.stats().allocations_skipped, 12u);
+  EXPECT_EQ(f.tracker.stats().allocations_tracked, 4u);
+}
+
+TEST(AllocTracker, SmallSamplingDoesNotAffectLargeBlocks) {
+  TrackerConfig cfg;
+  cfg.small_sample_period = 1000;
+  Fixture f(cfg);
+  f.tracker.on_alloc(f.team.master(), 0x1000, 8192, 0x99);
+  EXPECT_NE(f.map.find(0x1000), nullptr);
+  EXPECT_EQ(f.tracker.stats().small_sampled, 0u);
+}
+
+TEST(AllocTracker, StatsCountEverything) {
+  Fixture f;
+  rt::ThreadCtx& t = f.team.master();
+  f.tracker.on_alloc(t, 0x1000, 64, 0x99);
+  f.tracker.on_alloc(t, 0x2000, 8192, 0x99);
+  f.tracker.on_free(t, 0x1000, 64);
+  const TrackerStats& s = f.tracker.stats();
+  EXPECT_EQ(s.allocations_seen, 2u);
+  EXPECT_EQ(s.allocations_skipped, 1u);
+  EXPECT_EQ(s.allocations_tracked, 1u);
+  EXPECT_EQ(s.frees_seen, 1u);
+}
+
+}  // namespace
+}  // namespace dcprof::core

@@ -1,0 +1,131 @@
+#include "binfmt/load_module.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/address_space.h"
+
+namespace dcprof::binfmt {
+namespace {
+
+TEST(LoadModule, InstrResolvesToFunctionAndLine) {
+  sim::AddressSpace as;
+  LoadModule m("exe", as);
+  const auto f = m.add_function("solve", "solver.c");
+  const Addr ip = m.add_instr(f, 42);
+  const InstrInfo* info = m.resolve_ip(ip);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->func_name, "solve");
+  EXPECT_EQ(info->file, "solver.c");
+  EXPECT_EQ(info->line, 42);
+  EXPECT_EQ(info->module, "exe");
+}
+
+TEST(LoadModule, DistinctInstrsGetDistinctIps) {
+  sim::AddressSpace as;
+  LoadModule m("exe", as);
+  const auto f = m.add_function("f", "f.c");
+  const Addr a = m.add_instr(f, 1);
+  const Addr b = m.add_instr(f, 1);  // same line, two instructions
+  EXPECT_NE(a, b);
+  EXPECT_EQ(m.num_instrs(), 2u);
+}
+
+TEST(LoadModule, UnknownIpResolvesNull) {
+  sim::AddressSpace as;
+  LoadModule m("exe", as);
+  EXPECT_EQ(m.resolve_ip(0xdeadbeef), nullptr);
+}
+
+TEST(LoadModule, InstrRequiresKnownFunction) {
+  sim::AddressSpace as;
+  LoadModule m("exe", as);
+  EXPECT_THROW(m.add_instr(7, 1), std::out_of_range);
+}
+
+TEST(LoadModule, TextCapacityIsEnforced) {
+  sim::AddressSpace as;
+  LoadModule m("exe", as, /*text_capacity=*/8);  // room for 2 instrs
+  const auto f = m.add_function("f", "f.c");
+  m.add_instr(f, 1);
+  m.add_instr(f, 2);
+  EXPECT_THROW(m.add_instr(f, 3), std::length_error);
+}
+
+TEST(LoadModule, StaticVarResolutionCoversExactRange) {
+  sim::AddressSpace as;
+  LoadModule m("exe", as);
+  const Addr base = m.add_static_var("table", 256);
+  EXPECT_EQ(m.resolve_static(base)->name, "table");
+  EXPECT_EQ(m.resolve_static(base + 255)->name, "table");
+  EXPECT_EQ(m.resolve_static(base + 256), nullptr);
+  EXPECT_EQ(m.resolve_static(base - 1), nullptr);
+}
+
+TEST(LoadModule, MultipleStaticVarsResolveIndependently) {
+  sim::AddressSpace as;
+  LoadModule m("exe", as);
+  const Addr a = m.add_static_var("a", 64);
+  const Addr b = m.add_static_var("b", 64);
+  EXPECT_EQ(m.resolve_static(a)->name, "a");
+  EXPECT_EQ(m.resolve_static(b)->name, "b");
+  EXPECT_EQ(m.static_vars().size(), 2u);
+}
+
+TEST(LoadModule, ZeroSizeStaticVarRejected) {
+  sim::AddressSpace as;
+  LoadModule m("exe", as);
+  EXPECT_THROW(m.add_static_var("empty", 0), std::invalid_argument);
+}
+
+TEST(ModuleRegistry, ResolvesAcrossModules) {
+  sim::AddressSpace as;
+  LoadModule exe("exe", as);
+  LoadModule lib("libm.so", as);
+  const auto fe = exe.add_function("main", "main.c");
+  const auto fl = lib.add_function("sin", "sin.c");
+  const Addr ip_main = exe.add_instr(fe, 1);
+  const Addr ip_sin = lib.add_instr(fl, 9);
+  const Addr var_exe = exe.add_static_var("g_exe", 64);
+  const Addr var_lib = lib.add_static_var("g_lib", 64);
+
+  ModuleRegistry reg;
+  reg.load(&exe);
+  reg.load(&lib);
+  EXPECT_EQ(reg.resolve_ip(ip_main)->func_name, "main");
+  EXPECT_EQ(reg.resolve_ip(ip_sin)->func_name, "sin");
+  EXPECT_EQ(reg.resolve_static(var_exe)->sym->name, "g_exe");
+  EXPECT_EQ(reg.resolve_static(var_lib)->sym->name, "g_lib");
+  EXPECT_EQ(*reg.resolve_static(var_lib)->module, "libm.so");
+}
+
+TEST(ModuleRegistry, UnloadRemovesModuleAndItsSymbols) {
+  sim::AddressSpace as;
+  LoadModule lib("lib.so", as);
+  const Addr var = lib.add_static_var("g", 64);
+  ModuleRegistry reg;
+  reg.load(&lib);
+  ASSERT_TRUE(reg.resolve_static(var).has_value());
+  EXPECT_TRUE(reg.unload("lib.so"));
+  EXPECT_FALSE(reg.resolve_static(var).has_value());
+  EXPECT_FALSE(reg.unload("lib.so"));  // already gone
+  EXPECT_EQ(reg.num_modules(), 0u);
+}
+
+TEST(ModuleRegistry, RejectsDuplicateAndNull) {
+  sim::AddressSpace as;
+  LoadModule exe("exe", as);
+  LoadModule exe2("exe", as);
+  ModuleRegistry reg;
+  reg.load(&exe);
+  EXPECT_THROW(reg.load(&exe2), std::invalid_argument);
+  EXPECT_THROW(reg.load(nullptr), std::invalid_argument);
+}
+
+TEST(ModuleRegistry, UnknownLookupsReturnEmpty) {
+  ModuleRegistry reg;
+  EXPECT_EQ(reg.resolve_ip(0x1234), nullptr);
+  EXPECT_FALSE(reg.resolve_static(0x1234).has_value());
+}
+
+}  // namespace
+}  // namespace dcprof::binfmt

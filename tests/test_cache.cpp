@@ -1,0 +1,176 @@
+#include "sim/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dcprof::sim {
+namespace {
+
+CacheConfig small_cache() {
+  return CacheConfig{1024, 2, 64};  // 8 sets, 2 ways
+}
+
+TEST(SetAssocCache, MissesThenHits) {
+  SetAssocCache cache(small_cache());
+  EXPECT_FALSE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1008));  // same line
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(SetAssocCache, DistinctLinesMissIndependently) {
+  SetAssocCache cache(small_cache());
+  EXPECT_FALSE(cache.access(0x1000));
+  EXPECT_FALSE(cache.access(0x1040));  // next line, different set
+  EXPECT_TRUE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1040));
+}
+
+TEST(SetAssocCache, LruEvictionWithinSet) {
+  SetAssocCache cache(small_cache());
+  // Set stride = sets * line = 8 * 64 = 512; same set every 512 bytes.
+  const Addr a = 0x0;
+  const Addr b = 0x200;
+  const Addr c = 0x400;
+  cache.access(a);
+  cache.access(b);   // set now holds {b, a}, a is LRU
+  cache.access(c);   // evicts a
+  EXPECT_FALSE(cache.contains(a));
+  EXPECT_TRUE(cache.contains(b));
+  EXPECT_TRUE(cache.contains(c));
+}
+
+TEST(SetAssocCache, AccessRefreshesLru) {
+  SetAssocCache cache(small_cache());
+  const Addr a = 0x0;
+  const Addr b = 0x200;
+  const Addr c = 0x400;
+  cache.access(a);
+  cache.access(b);
+  cache.access(a);  // a becomes MRU; b is now LRU
+  cache.access(c);  // evicts b
+  EXPECT_TRUE(cache.contains(a));
+  EXPECT_FALSE(cache.contains(b));
+}
+
+TEST(SetAssocCache, ContainsDoesNotFill) {
+  SetAssocCache cache(small_cache());
+  EXPECT_FALSE(cache.contains(0x1000));
+  EXPECT_FALSE(cache.access(0x1000));  // still a miss
+}
+
+TEST(SetAssocCache, InvalidateRemovesLine) {
+  SetAssocCache cache(small_cache());
+  cache.access(0x1000);
+  cache.invalidate(0x1000);
+  EXPECT_FALSE(cache.contains(0x1000));
+  cache.invalidate(0x2000);  // invalidating absent line is a no-op
+}
+
+TEST(SetAssocCache, ClearDropsEverything) {
+  SetAssocCache cache(small_cache());
+  cache.access(0x1000);
+  cache.access(0x2000);
+  cache.clear();
+  EXPECT_FALSE(cache.contains(0x1000));
+  EXPECT_FALSE(cache.contains(0x2000));
+}
+
+TEST(SetAssocCache, RejectsNonPowerOfTwoGeometry) {
+  EXPECT_THROW(SetAssocCache(CacheConfig{1000, 2, 64}),
+               std::invalid_argument);
+  EXPECT_THROW(SetAssocCache(CacheConfig{1024, 2, 48}),
+               std::invalid_argument);
+}
+
+TEST(SetAssocCache, RejectsTooSmallGeometry) {
+  EXPECT_THROW(SetAssocCache(CacheConfig{64, 2, 64}),
+               std::invalid_argument);
+}
+
+// Property sweep: for any geometry, a working set no larger than the
+// cache never misses after the first pass (full associativity within
+// sets + LRU guarantees retention for sequential fills).
+struct Geometry {
+  std::size_t size;
+  unsigned assoc;
+  unsigned line;
+};
+
+class CacheGeometry : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CacheGeometry, ResidentWorkingSetNeverMissesAgain) {
+  const Geometry g = GetParam();
+  SetAssocCache cache(CacheConfig{g.size, g.assoc, g.line});
+  const std::size_t lines = g.size / g.line;
+  for (std::size_t i = 0; i < lines; ++i) {
+    cache.access(static_cast<Addr>(i) * g.line);
+  }
+  const auto misses_before = cache.misses();
+  for (std::size_t i = 0; i < lines; ++i) {
+    EXPECT_TRUE(cache.access(static_cast<Addr>(i) * g.line));
+  }
+  EXPECT_EQ(cache.misses(), misses_before);
+}
+
+TEST_P(CacheGeometry, OversizedWorkingSetThrashes) {
+  const Geometry g = GetParam();
+  SetAssocCache cache(CacheConfig{g.size, g.assoc, g.line});
+  const std::size_t lines = 2 * g.size / g.line;  // 2x capacity
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < lines; ++i) {
+      cache.access(static_cast<Addr>(i) * g.line);
+    }
+  }
+  // Sequential sweep over 2x capacity with LRU: every access misses.
+  EXPECT_EQ(cache.misses(), 2 * lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(Geometry{1024, 2, 64}, Geometry{4096, 4, 64},
+                      Geometry{16384, 8, 64}, Geometry{32768, 8, 128},
+                      Geometry{65536, 16, 64}, Geometry{4096, 1, 64}));
+
+TEST(Tlb, HitsAfterInstall) {
+  Tlb tlb(4, 4096);
+  EXPECT_FALSE(tlb.access(0x1000));
+  EXPECT_TRUE(tlb.access(0x1800));  // same page
+  EXPECT_TRUE(tlb.access(0x1000));
+}
+
+TEST(Tlb, LruEvictionAtCapacity) {
+  Tlb tlb(2, 4096);
+  tlb.access(0x1000);
+  tlb.access(0x2000);
+  tlb.access(0x3000);  // evicts page of 0x1000
+  EXPECT_FALSE(tlb.access(0x1000));
+}
+
+TEST(Tlb, AccessRefreshesEntry) {
+  Tlb tlb(2, 4096);
+  tlb.access(0x1000);
+  tlb.access(0x2000);
+  tlb.access(0x1000);  // refresh
+  tlb.access(0x3000);  // evicts 0x2000
+  EXPECT_TRUE(tlb.access(0x1000));
+  EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(Tlb, ClearForgetsEverything) {
+  Tlb tlb(4, 4096);
+  tlb.access(0x1000);
+  tlb.clear();
+  EXPECT_FALSE(tlb.access(0x1000));
+}
+
+TEST(MemLevelNames, AllDistinct) {
+  EXPECT_STREQ(to_string(MemLevel::kL1), "L1");
+  EXPECT_STREQ(to_string(MemLevel::kRemoteDram), "RemoteDram");
+  EXPECT_STRNE(to_string(MemLevel::kL2), to_string(MemLevel::kL3));
+}
+
+}  // namespace
+}  // namespace dcprof::sim

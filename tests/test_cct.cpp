@@ -1,0 +1,221 @@
+#include "core/cct.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dcprof::core {
+namespace {
+
+std::vector<sim::Addr> path(std::initializer_list<sim::Addr> frames) {
+  return frames;
+}
+
+MetricVec metrics(std::uint64_t samples, std::uint64_t latency = 0) {
+  MetricVec m;
+  m[Metric::kSamples] = samples;
+  m[Metric::kLatency] = latency;
+  return m;
+}
+
+TEST(Cct, StartsWithRootOnly) {
+  Cct cct;
+  EXPECT_EQ(cct.size(), 1u);
+  EXPECT_EQ(cct.node(Cct::kRootId).kind, NodeKind::kRoot);
+}
+
+TEST(Cct, ChildIsFindOrCreate) {
+  Cct cct;
+  const auto a = cct.child(Cct::kRootId, NodeKind::kCallSite, 0x10);
+  const auto b = cct.child(Cct::kRootId, NodeKind::kCallSite, 0x10);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(cct.size(), 2u);
+  const auto c = cct.child(Cct::kRootId, NodeKind::kCallSite, 0x20);
+  EXPECT_NE(a, c);
+}
+
+TEST(Cct, SameSymDifferentKindAreDistinct) {
+  Cct cct;
+  const auto call = cct.child(Cct::kRootId, NodeKind::kCallSite, 0x10);
+  const auto leaf = cct.child(Cct::kRootId, NodeKind::kLeafInstr, 0x10);
+  EXPECT_NE(call, leaf);
+}
+
+TEST(Cct, InsertPathCoalescesCommonPrefixes) {
+  Cct cct;
+  cct.insert_path(Cct::kRootId, path({0x1, 0x2, 0x3}),
+                  NodeKind::kLeafInstr, 0xa);
+  const auto before = cct.size();  // root + 3 + leaf = 5
+  EXPECT_EQ(before, 5u);
+  cct.insert_path(Cct::kRootId, path({0x1, 0x2, 0x4}),
+                  NodeKind::kLeafInstr, 0xb);
+  // Shares 0x1 -> 0x2; adds 0x4 and the new leaf.
+  EXPECT_EQ(cct.size(), 7u);
+}
+
+TEST(Cct, InsertSamePathTwiceReturnsSameLeaf) {
+  Cct cct;
+  const auto l1 = cct.insert_path(Cct::kRootId, path({0x1, 0x2}),
+                                  NodeKind::kLeafInstr, 0xa);
+  const auto l2 = cct.insert_path(Cct::kRootId, path({0x1, 0x2}),
+                                  NodeKind::kLeafInstr, 0xa);
+  EXPECT_EQ(l1, l2);
+}
+
+TEST(Cct, MetricsAccumulateAtNode) {
+  Cct cct;
+  const auto leaf = cct.insert_path(Cct::kRootId, path({0x1}),
+                                    NodeKind::kLeafInstr, 0xa);
+  cct.add_metrics(leaf, metrics(1, 100));
+  cct.add_metrics(leaf, metrics(2, 50));
+  EXPECT_EQ(cct.node(leaf).metrics[Metric::kSamples], 3u);
+  EXPECT_EQ(cct.node(leaf).metrics[Metric::kLatency], 150u);
+}
+
+TEST(Cct, InclusiveAccumulatesBottomUp) {
+  Cct cct;
+  const auto l1 = cct.insert_path(Cct::kRootId, path({0x1, 0x2}),
+                                  NodeKind::kLeafInstr, 0xa);
+  const auto l2 = cct.insert_path(Cct::kRootId, path({0x1, 0x3}),
+                                  NodeKind::kLeafInstr, 0xb);
+  cct.add_metrics(l1, metrics(5));
+  cct.add_metrics(l2, metrics(7));
+  const auto inc = cct.inclusive();
+  EXPECT_EQ(inc[Cct::kRootId][Metric::kSamples], 12u);
+  const auto frame1 = cct.child(Cct::kRootId, NodeKind::kCallSite, 0x1);
+  EXPECT_EQ(inc[frame1][Metric::kSamples], 12u);
+  const auto frame2 = cct.child(frame1, NodeKind::kCallSite, 0x2);
+  EXPECT_EQ(inc[frame2][Metric::kSamples], 5u);
+}
+
+TEST(Cct, TotalSumsExclusiveMetrics) {
+  Cct cct;
+  const auto a = cct.insert_path(Cct::kRootId, path({0x1}),
+                                 NodeKind::kLeafInstr, 0xa);
+  cct.add_metrics(a, metrics(3, 30));
+  cct.add_metrics(Cct::kRootId, metrics(1, 0));
+  EXPECT_EQ(cct.total()[Metric::kSamples], 4u);
+  EXPECT_EQ(cct.total()[Metric::kLatency], 30u);
+}
+
+TEST(Cct, ChildrenAreDeterministicallyOrdered) {
+  Cct cct;
+  cct.child(Cct::kRootId, NodeKind::kCallSite, 0x30);
+  cct.child(Cct::kRootId, NodeKind::kCallSite, 0x10);
+  cct.child(Cct::kRootId, NodeKind::kCallSite, 0x20);
+  const auto kids = cct.children(Cct::kRootId);
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(cct.node(kids[0]).sym, 0x10u);
+  EXPECT_EQ(cct.node(kids[1]).sym, 0x20u);
+  EXPECT_EQ(cct.node(kids[2]).sym, 0x30u);
+}
+
+TEST(Cct, MergeCombinesStructureAndMetrics) {
+  Cct a;
+  const auto la = a.insert_path(Cct::kRootId, path({0x1, 0x2}),
+                                NodeKind::kLeafInstr, 0xa);
+  a.add_metrics(la, metrics(1));
+
+  Cct b;
+  const auto lb1 = b.insert_path(Cct::kRootId, path({0x1, 0x2}),
+                                 NodeKind::kLeafInstr, 0xa);
+  b.add_metrics(lb1, metrics(2));
+  const auto lb2 = b.insert_path(Cct::kRootId, path({0x9}),
+                                 NodeKind::kLeafInstr, 0xb);
+  b.add_metrics(lb2, metrics(4));
+
+  a.merge(b);
+  EXPECT_EQ(a.total()[Metric::kSamples], 7u);
+  // The common path merged rather than duplicating.
+  EXPECT_EQ(a.node(la).metrics[Metric::kSamples], 3u);
+}
+
+TEST(Cct, MergeTotalsAreOrderIndependent) {
+  const auto build = [](std::uint64_t seed) {
+    Cct cct;
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      const auto leaf = cct.insert_path(
+          Cct::kRootId, std::vector<sim::Addr>{seed, (seed + i) % 7, i % 3},
+          NodeKind::kLeafInstr, i);
+      cct.add_metrics(leaf, metrics(i + 1));
+    }
+    return cct;
+  };
+  Cct ab = build(1);
+  ab.merge(build(2));
+  Cct ba = build(2);
+  ba.merge(build(1));
+  EXPECT_EQ(ab.total()[Metric::kSamples], ba.total()[Metric::kSamples]);
+  EXPECT_EQ(ab.size(), ba.size());
+}
+
+TEST(Cct, MergeAppliesSymRemapToStaticVars) {
+  Cct a;
+  Cct b;
+  const auto vb = b.child(Cct::kRootId, NodeKind::kVarStatic, 0);
+  b.add_metrics(vb, metrics(2));
+  a.merge(b, [](NodeKind kind, std::uint64_t sym) {
+    return kind == NodeKind::kVarStatic ? sym + 100 : sym;
+  });
+  const auto va = a.child(Cct::kRootId, NodeKind::kVarStatic, 100);
+  EXPECT_EQ(a.node(va).metrics[Metric::kSamples], 2u);
+}
+
+TEST(Cct, LoadNodesRejectsMalformedTrees) {
+  Cct cct;
+  EXPECT_THROW(cct.load_nodes({}), std::invalid_argument);
+  // First node must be a root.
+  EXPECT_THROW(
+      cct.load_nodes({Cct::Node{NodeKind::kCallSite, 0, 0, {}}}),
+      std::invalid_argument);
+  // A node whose parent comes after it is invalid.
+  std::vector<Cct::Node> bad;
+  bad.push_back(Cct::Node{});
+  bad.push_back(Cct::Node{NodeKind::kCallSite, 1, 2, {}});
+  bad.push_back(Cct::Node{NodeKind::kCallSite, 2, 0, {}});
+  EXPECT_THROW(cct.load_nodes(std::move(bad)), std::invalid_argument);
+}
+
+TEST(Cct, LoadNodesRebuildsChildIndex) {
+  Cct src;
+  const auto leaf = src.insert_path(Cct::kRootId, path({0x1, 0x2}),
+                                    NodeKind::kLeafInstr, 0xa);
+  src.add_metrics(leaf, metrics(9));
+  Cct dst;
+  dst.load_nodes(std::vector<Cct::Node>(src.nodes()));
+  // find-or-create resolves to the existing nodes.
+  const auto again = dst.insert_path(Cct::kRootId, path({0x1, 0x2}),
+                                     NodeKind::kLeafInstr, 0xa);
+  EXPECT_EQ(again, leaf);
+  EXPECT_EQ(dst.size(), src.size());
+}
+
+// Property: for random path sets, inclusive(root) == total().
+class CctRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(CctRandom, RootInclusiveEqualsTotal) {
+  std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const auto next = [&seed] {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    return seed >> 40;
+  };
+  Cct cct;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<sim::Addr> p;
+    const int depth = 1 + static_cast<int>(next() % 10);
+    for (int d = 0; d < depth; ++d) p.push_back(next() % 32);
+    const auto leaf =
+        cct.insert_path(Cct::kRootId, p, NodeKind::kLeafInstr, next() % 16);
+    cct.add_metrics(leaf, metrics(next() % 100, next() % 1000));
+  }
+  const auto inc = cct.inclusive();
+  const auto total = cct.total();
+  for (std::size_t m = 0; m < kNumMetrics; ++m) {
+    EXPECT_EQ(inc[Cct::kRootId].v[m], total.v[m]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CctRandom, ::testing::Values(1, 7, 42, 99));
+
+}  // namespace
+}  // namespace dcprof::core

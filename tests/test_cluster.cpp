@@ -1,0 +1,185 @@
+#include "rt/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace dcprof::rt {
+namespace {
+
+sim::MachineConfig rank_cfg() {
+  sim::MachineConfig cfg;
+  cfg.sockets = 1;
+  cfg.cores_per_socket = 1;
+  cfg.l1 = sim::CacheConfig{1024, 2, 64};
+  cfg.l2 = sim::CacheConfig{4096, 4, 64};
+  cfg.l3 = sim::CacheConfig{16384, 8, 64};
+  return cfg;
+}
+
+TEST(Cluster, SendRecvTransfersData) {
+  Cluster cluster(2, rank_cfg(), 1);
+  std::vector<double> received(4, 0.0);
+  cluster.run([&](Rank& rank) {
+    if (rank.id() == 0) {
+      const std::vector<double> data{1.0, 2.0, 3.0, 4.0};
+      rank.send(1, 7, data.data(), data.size() * sizeof(double));
+    } else {
+      rank.recv(0, 7, received.data(), received.size() * sizeof(double));
+    }
+  });
+  EXPECT_EQ(received, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(Cluster, RecvAdvancesClockPastMessageArrival) {
+  Cluster cluster(2, rank_cfg(), 1);
+  sim::Cycles recv_clock = 0;
+  sim::Cycles send_clock = 0;
+  cluster.run([&](Rank& rank) {
+    if (rank.id() == 0) {
+      rank.comm_ctx().set_clock(10'000);  // sender is "late"
+      const double v = 1.0;
+      rank.send(1, 0, &v, sizeof v);
+      send_clock = rank.comm_ctx().clock();
+    } else {
+      double v = 0;
+      rank.recv(0, 0, &v, sizeof v);
+      recv_clock = rank.comm_ctx().clock();
+    }
+  });
+  // Receiver waited for the message: clock >= sender's send completion
+  // plus transfer cost.
+  EXPECT_GE(recv_clock, send_clock);
+}
+
+TEST(Cluster, MessagesMatchOnTag) {
+  Cluster cluster(2, rank_cfg(), 1);
+  double first = 0;
+  double second = 0;
+  cluster.run([&](Rank& rank) {
+    if (rank.id() == 0) {
+      const double a = 1.5;
+      const double b = 2.5;
+      rank.send(1, /*tag=*/20, &b, sizeof b);
+      rank.send(1, /*tag=*/10, &a, sizeof a);
+    } else {
+      rank.recv(0, 10, &first, sizeof first);
+      rank.recv(0, 20, &second, sizeof second);
+    }
+  });
+  EXPECT_EQ(first, 1.5);
+  EXPECT_EQ(second, 2.5);
+}
+
+TEST(Cluster, RecvSizeMismatchThrows) {
+  Cluster cluster(2, rank_cfg(), 1);
+  EXPECT_THROW(
+      cluster.run([&](Rank& rank) {
+        if (rank.id() == 0) {
+          const double v = 1;
+          rank.send(1, 0, &v, sizeof v);
+        } else {
+          float small = 0;
+          rank.recv(0, 0, &small, sizeof small);
+        }
+      }),
+      std::length_error);
+}
+
+TEST(Cluster, AllreduceSumAndMax) {
+  Cluster cluster(4, rank_cfg(), 1);
+  std::vector<double> sums(4, 0);
+  std::vector<double> maxes(4, 0);
+  cluster.run([&](Rank& rank) {
+    const double mine = static_cast<double>(rank.id() + 1);
+    sums[static_cast<std::size_t>(rank.id())] = rank.allreduce_sum(mine);
+    maxes[static_cast<std::size_t>(rank.id())] = rank.allreduce_max(mine);
+  });
+  for (const double s : sums) EXPECT_EQ(s, 10.0);
+  for (const double m : maxes) EXPECT_EQ(m, 4.0);
+}
+
+TEST(Cluster, BarrierSynchronizesSimClocks) {
+  Cluster cluster(3, rank_cfg(), 1);
+  std::vector<sim::Cycles> clocks(3, 0);
+  cluster.run([&](Rank& rank) {
+    rank.comm_ctx().set_clock(
+        static_cast<sim::Cycles>(1000 * (rank.id() + 1)));
+    rank.barrier();
+    clocks[static_cast<std::size_t>(rank.id())] = rank.comm_ctx().clock();
+  });
+  EXPECT_EQ(clocks[0], clocks[1]);
+  EXPECT_EQ(clocks[1], clocks[2]);
+  EXPECT_GE(clocks[0], 3000u);  // at least the max participant
+}
+
+TEST(Cluster, RepeatedCollectivesStaySane) {
+  Cluster cluster(3, rank_cfg(), 1);
+  std::atomic<int> failures{0};
+  cluster.run([&](Rank& rank) {
+    for (int i = 0; i < 50; ++i) {
+      const double sum =
+          rank.allreduce_sum(static_cast<double>(rank.id() + i));
+      const double expected = 3.0 * i + 3.0;
+      if (sum != expected) ++failures;
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Cluster, RankExceptionPropagates) {
+  Cluster cluster(2, rank_cfg(), 1);
+  EXPECT_THROW(cluster.run([&](Rank& rank) {
+                 if (rank.id() == 1) throw std::runtime_error("rank died");
+               }),
+               std::runtime_error);
+}
+
+TEST(Cluster, EachRankHasIsolatedMachine) {
+  Cluster cluster(2, rank_cfg(), 1);
+  std::vector<std::uint64_t> accesses(2, 0);
+  cluster.run([&](Rank& rank) {
+    if (rank.id() == 0) {
+      sim::Cycles clock = 0;
+      rank.machine().access(0, 0, 0x400000, 0x10000000, 8, false, clock);
+    }
+    accesses[static_cast<std::size_t>(rank.id())] =
+        rank.machine().memory_accesses();
+  });
+  EXPECT_EQ(accesses[0], 1u);
+  EXPECT_EQ(accesses[1], 0u);
+}
+
+TEST(Cluster, RejectsEmptyCluster) {
+  EXPECT_THROW(Cluster(0, rank_cfg(), 1), std::invalid_argument);
+}
+
+TEST(Cluster, PipelineDeterminism) {
+  // A wavefront-style pipeline across ranks produces identical simulated
+  // times regardless of host scheduling.
+  const auto run = [] {
+    Cluster cluster(4, rank_cfg(), 1);
+    std::vector<sim::Cycles> finish(4, 0);
+    cluster.run([&](Rank& rank) {
+      double token = 1.0;
+      for (int round = 0; round < 10; ++round) {
+        if (rank.id() > 0) {
+          rank.recv(rank.id() - 1, round, &token, sizeof token);
+        }
+        token += 1.0;
+        rank.comm_ctx().compute(100, 0x400000);
+        if (rank.id() + 1 < rank.nranks()) {
+          rank.send(rank.id() + 1, round, &token, sizeof token);
+        }
+      }
+      finish[static_cast<std::size_t>(rank.id())] = rank.comm_ctx().clock();
+    });
+    return finish;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dcprof::rt

@@ -1,0 +1,79 @@
+#include "analysis/derived.h"
+
+#include <gtest/gtest.h>
+
+namespace dcprof::analysis {
+namespace {
+
+using core::Cct;
+using core::Metric;
+using core::MetricVec;
+using core::NodeKind;
+using core::StorageClass;
+using core::ThreadProfile;
+
+ThreadProfile make_profile(std::uint64_t mem_samples,
+                           std::uint64_t nomem_samples,
+                           std::uint64_t latency, std::uint64_t local,
+                           std::uint64_t remote, std::uint64_t tlb) {
+  ThreadProfile p;
+  Cct& heap = p.cct(StorageClass::kHeap);
+  MetricVec m;
+  m[Metric::kSamples] = mem_samples;
+  m[Metric::kLatency] = latency;
+  m[Metric::kLocalDram] = local;
+  m[Metric::kRemoteDram] = remote;
+  m[Metric::kTlbMiss] = tlb;
+  heap.add_metrics(heap.child(Cct::kRootId, NodeKind::kLeafInstr, 0x1), m);
+  Cct& nomem = p.cct(StorageClass::kNoMem);
+  MetricVec n;
+  n[Metric::kSamples] = nomem_samples;
+  nomem.add_metrics(nomem.child(Cct::kRootId, NodeKind::kLeafInstr, 0x2), n);
+  return p;
+}
+
+TEST(Derived, ComputesRatesFromCounters) {
+  const ThreadProfile p = make_profile(80, 20, 8000, 10, 30, 8);
+  const DerivedMetrics d = derive_metrics(p, 0);
+  EXPECT_EQ(d.total_samples, 100u);
+  EXPECT_EQ(d.memory_samples, 80u);
+  EXPECT_DOUBLE_EQ(d.memory_op_fraction, 0.8);
+  EXPECT_DOUBLE_EQ(d.avg_latency, 100.0);
+  EXPECT_DOUBLE_EQ(d.dram_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(d.remote_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(d.tlb_miss_rate, 0.1);
+  EXPECT_DOUBLE_EQ(d.est_stall_share, 0.0);  // no period given
+}
+
+TEST(Derived, StallShareUsesIbsScaling) {
+  // 100 samples at period 10: ~1000 ops; 8000 sampled latency cycles
+  // scale to 80,000 => stall share 80000 / (1000 + 80000).
+  const ThreadProfile p = make_profile(80, 20, 8000, 10, 30, 8);
+  const DerivedMetrics d = derive_metrics(p, 10);
+  EXPECT_NEAR(d.est_stall_share, 80000.0 / 81000.0, 1e-9);
+  EXPECT_TRUE(d.memory_bound());
+}
+
+TEST(Derived, ComputeBoundProgramIsNotMemoryBound) {
+  const ThreadProfile p = make_profile(5, 95, 5, 0, 0, 0);
+  const DerivedMetrics d = derive_metrics(p, 1000);
+  // 100k scaled ops vs 5k scaled latency cycles: ~4.8% stalled.
+  EXPECT_FALSE(d.memory_bound());
+  EXPECT_NEAR(d.est_stall_share, 5000.0 / 105000.0, 1e-9);
+}
+
+TEST(Derived, EmptyProfileIsSafe) {
+  const ThreadProfile p;
+  const DerivedMetrics d = derive_metrics(p, 1024);
+  EXPECT_EQ(d.total_samples, 0u);
+  EXPECT_FALSE(d.memory_bound());
+}
+
+TEST(Derived, RenderMentionsVerdict) {
+  const ThreadProfile p = make_profile(80, 20, 8000, 10, 30, 8);
+  const std::string out = render_derived(derive_metrics(p, 10));
+  EXPECT_NE(out.find("memory-bound"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcprof::analysis

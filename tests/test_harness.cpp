@@ -1,0 +1,97 @@
+#include "workloads/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "rt/cluster.h"
+#include "rt/sim_array.h"
+
+namespace dcprof::wl {
+namespace {
+
+TEST(ProcessCtx, StandaloneOwnsMachineAndTeam) {
+  ProcessCtx proc(node_config(), 4, "exe");
+  EXPECT_EQ(proc.team().size(), 4);
+  EXPECT_EQ(proc.machine().config().num_nodes(), 4);
+  EXPECT_EQ(proc.modules().num_modules(), 1u);
+  EXPECT_EQ(proc.exe().name(), "exe");
+  EXPECT_EQ(proc.profiler(), nullptr);
+  EXPECT_EQ(proc.pmu(), nullptr);
+}
+
+TEST(ProcessCtx, RankAttachedBorrowsMachine) {
+  rt::Cluster cluster(1, rank_config(), 2);
+  cluster.run([&](rt::Rank& rank) {
+    ProcessCtx proc(rank, "exe");
+    EXPECT_EQ(&proc.machine(), &rank.machine());
+    EXPECT_EQ(&proc.team(), &rank.team());
+    EXPECT_EQ(&proc.alloc(), &rank.alloc());
+  });
+}
+
+TEST(ProcessCtx, EnableProfilingWiresEverything) {
+  ProcessCtx proc(node_config(), 2, "exe");
+  proc.enable_profiling(ibs_config(64));
+  ASSERT_NE(proc.profiler(), nullptr);
+  ASSERT_NE(proc.pmu(), nullptr);
+  EXPECT_EQ(proc.machine().observer(), proc.pmu());
+  // Accesses now produce samples.
+  proc.team().master().load(0x10000000, 8, 0x400000);
+  for (int i = 0; i < 200; ++i) {
+    proc.team().master().load(0x10000000, 8, 0x400000);
+  }
+  EXPECT_GT(proc.pmu()->samples_taken(), 0u);
+}
+
+TEST(ProcessCtx, MergedProfileRequiresProfiling) {
+  ProcessCtx proc(node_config(), 2, "exe");
+  EXPECT_THROW(proc.merged_profile(), std::logic_error);
+}
+
+TEST(ProcessCtx, MergedProfileDetachesObserver) {
+  ProcessCtx proc(node_config(), 2, "exe");
+  proc.enable_profiling(ibs_config(64));
+  (void)proc.merged_profile();
+  EXPECT_EQ(proc.machine().observer(), nullptr);
+}
+
+TEST(ProcessCtx, AnnotationsFeedTheAnalysisContext) {
+  ProcessCtx proc(node_config(), 2, "exe");
+  proc.annotate(0x1234, "my_var");
+  const analysis::AnalysisContext ctx = proc.actx();
+  EXPECT_EQ(ctx.alloc_name(0x1234), "my_var");
+  EXPECT_EQ(ctx.alloc_name(0x9999), "");
+}
+
+TEST(Harness, NodeConfigMatchesPaperTestbedShape) {
+  const sim::MachineConfig cfg = node_config();
+  EXPECT_EQ(cfg.sockets, 4);
+  EXPECT_EQ(cfg.num_nodes(), 4);
+  EXPECT_EQ(cfg.num_cores(), 16);
+}
+
+TEST(Harness, RankConfigIsSingleNode) {
+  const sim::MachineConfig cfg = rank_config();
+  EXPECT_EQ(cfg.num_cores(), 1);
+  EXPECT_EQ(cfg.num_nodes(), 1);
+}
+
+TEST(Harness, PmuConfigHelpersSetEventAndJitter) {
+  const auto ibs = ibs_config(1024);
+  ASSERT_EQ(ibs.size(), 1u);
+  EXPECT_EQ(ibs[0].event, pmu::EventKind::kIbsOp);
+  EXPECT_EQ(ibs[0].period, 1024u);
+  EXPECT_EQ(ibs[0].jitter, 128u);
+  const auto rmem = rmem_config(64);
+  EXPECT_EQ(rmem[0].event, pmu::EventKind::kMarkedDataFromRMem);
+}
+
+TEST(RunResult, PhaseLookup) {
+  RunResult r;
+  r.phases.emplace_back("alpha", 10);
+  r.phases.emplace_back("beta", 20);
+  EXPECT_EQ(r.phase("beta"), 20u);
+  EXPECT_THROW(r.phase("gamma"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dcprof::wl

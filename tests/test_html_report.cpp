@@ -1,0 +1,86 @@
+#include "analysis/html_report.h"
+
+#include <gtest/gtest.h>
+
+namespace dcprof::analysis {
+namespace {
+
+using core::Cct;
+using core::Metric;
+using core::MetricVec;
+using core::NodeKind;
+using core::StorageClass;
+using core::ThreadProfile;
+
+ThreadProfile make_profile() {
+  ThreadProfile p;
+  Cct& heap = p.cct(StorageClass::kHeap);
+  auto cur = heap.child(Cct::kRootId, NodeKind::kCallSite, 0x1);
+  cur = heap.child(cur, NodeKind::kAllocPoint, 0x2);
+  cur = heap.child(cur, NodeKind::kVarData, 0);
+  MetricVec m;
+  m[Metric::kSamples] = 90;
+  m[Metric::kLatency] = 27'000;
+  m[Metric::kRemoteDram] = 60;
+  heap.add_metrics(heap.child(cur, NodeKind::kLeafInstr, 0x3), m);
+  Cct& stat = p.cct(StorageClass::kStatic);
+  const auto dummy = stat.child(Cct::kRootId, NodeKind::kVarStatic,
+                                p.strings.intern("tbl<int>"));
+  MetricVec s;
+  s[Metric::kSamples] = 10;
+  s[Metric::kLatency] = 3'000;
+  stat.add_metrics(stat.child(dummy, NodeKind::kLeafInstr, 0x4), s);
+  return p;
+}
+
+TEST(HtmlReport, ContainsAllSections) {
+  const ThreadProfile p = make_profile();
+  std::map<sim::Addr, std::string> names{{0x1, "block"}};
+  AnalysisContext ctx;
+  ctx.alloc_names = &names;
+  const std::string html = render_html_report(p, ctx);
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("Storage classes"), std::string::npos);
+  EXPECT_NE(html.find("Variables (data-centric)"), std::string::npos);
+  EXPECT_NE(html.find("Hot heap accesses"), std::string::npos);
+  EXPECT_NE(html.find("Allocation sites (bottom-up)"), std::string::npos);
+  EXPECT_NE(html.find("Top-down: heap"), std::string::npos);
+  EXPECT_NE(html.find("Guidance"), std::string::npos);
+  EXPECT_NE(html.find("block"), std::string::npos);
+}
+
+TEST(HtmlReport, EscapesSymbolNames) {
+  const ThreadProfile p = make_profile();
+  const AnalysisContext ctx;
+  const std::string html = render_html_report(p, ctx);
+  // The static variable "tbl<int>" must be escaped.
+  EXPECT_EQ(html.find("tbl<int>"), std::string::npos);
+  EXPECT_NE(html.find("tbl&lt;int&gt;"), std::string::npos);
+}
+
+TEST(HtmlReport, AdviceAppearsForNumaProblem) {
+  const ThreadProfile p = make_profile();  // 60 of 60 remote on one var
+  const AnalysisContext ctx;
+  const std::string html = render_html_report(p, ctx);
+  EXPECT_NE(html.find("NUMA placement"), std::string::npos);
+}
+
+TEST(HtmlReport, EmptyProfileStillRenders) {
+  const ThreadProfile p;
+  const AnalysisContext ctx;
+  const std::string html = render_html_report(p, ctx);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  EXPECT_NE(html.find("no data-locality problems"), std::string::npos);
+}
+
+TEST(HtmlReport, RespectsMetricOption) {
+  const ThreadProfile p = make_profile();
+  const AnalysisContext ctx;
+  HtmlReportOptions opt;
+  opt.metric = Metric::kRemoteDram;
+  const std::string html = render_html_report(p, ctx, opt);
+  EXPECT_NE(html.find("R_DRAM"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcprof::analysis

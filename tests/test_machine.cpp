@@ -1,0 +1,138 @@
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dcprof::sim {
+namespace {
+
+MachineConfig tiny() {
+  MachineConfig cfg;
+  cfg.sockets = 2;
+  cfg.cores_per_socket = 2;
+  cfg.l1 = CacheConfig{1024, 2, 64};
+  cfg.l2 = CacheConfig{4096, 4, 64};
+  cfg.l3 = CacheConfig{16384, 8, 64};
+  return cfg;
+}
+
+class RecordingObserver : public AccessObserver {
+ public:
+  void on_access(const MemAccess& access) override {
+    accesses.push_back(access);
+  }
+  void on_compute(ThreadId tid, CoreId core, std::uint64_t instrs, Addr ip,
+                  Cycles now) override {
+    computes.push_back({tid, core, instrs, ip, now});
+  }
+  struct ComputeEvent {
+    ThreadId tid;
+    CoreId core;
+    std::uint64_t instrs;
+    Addr ip;
+    Cycles now;
+  };
+  std::vector<MemAccess> accesses;
+  std::vector<ComputeEvent> computes;
+};
+
+TEST(Machine, AccessAdvancesClockByLatency) {
+  Machine machine(tiny());
+  Cycles clock = 100;
+  const auto r = machine.access(0, 0, 0x400000, 0x10000000, 8, false, clock);
+  EXPECT_EQ(clock, 100 + r.latency);
+}
+
+TEST(Machine, ComputeAdvancesClockOneCyclePerInstr) {
+  Machine machine(tiny());
+  Cycles clock = 0;
+  machine.compute(0, 0, 250, 0x400000, clock);
+  EXPECT_EQ(clock, 250u);
+}
+
+TEST(Machine, CountsInstructionsAndAccesses) {
+  Machine machine(tiny());
+  Cycles clock = 0;
+  machine.access(0, 0, 0x400000, 0x10000000, 8, false, clock);
+  machine.access(0, 0, 0x400000, 0x10000000, 8, true, clock);
+  machine.compute(0, 0, 10, 0x400000, clock);
+  EXPECT_EQ(machine.memory_accesses(), 2u);
+  EXPECT_EQ(machine.instructions_retired(), 12u);
+}
+
+TEST(Machine, ObserverSeesResolvedAccesses) {
+  Machine machine(tiny());
+  RecordingObserver obs;
+  machine.set_observer(&obs);
+  Cycles clock = 42;
+  machine.access(3, 1, 0xabc, 0x10000000, 4, true, clock);
+  ASSERT_EQ(obs.accesses.size(), 1u);
+  const MemAccess& a = obs.accesses[0];
+  EXPECT_EQ(a.tid, 3);
+  EXPECT_EQ(a.core, 1);
+  EXPECT_EQ(a.ip, 0xabcu);
+  EXPECT_EQ(a.addr, 0x10000000u);
+  EXPECT_EQ(a.size, 4u);
+  EXPECT_TRUE(a.is_store);
+  EXPECT_EQ(a.at, 42u);  // issue time, before latency
+  EXPECT_GT(a.result.latency, 0u);
+}
+
+TEST(Machine, ObserverSeesComputeWithIp) {
+  Machine machine(tiny());
+  RecordingObserver obs;
+  machine.set_observer(&obs);
+  Cycles clock = 0;
+  machine.compute(1, 2, 99, 0x500000, clock);
+  ASSERT_EQ(obs.computes.size(), 1u);
+  EXPECT_EQ(obs.computes[0].tid, 1);
+  EXPECT_EQ(obs.computes[0].core, 2);
+  EXPECT_EQ(obs.computes[0].instrs, 99u);
+  EXPECT_EQ(obs.computes[0].ip, 0x500000u);
+}
+
+TEST(Machine, DetachingObserverStopsCallbacks) {
+  Machine machine(tiny());
+  RecordingObserver obs;
+  machine.set_observer(&obs);
+  Cycles clock = 0;
+  machine.access(0, 0, 0, 0x10000000, 8, false, clock);
+  machine.set_observer(nullptr);
+  machine.access(0, 0, 0, 0x10000000, 8, false, clock);
+  EXPECT_EQ(obs.accesses.size(), 1u);
+}
+
+TEST(MachineConfig, CoreToNodeMapping) {
+  MachineConfig cfg;
+  cfg.sockets = 2;
+  cfg.cores_per_socket = 4;
+  cfg.numa_nodes_per_socket = 2;
+  EXPECT_EQ(cfg.num_cores(), 8);
+  EXPECT_EQ(cfg.num_nodes(), 4);
+  EXPECT_EQ(cfg.socket_of(0), 0);
+  EXPECT_EQ(cfg.socket_of(7), 1);
+  // Cores 0,1 -> node 0; cores 2,3 -> node 1; cores 4,5 -> node 2; ...
+  EXPECT_EQ(cfg.node_of(0), 0);
+  EXPECT_EQ(cfg.node_of(1), 0);
+  EXPECT_EQ(cfg.node_of(2), 1);
+  EXPECT_EQ(cfg.node_of(4), 2);
+  EXPECT_EQ(cfg.node_of(7), 3);
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  const auto run = [] {
+    Machine machine(tiny());
+    Cycles clock = 0;
+    for (int i = 0; i < 1000; ++i) {
+      machine.access(0, i % 4, 0x400000,
+                     0x10000000 + static_cast<Addr>(i * 328), 8, i % 2 == 0,
+                     clock);
+    }
+    return clock;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dcprof::sim

@@ -1,0 +1,114 @@
+#include "core/measurement.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "analysis/merge.h"
+#include "analysis/views.h"
+#include "rt/sim_array.h"
+#include "workloads/harness.h"
+
+namespace dcprof::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("dcprof-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++));
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+  static int counter;
+};
+int TempDir::counter = 0;
+
+/// Runs a tiny profiled kernel and writes its measurement directory.
+std::uint64_t produce_measurements(const fs::path& dir) {
+  wl::ProcessCtx proc(wl::node_config(), 4, "app");
+  binfmt::LoadModule& exe = proc.exe();
+  const auto f = exe.add_function("main", "app.c");
+  const sim::Addr ip_alloc = exe.add_instr(f, 1);
+  const sim::Addr ip_load = exe.add_instr(f, 2);
+  proc.annotate(ip_alloc, "data");
+  proc.enable_profiling(wl::ibs_config(64));
+  rt::SimArray<double> a;
+  proc.team().single([&](rt::ThreadCtx& t) {
+    rt::Scope s(t, ip_alloc);
+    a = rt::SimArray<double>::calloc_in(proc.alloc(), t, 50'000, ip_alloc);
+  });
+  proc.team().parallel_for(0, 50'000, [&](rt::ThreadCtx& t, std::int64_t i) {
+    a.get(t, static_cast<std::uint64_t>((i * 131) % 50'000), ip_load);
+  });
+  return proc.write_measurements(dir.string());
+}
+
+TEST(Measurement, WriteCreatesExpectedFiles) {
+  TempDir dir;
+  const std::uint64_t bytes = produce_measurements(dir.path);
+  EXPECT_GT(bytes, 0u);
+  EXPECT_TRUE(fs::exists(dir.path / "structure.dcst"));
+  std::size_t profile_files = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    if (entry.path().extension() == ".dcpf") ++profile_files;
+  }
+  EXPECT_EQ(profile_files, 4u);  // one per thread
+}
+
+TEST(Measurement, RoundTripPreservesSamplesAndSymbols) {
+  TempDir dir;
+  produce_measurements(dir.path);
+  Measurement m = read_measurement_dir(dir.path);
+  EXPECT_EQ(m.profiles.size(), 4u);
+  EXPECT_GT(m.total_bytes, 0u);
+
+  std::uint64_t samples = 0;
+  for (const auto& p : m.profiles) samples += p.total_samples();
+  EXPECT_GT(samples, 50u);
+
+  // The structure file resolves the IPs the profiles reference.
+  ThreadProfile merged = analysis::reduce(std::move(m.profiles));
+  analysis::AnalysisContext ctx;
+  ctx.modules = &m.structure;
+  ctx.alloc_names = &m.structure.alloc_names();
+  const auto vars =
+      analysis::variable_table(merged, ctx, Metric::kSamples);
+  ASSERT_FALSE(vars.empty());
+  EXPECT_EQ(vars[0].name, "data");  // annotation survived the round trip
+}
+
+TEST(Measurement, MissingDirectoryThrows) {
+  EXPECT_THROW(read_measurement_dir("/nonexistent/dcprof-dir"),
+               std::exception);
+}
+
+TEST(Measurement, DirectoryWithoutProfilesThrows) {
+  TempDir dir;
+  fs::create_directories(dir.path);
+  {
+    binfmt::ModuleRegistry empty;
+    const auto structure = binfmt::StructureData::capture(empty);
+    std::uint64_t bytes = write_measurement_dir(dir.path, {}, structure);
+    EXPECT_GT(bytes, 0u);  // structure only
+  }
+  EXPECT_THROW(read_measurement_dir(dir.path), std::runtime_error);
+}
+
+TEST(Measurement, WriteIsIdempotentPerDirectory) {
+  TempDir dir;
+  produce_measurements(dir.path);
+  const Measurement first = read_measurement_dir(dir.path);
+  produce_measurements(dir.path);  // overwrite with a fresh identical run
+  const Measurement second = read_measurement_dir(dir.path);
+  EXPECT_EQ(first.profiles.size(), second.profiles.size());
+  EXPECT_EQ(first.total_bytes, second.total_bytes);
+}
+
+}  // namespace
+}  // namespace dcprof::core

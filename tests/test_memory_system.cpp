@@ -1,0 +1,182 @@
+#include "sim/memory_system.h"
+
+#include <gtest/gtest.h>
+
+namespace dcprof::sim {
+namespace {
+
+MachineConfig tiny_machine() {
+  MachineConfig cfg;
+  cfg.sockets = 2;
+  cfg.cores_per_socket = 2;
+  cfg.l1 = CacheConfig{1024, 2, 64};
+  cfg.l2 = CacheConfig{4096, 4, 64};
+  cfg.l3 = CacheConfig{16384, 8, 64};
+  cfg.tlb_entries = 4;
+  return cfg;
+}
+
+TEST(DramController, NoWaitWhenIdle) {
+  DramController ctrl(64, 2);
+  EXPECT_EQ(ctrl.serve(1000), 0u);
+}
+
+TEST(DramController, BacklogBuildsUnderBurst) {
+  DramController ctrl(64, 2);
+  // Four accesses at the same instant: each sees the backlog the
+  // previous ones deposited, divided by the drain rate.
+  EXPECT_EQ(ctrl.serve(0), 0u);
+  EXPECT_EQ(ctrl.serve(0), 32u);
+  EXPECT_EQ(ctrl.serve(0), 64u);
+  EXPECT_EQ(ctrl.serve(0), 96u);
+}
+
+TEST(DramController, BacklogDrainsWithTime) {
+  DramController ctrl(64, 2);
+  ctrl.serve(0);
+  ctrl.serve(0);  // backlog = 128
+  // 64 cycles later, 128 cycles of work have drained.
+  EXPECT_EQ(ctrl.serve(64), 0u);
+}
+
+TEST(DramController, ConcurrentAccessesSeeSimilarWaits) {
+  // The fairness property that motivated the leaky-bucket design: two
+  // accesses issued into the same congestion observe comparable delays.
+  DramController ctrl(64, 2);
+  for (int i = 0; i < 10; ++i) ctrl.serve(0);  // pile up backlog
+  const Cycles w1 = ctrl.serve(1);
+  const Cycles w2 = ctrl.serve(1);
+  EXPECT_GT(w1, 200u);
+  EXPECT_GE(w2, w1);  // slightly more, not zero
+}
+
+TEST(DramController, StatsAccumulate) {
+  DramController ctrl(64, 2);
+  ctrl.serve(0);
+  ctrl.serve(0);
+  EXPECT_EQ(ctrl.accesses(), 2u);
+  EXPECT_EQ(ctrl.total_wait(), 32u);
+}
+
+TEST(MemorySystem, HierarchyFillAndHitLevels) {
+  MemorySystem mem(tiny_machine());
+  const auto miss = mem.access(0, 0x100000, false, 0);
+  EXPECT_TRUE(miss.level == MemLevel::kLocalDram ||
+              miss.level == MemLevel::kRemoteDram);
+  const auto hit = mem.access(0, 0x100000, false, 100);
+  EXPECT_EQ(hit.level, MemLevel::kL1);
+  EXPECT_LT(hit.latency, miss.latency);
+}
+
+TEST(MemorySystem, L2HitAfterL1Eviction) {
+  const MachineConfig cfg = tiny_machine();
+  MemorySystem mem(cfg);
+  mem.access(0, 0x100000, false, 0);
+  // Evict from L1 (1 KB, 2-way, 8 sets): fill the matching set.
+  mem.access(0, 0x100000 + 512, false, 0);
+  mem.access(0, 0x100000 + 1024, false, 0);
+  const auto r = mem.access(0, 0x100000, false, 0);
+  EXPECT_EQ(r.level, MemLevel::kL2);
+}
+
+TEST(MemorySystem, L3SharedWithinSocketOnly) {
+  MemorySystem mem(tiny_machine());
+  mem.access(0, 0x100000, false, 0);  // core 0 (socket 0) fills L3[0]
+  // Core 1 is on socket 0: its first access finds the line in L3.
+  const auto same_socket = mem.access(1, 0x100000, false, 0);
+  EXPECT_EQ(same_socket.level, MemLevel::kL3);
+  // Core 2 is on socket 1: it must go to DRAM.
+  const auto other_socket = mem.access(2, 0x100000, false, 0);
+  EXPECT_TRUE(other_socket.level == MemLevel::kLocalDram ||
+              other_socket.level == MemLevel::kRemoteDram);
+}
+
+TEST(MemorySystem, LocalVersusRemoteByFirstTouch) {
+  MemorySystem mem(tiny_machine());
+  // Core 0 (node 0) touches the page first: home = node 0.
+  const auto first = mem.access(0, 0x200000, false, 0);
+  EXPECT_EQ(first.level, MemLevel::kLocalDram);
+  EXPECT_EQ(first.home, 0);
+  // Core 2 (node 1) misses everywhere: remote fill.
+  const auto remote = mem.access(2, 0x200000, false, 0);
+  EXPECT_EQ(remote.level, MemLevel::kRemoteDram);
+  EXPECT_GT(remote.latency, first.latency - first.queue_wait);
+}
+
+TEST(MemorySystem, TlbMissAddsWalkLatency) {
+  const MachineConfig cfg = tiny_machine();
+  MemorySystem mem(cfg);
+  const auto first = mem.access(0, 0x300000, false, 0);
+  EXPECT_TRUE(first.tlb_miss);
+  const auto second = mem.access(0, 0x300000, false, 0);
+  EXPECT_FALSE(second.tlb_miss);
+  EXPECT_EQ(mem.stats().tlb_misses, 1u);
+}
+
+TEST(MemorySystem, SequentialStreamGetsPrefetched) {
+  MemorySystem mem(tiny_machine());
+  // Two sequential line fills arm a stream; the third is prefetched.
+  const auto a = mem.access(0, 0x400040, false, 0);
+  const auto b = mem.access(0, 0x400080, false, 0);
+  const auto c = mem.access(0, 0x4000c0, false, 0);
+  EXPECT_FALSE(a.prefetched);
+  EXPECT_TRUE(b.prefetched);
+  EXPECT_TRUE(c.prefetched);
+  EXPECT_LT(c.latency, a.latency + 1);
+}
+
+TEST(MemorySystem, StridedAccessDefeatsPrefetcher) {
+  MemorySystem mem(tiny_machine());
+  // Stride of 64 lines: no stream forms.
+  for (int i = 1; i < 12; ++i) {
+    const auto r =
+        mem.access(0, 0x500000 + static_cast<Addr>(i) * 4096, false, 0);
+    EXPECT_FALSE(r.prefetched) << "access " << i;
+  }
+}
+
+TEST(MemorySystem, PrefetchRearmsAtPageBoundary) {
+  const MachineConfig cfg = tiny_machine();
+  MemorySystem mem(cfg);
+  // Stream across a page boundary: the first line of the new page pays
+  // full latency (prefetchers do not cross 4 KB).
+  const Addr page = 0x600000;
+  bool boundary_prefetched = true;
+  for (Addr a = page; a < page + 2 * cfg.page_bytes; a += 64) {
+    const auto r = mem.access(0, a, false, 0);
+    if (a == page + cfg.page_bytes) boundary_prefetched = r.prefetched;
+  }
+  EXPECT_FALSE(boundary_prefetched);
+}
+
+TEST(MemorySystem, StoreHitsAreCheaperThanLoadHits) {
+  const MachineConfig cfg = tiny_machine();
+  MemorySystem mem(cfg);
+  mem.access(0, 0x700000, false, 0);
+  const auto load = mem.access(0, 0x700000, false, 0);
+  const auto store = mem.access(0, 0x700000, true, 0);
+  EXPECT_EQ(load.latency, cfg.lat.l1);
+  EXPECT_EQ(store.latency, cfg.lat.store_hit);
+}
+
+TEST(MemorySystem, FlushCachesKeepsPlacement) {
+  MemorySystem mem(tiny_machine());
+  mem.access(0, 0x800000, false, 0);
+  mem.flush_caches();
+  const auto r = mem.access(2, 0x800000, false, 0);
+  // Page still belongs to node 0 => remote for core 2.
+  EXPECT_EQ(r.level, MemLevel::kRemoteDram);
+}
+
+TEST(MemorySystem, StatsCountEachLevel) {
+  MemorySystem mem(tiny_machine());
+  mem.access(0, 0x900000, false, 0);  // DRAM
+  mem.access(0, 0x900000, false, 0);  // L1
+  const auto& s = mem.stats();
+  EXPECT_EQ(s.l1_hits, 1u);
+  EXPECT_EQ(s.local_dram + s.remote_dram, 1u);
+  EXPECT_EQ(s.total(), 2u);
+}
+
+}  // namespace
+}  // namespace dcprof::sim

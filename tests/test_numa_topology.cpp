@@ -1,0 +1,103 @@
+// Topology variants: the paper's AMD testbed was a Magny-Cours box with
+// 8 NUMA domains on 4 sockets (two dies per package). Verify the model
+// handles multiple NUMA nodes per socket and odd shapes.
+#include <gtest/gtest.h>
+
+#include "rt/alloc.h"
+#include "rt/team.h"
+#include "sim/machine.h"
+
+namespace dcprof::sim {
+namespace {
+
+MachineConfig magny_cours() {
+  MachineConfig cfg;
+  cfg.sockets = 4;
+  cfg.cores_per_socket = 4;
+  cfg.numa_nodes_per_socket = 2;  // split dies: 8 NUMA domains
+  cfg.l1 = CacheConfig{1024, 2, 64};
+  cfg.l2 = CacheConfig{4096, 4, 64};
+  cfg.l3 = CacheConfig{16384, 8, 64};
+  return cfg;
+}
+
+TEST(SplitDieTopology, EightNodesOnFourSockets) {
+  const MachineConfig cfg = magny_cours();
+  EXPECT_EQ(cfg.num_nodes(), 8);
+  EXPECT_EQ(cfg.num_cores(), 16);
+  // Cores 0,1 -> node 0; 2,3 -> node 1; 4,5 -> node 2 ...
+  EXPECT_EQ(cfg.node_of(0), 0);
+  EXPECT_EQ(cfg.node_of(1), 0);
+  EXPECT_EQ(cfg.node_of(2), 1);
+  EXPECT_EQ(cfg.node_of(15), 7);
+  // Both dies of socket 0 share one L3 (socket granularity).
+  EXPECT_EQ(cfg.socket_of(2), 0);
+}
+
+TEST(SplitDieTopology, SameSocketOtherDieIsStillRemote) {
+  Machine machine(magny_cours());
+  Cycles clock = 0;
+  // Core 0 (node 0) touches; core 2 (node 1, same socket) reads.
+  machine.access(0, 0, 0x400000, 0x10000000, 8, false, clock);
+  machine.memory().flush_caches();
+  const auto r = machine.access(0, 2, 0x400000, 0x10000000, 8, false, clock);
+  EXPECT_EQ(r.level, MemLevel::kRemoteDram)
+      << "a different die's memory is remote even within the socket";
+}
+
+TEST(SplitDieTopology, SameSocketSharedL3StillHits) {
+  Machine machine(magny_cours());
+  Cycles clock = 0;
+  machine.access(0, 0, 0x400000, 0x10000000, 8, false, clock);
+  // No flush: core 2 shares socket 0's L3 with core 0.
+  const auto r = machine.access(0, 2, 0x400000, 0x10000000, 8, false, clock);
+  EXPECT_EQ(r.level, MemLevel::kL3);
+}
+
+TEST(SplitDieTopology, InterleaveBalancesOverAllEightNodes) {
+  Machine machine(magny_cours());
+  rt::Team team(machine, 16);
+  rt::Allocator alloc(machine);
+  const Addr base = alloc.calloc(team.master(), 16 * 4096, 1, 0x1,
+                                 rt::AllocPolicy::kInterleave);
+  auto counts = machine.memory().page_table().pages_per_node();
+  std::uint64_t placed = 0;
+  for (const auto c : counts) {
+    EXPECT_EQ(c, 2u);
+    placed += c;
+  }
+  EXPECT_EQ(placed, 16u);
+  (void)base;
+}
+
+TEST(SingleNodeTopology, NoRemoteAccessesArePossible) {
+  MachineConfig cfg = magny_cours();
+  cfg.sockets = 1;
+  cfg.numa_nodes_per_socket = 1;
+  Machine machine(cfg);
+  Cycles clock = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto r = machine.access(
+        0, i % 4, 0x400000, 0x10000000 + static_cast<Addr>(i) * 512, 8,
+        false, clock);
+    EXPECT_NE(r.level, MemLevel::kRemoteDram);
+  }
+}
+
+TEST(Team, EmptyAndReversedRangesAreNoops) {
+  Machine machine(magny_cours());
+  rt::Team team(machine, 4);
+  int count = 0;
+  team.parallel_for(10, 10, [&](rt::ThreadCtx&, std::int64_t) { ++count; });
+  team.parallel_for(10, 5, [&](rt::ThreadCtx&, std::int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PageTableEdge, ReleaseOfUnmappedRangeIsNoop) {
+  PageTable pt(4096, 8);
+  pt.release_range(0x100000, 16 * 4096);
+  EXPECT_EQ(pt.mapped_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace dcprof::sim

@@ -1,0 +1,136 @@
+#include "sim/page_table.h"
+
+#include <gtest/gtest.h>
+
+namespace dcprof::sim {
+namespace {
+
+constexpr std::size_t kPage = 4096;
+
+TEST(PageTable, FirstTouchBindsToToucher) {
+  PageTable pt(kPage, 4);
+  EXPECT_EQ(pt.node_of(0x10000), kNoNode);
+  EXPECT_EQ(pt.touch(0x10000, 2), 2);
+  EXPECT_EQ(pt.node_of(0x10000), 2);
+  // Later touches by other nodes do not move the page.
+  EXPECT_EQ(pt.touch(0x10008, 3), 2);
+}
+
+TEST(PageTable, PageGranularity) {
+  PageTable pt(kPage, 4);
+  pt.touch(0x10000, 1);
+  EXPECT_EQ(pt.node_of(0x10000 + kPage - 1), 1);      // same page
+  EXPECT_EQ(pt.node_of(0x10000 + kPage), kNoNode);    // next page
+}
+
+TEST(PageTable, InterleaveRoundRobinsGlobally) {
+  PageTable pt(kPage, 4);
+  pt.set_policy(0x100000, 16 * kPage, PlacementPolicy::kInterleave);
+  // Touch pages out of order; placement follows the global cursor, like
+  // Linux MPOL_INTERLEAVE's per-task cursor.
+  EXPECT_EQ(pt.touch(0x100000 + 5 * kPage, 0), 0);
+  EXPECT_EQ(pt.touch(0x100000 + 1 * kPage, 0), 1);
+  EXPECT_EQ(pt.touch(0x100000 + 9 * kPage, 0), 2);
+  EXPECT_EQ(pt.touch(0x100000 + 0 * kPage, 0), 3);
+  EXPECT_EQ(pt.touch(0x100000 + 2 * kPage, 0), 0);
+}
+
+TEST(PageTable, InterleaveCursorSharedAcrossRegions) {
+  PageTable pt(kPage, 4);
+  pt.set_policy(0x100000, kPage, PlacementPolicy::kInterleave);
+  pt.set_policy(0x200000, kPage, PlacementPolicy::kInterleave);
+  EXPECT_EQ(pt.touch(0x100000, 0), 0);
+  EXPECT_EQ(pt.touch(0x200000, 0), 1);  // cursor continued
+}
+
+TEST(PageTable, FixedPolicyBindsToNode) {
+  PageTable pt(kPage, 4);
+  pt.set_policy(0x100000, 4 * kPage, PlacementPolicy::kFixed, 3);
+  EXPECT_EQ(pt.touch(0x100000, 0), 3);
+  EXPECT_EQ(pt.touch(0x100000 + kPage, 1), 3);
+}
+
+TEST(PageTable, FixedPolicyRequiresValidNode) {
+  PageTable pt(kPage, 4);
+  EXPECT_THROW(pt.set_policy(0, kPage, PlacementPolicy::kFixed, -1),
+               std::invalid_argument);
+  EXPECT_THROW(pt.set_policy(0, kPage, PlacementPolicy::kFixed, 4),
+               std::invalid_argument);
+}
+
+TEST(PageTable, DefaultPolicyAppliesOutsideRegions) {
+  PageTable pt(kPage, 4);
+  pt.set_default_policy(PlacementPolicy::kInterleave);
+  EXPECT_EQ(pt.touch(0x900000, 2), 0);  // interleave cursor, not toucher
+  pt.set_default_policy(PlacementPolicy::kFirstTouch);
+  EXPECT_EQ(pt.touch(0xa00000, 2), 2);
+}
+
+TEST(PageTable, RegionBoundariesAreExclusive) {
+  PageTable pt(kPage, 4);
+  pt.set_policy(0x100000, 2 * kPage, PlacementPolicy::kFixed, 1);
+  EXPECT_EQ(pt.touch(0x100000 + 2 * kPage, 3), 3);  // just past the region
+}
+
+TEST(PageTable, ReleaseRangeUnmapsWholePagesOnly) {
+  PageTable pt(kPage, 4);
+  pt.touch(0x100000, 1);               // page A (will be boundary)
+  pt.touch(0x100000 + kPage, 1);       // page B (fully inside)
+  pt.touch(0x100000 + 2 * kPage, 1);   // page C (boundary)
+  // Release a range starting mid-A and ending mid-C.
+  pt.release_range(0x100000 + 512, 2 * kPage);
+  EXPECT_EQ(pt.node_of(0x100000), 1);               // A kept
+  EXPECT_EQ(pt.node_of(0x100000 + kPage), kNoNode);  // B unmapped
+  EXPECT_EQ(pt.node_of(0x100000 + 2 * kPage), 1);   // C kept
+}
+
+TEST(PageTable, ReleasedPagesReplaceOnNextTouch) {
+  PageTable pt(kPage, 4);
+  pt.touch(0x100000, 0);
+  pt.release_range(0x100000, kPage);
+  EXPECT_EQ(pt.touch(0x100000, 3), 3);
+}
+
+TEST(PageTable, PagesPerNodeCountsPlacement) {
+  PageTable pt(kPage, 4);
+  pt.touch(0x100000, 0);
+  pt.touch(0x200000, 0);
+  pt.touch(0x300000, 2);
+  const auto counts = pt.pages_per_node();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(pt.mapped_pages(), 3u);
+}
+
+TEST(PageTable, RejectsNonPositiveNodeCount) {
+  EXPECT_THROW(PageTable(kPage, 0), std::invalid_argument);
+}
+
+// Property: interleaving N pages across K nodes balances within 1 page.
+class InterleaveBalance : public ::testing::TestWithParam<int> {};
+
+TEST_P(InterleaveBalance, PagesBalanceAcrossNodes) {
+  const int nodes = GetParam();
+  PageTable pt(kPage, nodes);
+  const int pages = 64;
+  pt.set_policy(0x100000, static_cast<std::uint64_t>(pages) * kPage,
+                PlacementPolicy::kInterleave);
+  for (int p = 0; p < pages; ++p) {
+    pt.touch(0x100000 + static_cast<Addr>(p) * kPage, 0);
+  }
+  const auto counts = pt.pages_per_node();
+  std::uint64_t lo = pages;
+  std::uint64_t hi = 0;
+  for (const auto c : counts) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, InterleaveBalance,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace dcprof::sim

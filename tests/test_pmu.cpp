@@ -1,0 +1,194 @@
+#include "pmu/pmu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dcprof::pmu {
+namespace {
+
+sim::MachineConfig two_cores() {
+  sim::MachineConfig cfg;
+  cfg.sockets = 1;
+  cfg.cores_per_socket = 2;
+  return cfg;
+}
+
+sim::MemAccess access_at(sim::CoreId core, sim::MemLevel level,
+                         sim::Addr ip = 0x400000, sim::Addr addr = 0x1000) {
+  sim::MemAccess a;
+  a.core = core;
+  a.ip = ip;
+  a.addr = addr;
+  a.size = 8;
+  a.result.level = level;
+  a.result.latency = 123;
+  return a;
+}
+
+TEST(Pmu, IbsSamplesEveryNthOp) {
+  PmuSet pmu(two_cores(), {PmuConfig{EventKind::kIbsOp, 10, 0, 0}});
+  std::vector<Sample> samples;
+  pmu.set_handler([&](const Sample& s) { samples.push_back(s); });
+  for (int i = 0; i < 35; ++i) pmu.on_access(access_at(0, sim::MemLevel::kL1));
+  EXPECT_EQ(samples.size(), 3u);
+  EXPECT_EQ(pmu.events_counted(0), 35u);
+}
+
+TEST(Pmu, MarkedEventCountsOnlyMatchingAccesses) {
+  PmuSet pmu(two_cores(),
+             {PmuConfig{EventKind::kMarkedDataFromRMem, 2, 0, 0}});
+  std::vector<Sample> samples;
+  pmu.set_handler([&](const Sample& s) { samples.push_back(s); });
+  for (int i = 0; i < 10; ++i) pmu.on_access(access_at(0, sim::MemLevel::kL1));
+  EXPECT_TRUE(samples.empty());
+  pmu.on_access(access_at(0, sim::MemLevel::kRemoteDram));
+  pmu.on_access(access_at(0, sim::MemLevel::kRemoteDram));
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].source, sim::MemLevel::kRemoteDram);
+  EXPECT_EQ(samples[0].event, EventKind::kMarkedDataFromRMem);
+  EXPECT_EQ(pmu.events_counted(0), 2u);
+}
+
+TEST(Pmu, SampleCarriesPreciseIpAndEffectiveAddress) {
+  PmuSet pmu(two_cores(), {PmuConfig{EventKind::kIbsOp, 1, 3, 0}});
+  Sample sample;
+  pmu.set_handler([&](const Sample& s) { sample = s; });
+  pmu.on_access(access_at(1, sim::MemLevel::kL3, 0x999, 0x7000));
+  EXPECT_EQ(sample.precise_ip, 0x999u);
+  EXPECT_EQ(sample.signal_ip, 0x999u + 12);  // 3 instructions of skid
+  EXPECT_EQ(sample.eaddr, 0x7000u);
+  EXPECT_EQ(sample.latency, 123u);
+  EXPECT_TRUE(sample.is_memory);
+  EXPECT_EQ(sample.core, 1);
+}
+
+TEST(Pmu, PerCoreCountdownsAreIndependent) {
+  PmuSet pmu(two_cores(), {PmuConfig{EventKind::kIbsOp, 4, 0, 0}});
+  std::vector<Sample> samples;
+  pmu.set_handler([&](const Sample& s) { samples.push_back(s); });
+  for (int i = 0; i < 3; ++i) pmu.on_access(access_at(0, sim::MemLevel::kL1));
+  for (int i = 0; i < 3; ++i) pmu.on_access(access_at(1, sim::MemLevel::kL1));
+  EXPECT_TRUE(samples.empty());
+  pmu.on_access(access_at(0, sim::MemLevel::kL1));
+  EXPECT_EQ(samples.size(), 1u);
+  pmu.on_access(access_at(1, sim::MemLevel::kL1));
+  EXPECT_EQ(samples.size(), 2u);
+}
+
+TEST(Pmu, ComputeBlocksCanSpanMultiplePeriods) {
+  PmuSet pmu(two_cores(), {PmuConfig{EventKind::kIbsOp, 100, 0, 0}});
+  std::vector<Sample> samples;
+  pmu.set_handler([&](const Sample& s) { samples.push_back(s); });
+  pmu.on_compute(0, 0, 350, 0x400000, 0);
+  EXPECT_EQ(samples.size(), 3u);
+  for (const auto& s : samples) {
+    EXPECT_FALSE(s.is_memory);
+    EXPECT_EQ(s.precise_ip, 0x400000u);
+  }
+  // 50 ops remain: 50 more trigger the next sample.
+  pmu.on_compute(0, 0, 50, 0x400000, 0);
+  EXPECT_EQ(samples.size(), 4u);
+}
+
+TEST(Pmu, MarkedEventsIgnoreComputeOps) {
+  PmuSet pmu(two_cores(),
+             {PmuConfig{EventKind::kMarkedDataFromRMem, 1, 0, 0}});
+  std::vector<Sample> samples;
+  pmu.set_handler([&](const Sample& s) { samples.push_back(s); });
+  pmu.on_compute(0, 0, 1000, 0x400000, 0);
+  EXPECT_TRUE(samples.empty());
+}
+
+TEST(Pmu, DisabledPmuTakesNoSamples) {
+  PmuSet pmu(two_cores(), {PmuConfig{EventKind::kIbsOp, 1, 0, 0}});
+  std::vector<Sample> samples;
+  pmu.set_handler([&](const Sample& s) { samples.push_back(s); });
+  pmu.set_enabled(false);
+  pmu.on_access(access_at(0, sim::MemLevel::kL1));
+  pmu.on_compute(0, 0, 100, 0, 0);
+  EXPECT_TRUE(samples.empty());
+  pmu.set_enabled(true);
+  pmu.on_access(access_at(0, sim::MemLevel::kL1));
+  EXPECT_EQ(samples.size(), 1u);
+}
+
+TEST(Pmu, JitterKeepsPeriodsInBand) {
+  PmuSet pmu(two_cores(), {PmuConfig{EventKind::kIbsOp, 100, 0, 20}});
+  std::vector<std::uint64_t> gaps;
+  std::uint64_t count = 0;
+  std::uint64_t last = 0;
+  pmu.set_handler([&](const Sample&) {
+    if (last != 0) gaps.push_back(count - last);
+    last = count;
+  });
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    ++count;
+    pmu.on_access(access_at(0, sim::MemLevel::kL1));
+  }
+  ASSERT_GT(gaps.size(), 10u);
+  bool varied = false;
+  for (const auto g : gaps) {
+    EXPECT_GE(g, 80u);
+    EXPECT_LE(g, 120u);
+    if (g != gaps.front()) varied = true;
+  }
+  EXPECT_TRUE(varied) << "jitter should randomize the period";
+}
+
+TEST(Pmu, MultipleEventConfigsCountIndependently) {
+  PmuSet pmu(two_cores(),
+             {PmuConfig{EventKind::kIbsOp, 1000, 0, 0},
+              PmuConfig{EventKind::kMarkedTlbMiss, 1, 0, 0}});
+  std::vector<Sample> samples;
+  pmu.set_handler([&](const Sample& s) { samples.push_back(s); });
+  sim::MemAccess a = access_at(0, sim::MemLevel::kL2);
+  a.result.tlb_miss = true;
+  pmu.on_access(a);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].event, EventKind::kMarkedTlbMiss);
+  EXPECT_EQ(pmu.events_counted(0), 1u);  // IBS counted the op too
+  EXPECT_EQ(pmu.events_counted(1), 1u);
+}
+
+TEST(Pmu, RejectsInvalidConfigs) {
+  EXPECT_THROW(PmuSet(two_cores(), {PmuConfig{EventKind::kIbsOp, 0, 0, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      PmuSet(two_cores(), {PmuConfig{EventKind::kIbsOp, 10, 0, 10}}),
+      std::invalid_argument);
+}
+
+TEST(Pmu, EventNamesAreStable) {
+  EXPECT_STREQ(to_string(EventKind::kMarkedDataFromRMem),
+               "PM_MRK_DATA_FROM_RMEM");
+  EXPECT_STREQ(to_string(EventKind::kIbsOp), "IBS_OP");
+}
+
+// Property: over many accesses, the sample count is within 25% of
+// ops/period for any period, jittered or not.
+class PmuRate : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PmuRate, SampleRateTracksPeriod) {
+  const auto [period, jitter] = GetParam();
+  PmuSet pmu(two_cores(),
+             {PmuConfig{EventKind::kIbsOp, static_cast<std::uint64_t>(period),
+                        0, static_cast<std::uint64_t>(jitter)}});
+  std::uint64_t samples = 0;
+  pmu.set_handler([&](const Sample&) { ++samples; });
+  const std::uint64_t ops = 200'000;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    pmu.on_access(access_at(0, sim::MemLevel::kL1));
+  }
+  const double expected = static_cast<double>(ops) / period;
+  EXPECT_NEAR(static_cast<double>(samples), expected, 0.25 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Periods, PmuRate,
+    ::testing::Values(std::pair{64, 0}, std::pair{64, 8},
+                      std::pair{1024, 0}, std::pair{1024, 128},
+                      std::pair{4096, 512}));
+
+}  // namespace
+}  // namespace dcprof::pmu

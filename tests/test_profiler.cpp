@@ -1,0 +1,327 @@
+#include "core/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "rt/team.h"
+
+namespace dcprof::core {
+namespace {
+
+sim::MachineConfig tiny() {
+  sim::MachineConfig cfg;
+  cfg.sockets = 2;
+  cfg.cores_per_socket = 1;
+  cfg.l1 = sim::CacheConfig{1024, 2, 64};
+  cfg.l2 = sim::CacheConfig{4096, 4, 64};
+  cfg.l3 = sim::CacheConfig{16384, 8, 64};
+  return cfg;
+}
+
+struct Fixture {
+  Fixture() : machine(tiny()), team(machine, 2),
+              exe("exe", machine.aspace()), profiler(modules) {
+    modules.load(&exe);
+    profiler.register_team(team);
+  }
+
+  pmu::Sample mem_sample(sim::ThreadId tid, sim::Addr ip, sim::Addr eaddr,
+                         sim::MemLevel level = sim::MemLevel::kRemoteDram,
+                         sim::Cycles latency = 250) {
+    pmu::Sample s;
+    s.tid = tid;
+    s.is_memory = true;
+    s.precise_ip = ip;
+    s.signal_ip = ip + 8;
+    s.eaddr = eaddr;
+    s.latency = latency;
+    s.source = level;
+    return s;
+  }
+
+  sim::Machine machine;
+  rt::Team team;
+  binfmt::ModuleRegistry modules;
+  binfmt::LoadModule exe;
+  Profiler profiler;
+};
+
+TEST(Profiler, HeapSampleGetsAllocationPathPrepended) {
+  Fixture f;
+  rt::ThreadCtx& t = f.team.master();
+  // Allocate in context [0x10 -> 0x20], alloc instruction 0x99.
+  t.push_frame(0x10);
+  t.push_frame(0x20);
+  f.profiler.tracker().on_alloc(t, 0x100000, 8192, 0x99);
+  t.pop_frame();
+  t.pop_frame();
+  // Access from a different context [0x50].
+  t.push_frame(0x50);
+  f.profiler.handle_sample(f.mem_sample(0, 0x60, 0x100010));
+  t.pop_frame();
+
+  ThreadProfile& p = f.profiler.profile(0);
+  Cct& heap = p.cct(StorageClass::kHeap);
+  // Expected shape: root -> 0x10 -> 0x20 -> alloc(0x99) -> data
+  //                       -> 0x50 -> leaf(0x60)
+  auto cur = heap.child(Cct::kRootId, NodeKind::kCallSite, 0x10);
+  cur = heap.child(cur, NodeKind::kCallSite, 0x20);
+  cur = heap.child(cur, NodeKind::kAllocPoint, 0x99);
+  cur = heap.child(cur, NodeKind::kVarData, 0);
+  cur = heap.child(cur, NodeKind::kCallSite, 0x50);
+  const auto leaf = heap.child(cur, NodeKind::kLeafInstr, 0x60);
+  EXPECT_EQ(heap.node(leaf).metrics[Metric::kSamples], 1u);
+  EXPECT_EQ(heap.node(leaf).metrics[Metric::kRemoteDram], 1u);
+  EXPECT_EQ(heap.node(leaf).metrics[Metric::kLatency], 250u);
+  EXPECT_EQ(f.profiler.stats().heap_samples, 1u);
+}
+
+TEST(Profiler, CrossThreadAccessCopiesAllocPath) {
+  // Thread 0 allocates; thread 1 touches. Thread 1's profile carries the
+  // allocation path unwound in thread 0 — the paper's lock-free copy.
+  Fixture f;
+  rt::ThreadCtx& t0 = f.team.thread(0);
+  t0.push_frame(0x10);
+  f.profiler.tracker().on_alloc(t0, 0x100000, 8192, 0x99);
+  // The sample arrives on thread 1.
+  f.profiler.handle_sample(f.mem_sample(1, 0x70, 0x100020));
+
+  ThreadProfile& p1 = f.profiler.profile(1);
+  Cct& heap = p1.cct(StorageClass::kHeap);
+  const auto frame = heap.child(Cct::kRootId, NodeKind::kCallSite, 0x10);
+  const auto alloc = heap.child(frame, NodeKind::kAllocPoint, 0x99);
+  EXPECT_EQ(heap.inclusive()[alloc][Metric::kSamples], 1u);
+}
+
+TEST(Profiler, SamplesOnSamePathVariableMergeAcrossBlocks) {
+  // Two blocks from the same allocation context are one variable: their
+  // samples coalesce under one alloc-point node (Figure 2).
+  Fixture f;
+  rt::ThreadCtx& t = f.team.master();
+  t.push_frame(0x10);
+  f.profiler.tracker().on_alloc(t, 0x100000, 8192, 0x99);
+  f.profiler.tracker().on_alloc(t, 0x200000, 8192, 0x99);
+  t.pop_frame();
+  f.profiler.handle_sample(f.mem_sample(0, 0x60, 0x100000));
+  f.profiler.handle_sample(f.mem_sample(0, 0x60, 0x200000));
+
+  Cct& heap = f.profiler.profile(0).cct(StorageClass::kHeap);
+  const auto frame = heap.child(Cct::kRootId, NodeKind::kCallSite, 0x10);
+  const auto alloc = heap.child(frame, NodeKind::kAllocPoint, 0x99);
+  EXPECT_EQ(heap.inclusive()[alloc][Metric::kSamples], 2u);
+  // Only one alloc-point node exists for the two blocks.
+  std::size_t alloc_nodes = 0;
+  for (Cct::NodeId id = 0; id < heap.size(); ++id) {
+    if (heap.node(id).kind == NodeKind::kAllocPoint) ++alloc_nodes;
+  }
+  EXPECT_EQ(alloc_nodes, 1u);
+}
+
+TEST(Profiler, StaticSampleAttributedByName) {
+  Fixture f;
+  const sim::Addr base = f.exe.add_static_var("g_weights", 4096);
+  f.profiler.handle_sample(f.mem_sample(0, 0x60, base + 16));
+  ThreadProfile& p = f.profiler.profile(0);
+  Cct& stat = p.cct(StorageClass::kStatic);
+  // Root -> dummy var node named "g_weights" -> leaf.
+  const auto kids = stat.children(Cct::kRootId);
+  ASSERT_EQ(kids.size(), 1u);
+  EXPECT_EQ(stat.node(kids[0]).kind, NodeKind::kVarStatic);
+  EXPECT_EQ(p.strings.str(stat.node(kids[0]).sym), "g_weights");
+  EXPECT_EQ(f.profiler.stats().static_samples, 1u);
+}
+
+TEST(Profiler, HeapTakesPrecedenceOverStaticLookup) {
+  Fixture f;
+  rt::ThreadCtx& t = f.team.master();
+  f.profiler.tracker().on_alloc(t, 0x100000, 8192, 0x99);
+  const sim::Addr base = f.exe.add_static_var("g", 64);
+  f.profiler.handle_sample(f.mem_sample(0, 0x60, 0x100000));
+  f.profiler.handle_sample(f.mem_sample(0, 0x60, base));
+  EXPECT_EQ(f.profiler.stats().heap_samples, 1u);
+  EXPECT_EQ(f.profiler.stats().static_samples, 1u);
+}
+
+TEST(Profiler, UnmatchedAddressGoesToUnknown) {
+  Fixture f;
+  f.profiler.handle_sample(f.mem_sample(0, 0x60, 0xdeadbeef));
+  EXPECT_EQ(f.profiler.stats().unknown_samples, 1u);
+  const Cct& unknown = f.profiler.profile(0).cct(StorageClass::kUnknown);
+  EXPECT_EQ(unknown.total()[Metric::kSamples], 1u);
+}
+
+TEST(Profiler, FreedBlockNoLongerAttributesToHeap) {
+  Fixture f;
+  rt::ThreadCtx& t = f.team.master();
+  f.profiler.tracker().on_alloc(t, 0x100000, 8192, 0x99);
+  f.profiler.tracker().on_free(t, 0x100000, 8192);
+  f.profiler.handle_sample(f.mem_sample(0, 0x60, 0x100010));
+  EXPECT_EQ(f.profiler.stats().heap_samples, 0u);
+  EXPECT_EQ(f.profiler.stats().unknown_samples, 1u);
+}
+
+TEST(Profiler, NonMemorySamplesGoToNoMemCct) {
+  Fixture f;
+  pmu::Sample s;
+  s.tid = 0;
+  s.is_memory = false;
+  s.precise_ip = 0x42;
+  f.team.master().push_frame(0x10);
+  f.profiler.handle_sample(s);
+  Cct& nomem = f.profiler.profile(0).cct(StorageClass::kNoMem);
+  const auto frame = nomem.child(Cct::kRootId, NodeKind::kCallSite, 0x10);
+  const auto leaf = nomem.child(frame, NodeKind::kLeafInstr, 0x42);
+  EXPECT_EQ(nomem.node(leaf).metrics[Metric::kSamples], 1u);
+  EXPECT_EQ(f.profiler.stats().nomem_samples, 1u);
+}
+
+TEST(Profiler, UnregisteredThreadSamplesAreDropped) {
+  Fixture f;
+  f.profiler.handle_sample(f.mem_sample(9, 0x60, 0x1000));
+  EXPECT_EQ(f.profiler.stats().samples_dropped, 1u);
+  EXPECT_EQ(f.profiler.stats().samples_handled, 0u);
+}
+
+TEST(Profiler, SkidConfigUsesSignalIp) {
+  binfmt::ModuleRegistry modules;
+  sim::Machine machine(tiny());
+  binfmt::LoadModule exe("exe", machine.aspace());
+  modules.load(&exe);
+  ProfilerConfig cfg;
+  cfg.use_precise_ip = false;
+  Profiler profiler(modules, cfg);
+  rt::Team team(machine, 1);
+  profiler.register_team(team);
+  pmu::Sample s;
+  s.tid = 0;
+  s.is_memory = true;
+  s.precise_ip = 0x100;
+  s.signal_ip = 0x108;
+  s.eaddr = 0xdead;  // unknown data
+  profiler.handle_sample(s);
+  const Cct& unknown = profiler.profile(0).cct(StorageClass::kUnknown);
+  const auto kids = unknown.children(Cct::kRootId);
+  ASSERT_EQ(kids.size(), 1u);
+  EXPECT_EQ(unknown.node(kids[0]).sym, 0x108u);
+}
+
+TEST(Profiler, PerThreadProfilesAreSeparate) {
+  Fixture f;
+  f.profiler.handle_sample(f.mem_sample(0, 0x60, 0xdead));
+  f.profiler.handle_sample(f.mem_sample(1, 0x60, 0xdead));
+  f.profiler.handle_sample(f.mem_sample(1, 0x60, 0xdead));
+  auto profiles = f.profiler.take_profiles();
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].total_samples(), 1u);
+  EXPECT_EQ(profiles[1].total_samples(), 2u);
+  EXPECT_EQ(profiles[0].tid, 0);
+  EXPECT_EQ(profiles[1].tid, 1);
+}
+
+TEST(Profiler, ReallocRetargetsAttribution) {
+  // realloc = malloc + free through the hooks: samples on the new block
+  // attribute to the variable; the old range is released.
+  Fixture f;
+  sim::Machine machine(tiny());
+  rt::Team team(machine, 1);
+  rt::Allocator alloc(machine);
+  f.profiler.attach(alloc);
+  f.profiler.register_thread(team.master());
+  rt::ThreadCtx& t = team.master();
+  t.push_frame(0x10);
+  const sim::Addr old_base = alloc.malloc(t, 8192, 0x99);
+  const sim::Addr new_base = alloc.realloc(t, old_base, 64 * 1024, 0x99);
+  ASSERT_NE(old_base, new_base);
+  f.profiler.handle_sample(f.mem_sample(0, 0x60, new_base + 100));
+  EXPECT_EQ(f.profiler.stats().heap_samples, 1u);
+  // The old block's range was freed by the realloc: samples inside it
+  // are no longer attributed to any heap variable.
+  f.profiler.handle_sample(f.mem_sample(0, 0x60, old_base + 100));
+  EXPECT_EQ(f.profiler.stats().unknown_samples, 1u);
+}
+
+TEST(Profiler, StackAddressesGetPerThreadStackVariables) {
+  Fixture f;
+  rt::ThreadCtx& t = f.team.thread(1);
+  const sim::Addr buf = t.stack_alloc(256);
+  f.profiler.handle_sample(f.mem_sample(1, 0x60, buf + 8));
+  EXPECT_EQ(f.profiler.stats().stack_samples, 1u);
+  EXPECT_EQ(f.profiler.stats().unknown_samples, 0u);
+  ThreadProfile& p = f.profiler.profile(1);
+  Cct& stack = p.cct(StorageClass::kStack);
+  const auto kids = stack.children(Cct::kRootId);
+  ASSERT_EQ(kids.size(), 1u);
+  EXPECT_EQ(p.strings.str(stack.node(kids[0]).sym), "stack (thread 1)");
+}
+
+TEST(Profiler, StackAttributionCanBeDisabled) {
+  binfmt::ModuleRegistry modules;
+  sim::Machine machine(tiny());
+  binfmt::LoadModule exe("exe", machine.aspace());
+  modules.load(&exe);
+  ProfilerConfig cfg;
+  cfg.attribute_stack = false;  // the paper's original behaviour
+  Profiler profiler(modules, cfg);
+  rt::Team team(machine, 2);
+  profiler.register_team(team);
+  const sim::Addr buf = team.thread(0).stack_alloc(64);
+  pmu::Sample s;
+  s.tid = 0;
+  s.is_memory = true;
+  s.precise_ip = 0x1;
+  s.eaddr = buf;
+  profiler.handle_sample(s);
+  EXPECT_EQ(profiler.stats().stack_samples, 0u);
+  EXPECT_EQ(profiler.stats().unknown_samples, 1u);
+}
+
+TEST(Profiler, StackAllocIsPerThreadAndLifo) {
+  Fixture f;
+  rt::ThreadCtx& t0 = f.team.thread(0);
+  rt::ThreadCtx& t1 = f.team.thread(1);
+  const sim::Addr a0 = t0.stack_alloc(100);
+  const sim::Addr a1 = t1.stack_alloc(100);
+  EXPECT_NE(a0, a1);
+  const sim::Addr b0 = t0.stack_alloc(100);
+  EXPECT_EQ(b0 - a0, 128u);  // 64-byte aligned bump
+  t0.stack_release(100);
+  EXPECT_EQ(t0.stack_alloc(100), b0);  // LIFO reuse
+}
+
+TEST(Profiler, BrkAllocationsAreUnknownData) {
+  // Paper 4.1.3: C++ template containers allocate via brk, which the
+  // malloc wrappers never see — their accesses are unknown data.
+  Fixture f;
+  const sim::Addr region = f.machine.aspace().brk_extend(1 << 16);
+  f.profiler.handle_sample(f.mem_sample(0, 0x60, region + 1024));
+  EXPECT_EQ(f.profiler.stats().unknown_samples, 1u);
+  EXPECT_EQ(f.profiler.stats().heap_samples, 0u);
+  EXPECT_EQ(f.profiler.stats().stack_samples, 0u);
+}
+
+TEST(Profiler, UnloadedModuleStaticVarsBecomeUnknown) {
+  // Paper 4.1.3: when a load module is unloaded, it is removed together
+  // with its static-variable search tree.
+  Fixture f;
+  sim::Machine machine2(tiny());
+  binfmt::LoadModule lib("plugin.so", machine2.aspace());
+  const sim::Addr var = lib.add_static_var("plugin_state", 4096);
+  f.modules.load(&lib);
+  f.profiler.handle_sample(f.mem_sample(0, 0x60, var + 8));
+  EXPECT_EQ(f.profiler.stats().static_samples, 1u);
+  f.modules.unload("plugin.so");
+  f.profiler.handle_sample(f.mem_sample(0, 0x60, var + 8));
+  EXPECT_EQ(f.profiler.stats().static_samples, 1u);
+  EXPECT_EQ(f.profiler.stats().unknown_samples, 1u);
+}
+
+TEST(Profiler, TakeProfilesEndsMeasurement) {
+  Fixture f;
+  f.profiler.handle_sample(f.mem_sample(0, 0x60, 0xdead));
+  auto first = f.profiler.take_profiles();
+  EXPECT_EQ(first.size(), 1u);
+  auto second = f.profiler.take_profiles();
+  EXPECT_TRUE(second.empty());
+}
+
+}  // namespace
+}  // namespace dcprof::core

@@ -1,0 +1,182 @@
+#include "rt/team.h"
+#include "rt/thread.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "workloads/harness.h"
+
+namespace dcprof::rt {
+namespace {
+
+sim::MachineConfig tiny() {
+  sim::MachineConfig cfg;
+  cfg.sockets = 2;
+  cfg.cores_per_socket = 2;
+  cfg.l1 = sim::CacheConfig{1024, 2, 64};
+  cfg.l2 = sim::CacheConfig{4096, 4, 64};
+  cfg.l3 = sim::CacheConfig{16384, 8, 64};
+  return cfg;
+}
+
+TEST(ThreadCtx, ShadowStackPushPop) {
+  sim::Machine machine(tiny());
+  ThreadCtx t(machine, 0, 0);
+  EXPECT_EQ(t.stack_depth(), 0u);
+  t.push_frame(0x10);
+  {
+    Scope s(t, 0x20);
+    EXPECT_EQ(t.stack_depth(), 2u);
+    EXPECT_EQ(t.call_stack()[0], 0x10u);
+    EXPECT_EQ(t.call_stack()[1], 0x20u);
+  }
+  EXPECT_EQ(t.stack_depth(), 1u);
+  t.pop_frame();
+  EXPECT_EQ(t.stack_depth(), 0u);
+}
+
+TEST(ThreadCtx, LoadsAdvanceOwnClockOnly) {
+  sim::Machine machine(tiny());
+  ThreadCtx a(machine, 0, 0);
+  ThreadCtx b(machine, 1, 1);
+  a.load(0x10000000, 8, 0x400000);
+  EXPECT_GT(a.clock(), 0u);
+  EXPECT_EQ(b.clock(), 0u);
+}
+
+TEST(ThreadCtx, NodeFollowsCoreMapping) {
+  sim::Machine machine(tiny());
+  ThreadCtx t0(machine, 0, 0);
+  ThreadCtx t2(machine, 2, 2);
+  EXPECT_EQ(t0.node(), 0);
+  EXPECT_EQ(t2.node(), 1);
+}
+
+TEST(Team, ThreadsMapToCoresRoundRobin) {
+  sim::Machine machine(tiny());
+  Team team(machine, 6);
+  EXPECT_EQ(team.size(), 6);
+  EXPECT_EQ(team.thread(0).core(), 0);
+  EXPECT_EQ(team.thread(3).core(), 3);
+  EXPECT_EQ(team.thread(4).core(), 0);  // SMT-style wraparound
+}
+
+TEST(Team, RejectsEmptyTeam) {
+  sim::Machine machine(tiny());
+  EXPECT_THROW(Team(machine, 0), std::invalid_argument);
+}
+
+TEST(Team, BarrierSynchronizesClocksToMax) {
+  sim::Machine machine(tiny());
+  Team team(machine, 3);
+  team.thread(1).set_clock(500);
+  team.barrier();
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(team.thread(t).clock(), 500u);
+  }
+  EXPECT_EQ(team.now(), 500u);
+}
+
+TEST(Team, ParallelForCoversRangeExactlyOnce) {
+  sim::Machine machine(tiny());
+  Team team(machine, 4);
+  std::vector<int> hits(100, 0);
+  team.parallel_for(0, 100,
+                    [&](ThreadCtx&, std::int64_t i) { ++hits[i]; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Team, ParallelForStaticPartitionIsContiguous) {
+  sim::Machine machine(tiny());
+  Team team(machine, 4);
+  std::vector<int> owner(40, -1);
+  team.parallel_for(0, 40, [&](ThreadCtx& t, std::int64_t i) {
+    owner[i] = t.tid();
+  });
+  // Threads own contiguous blocks of 10.
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(owner[i], i / 10);
+}
+
+TEST(Team, ParallelForInterleavesChunksRoundRobin) {
+  sim::Machine machine(tiny());
+  Team team(machine, 2);
+  std::vector<int> order;
+  team.parallel_for(
+      0, 8, [&](ThreadCtx& t, std::int64_t) { order.push_back(t.tid()); },
+      /*chunk=*/2);
+  // Threads alternate in chunk-sized slices: 0,0,1,1,0,0,1,1.
+  const std::vector<int> expected{0, 0, 1, 1, 0, 0, 1, 1};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Team, ParallelForHandlesEmptyAndTinyRanges) {
+  sim::Machine machine(tiny());
+  Team team(machine, 4);
+  int count = 0;
+  team.parallel_for(5, 5, [&](ThreadCtx&, std::int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  team.parallel_for(0, 2, [&](ThreadCtx&, std::int64_t) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Team, ParallelForEndsWithBarrier) {
+  sim::Machine machine(tiny());
+  Team team(machine, 2);
+  team.parallel_for(0, 64, [&](ThreadCtx& t, std::int64_t i) {
+    t.load(0x10000000 + static_cast<sim::Addr>(i) * 8, 8, 0x400000);
+  });
+  EXPECT_EQ(team.thread(0).clock(), team.thread(1).clock());
+}
+
+TEST(Team, ParallelRegionRunsOncePerThread) {
+  sim::Machine machine(tiny());
+  Team team(machine, 3);
+  std::set<sim::ThreadId> seen;
+  team.parallel_region([&](ThreadCtx& t) { seen.insert(t.tid()); });
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Team, SingleRunsOnMasterOnly) {
+  sim::Machine machine(tiny());
+  Team team(machine, 3);
+  int runs = 0;
+  sim::ThreadId who = -1;
+  team.single([&](ThreadCtx& t) {
+    ++runs;
+    who = t.tid();
+  });
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(who, 0);
+}
+
+TEST(TeamScope, PushesFrameOnEveryThread) {
+  sim::Machine machine(tiny());
+  Team team(machine, 3);
+  {
+    TeamScope scope(team, 0x777);
+    for (int t = 0; t < 3; ++t) {
+      ASSERT_EQ(team.thread(t).stack_depth(), 1u);
+      EXPECT_EQ(team.thread(t).call_stack()[0], 0x777u);
+    }
+  }
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(team.thread(t).stack_depth(), 0u);
+  }
+}
+
+TEST(Team, DeterministicParallelExecution) {
+  const auto run = [] {
+    sim::Machine machine(tiny());
+    Team team(machine, 4);
+    team.parallel_for(0, 5000, [&](ThreadCtx& t, std::int64_t i) {
+      t.load(0x10000000 + static_cast<sim::Addr>(i) * 64, 8, 0x400000);
+    });
+    return team.now();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dcprof::rt

@@ -1,0 +1,109 @@
+#include "binfmt/structure.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/address_space.h"
+
+namespace dcprof::binfmt {
+namespace {
+
+struct Fixture {
+  Fixture() : exe("exe", as), lib("lib.so", as) {
+    const auto f = exe.add_function("main", "main.c");
+    ip_main = exe.add_instr(f, 10);
+    const auto g = lib.add_function("helper", "helper.c");
+    ip_helper = lib.add_instr(g, 20);
+    var_exe = exe.add_static_var("g_exe", 128);
+    var_lib = lib.add_static_var("g_lib", 64);
+    registry.load(&exe);
+    registry.load(&lib);
+    names[ip_main] = "the_array";
+  }
+
+  sim::AddressSpace as;
+  LoadModule exe;
+  LoadModule lib;
+  ModuleRegistry registry;
+  std::map<Addr, std::string> names;
+  Addr ip_main{}, ip_helper{}, var_exe{}, var_lib{};
+};
+
+TEST(StructureData, CaptureSnapshotsAllModules) {
+  Fixture f;
+  const StructureData data = StructureData::capture(f.registry, f.names);
+  EXPECT_EQ(data.num_instrs(), 2u);
+  EXPECT_EQ(data.num_static_vars(), 2u);
+  EXPECT_EQ(data.alloc_names().at(f.ip_main), "the_array");
+}
+
+TEST(StructureData, ResolvesLikeTheLiveRegistry) {
+  Fixture f;
+  const StructureData data = StructureData::capture(f.registry, f.names);
+  const InstrInfo* info = data.resolve_ip(f.ip_helper);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->func_name, "helper");
+  EXPECT_EQ(info->file, "helper.c");
+  EXPECT_EQ(info->line, 20);
+  EXPECT_EQ(info->module, "lib.so");
+
+  const auto hit = data.resolve_static(f.var_exe + 100);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->sym->name, "g_exe");
+  EXPECT_EQ(*hit->module, "exe");
+  // One byte past g_exe lands in the adjacent g_lib, never back in g_exe.
+  const auto next = data.resolve_static(f.var_exe + 128);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->sym->name, "g_lib");
+  EXPECT_EQ(data.resolve_ip(0xdead), nullptr);
+}
+
+TEST(StructureData, RoundTripsThroughSerialization) {
+  Fixture f;
+  const StructureData original = StructureData::capture(f.registry, f.names);
+  std::stringstream buffer;
+  original.write(buffer);
+  const StructureData copy = StructureData::read(buffer);
+
+  EXPECT_EQ(copy.num_instrs(), original.num_instrs());
+  EXPECT_EQ(copy.num_static_vars(), original.num_static_vars());
+  EXPECT_EQ(copy.alloc_names(), original.alloc_names());
+  const InstrInfo* info = copy.resolve_ip(f.ip_main);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->func_name, "main");
+  const auto hit = copy.resolve_static(f.var_lib);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->sym->name, "g_lib");
+  EXPECT_EQ(*hit->module, "lib.so");
+}
+
+TEST(StructureData, BadMagicRejected) {
+  std::stringstream buffer;
+  buffer << "garbage";
+  EXPECT_THROW(StructureData::read(buffer), std::runtime_error);
+}
+
+TEST(StructureData, TruncatedStreamRejected) {
+  Fixture f;
+  const StructureData original = StructureData::capture(f.registry, f.names);
+  std::stringstream buffer;
+  original.write(buffer);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 10);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW(StructureData::read(truncated), std::runtime_error);
+}
+
+TEST(StructureData, EmptyRegistryRoundTrips) {
+  ModuleRegistry empty;
+  const StructureData data = StructureData::capture(empty);
+  std::stringstream buffer;
+  data.write(buffer);
+  const StructureData copy = StructureData::read(buffer);
+  EXPECT_EQ(copy.num_instrs(), 0u);
+  EXPECT_EQ(copy.num_static_vars(), 0u);
+}
+
+}  // namespace
+}  // namespace dcprof::binfmt

@@ -1,0 +1,108 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rt/team.h"
+
+namespace dcprof::core {
+namespace {
+
+sim::MachineConfig tiny() {
+  sim::MachineConfig cfg;
+  cfg.sockets = 1;
+  cfg.cores_per_socket = 2;
+  cfg.l1 = sim::CacheConfig{1024, 2, 64};
+  cfg.l2 = sim::CacheConfig{4096, 4, 64};
+  cfg.l3 = sim::CacheConfig{16384, 8, 64};
+  return cfg;
+}
+
+pmu::Sample sample(sim::ThreadId tid, sim::Addr ip, sim::Addr eaddr) {
+  pmu::Sample s;
+  s.tid = tid;
+  s.is_memory = true;
+  s.precise_ip = ip;
+  s.eaddr = eaddr;
+  s.latency = 123;
+  s.source = sim::MemLevel::kRemoteDram;
+  return s;
+}
+
+TEST(TraceRecorder, RecordsEverySample) {
+  TraceRecorder trace;
+  for (int i = 0; i < 100; ++i) {
+    trace.record_sample(sample(0, 0x400000, 0x1000 + i));
+  }
+  ASSERT_EQ(trace.samples().size(), 100u);
+  EXPECT_EQ(trace.samples()[5].eaddr, 0x1005u);
+  EXPECT_EQ(trace.samples()[5].latency, 123u);
+}
+
+TEST(TraceRecorder, RecordsAllocationsWithFullPath) {
+  sim::Machine machine(tiny());
+  rt::Team team(machine, 1);
+  rt::ThreadCtx& t = team.master();
+  t.push_frame(0x10);
+  t.push_frame(0x20);
+  TraceRecorder trace;
+  trace.record_alloc(t, 0x1000, 64);
+  trace.record_free(t.tid(), 0x1000);
+  ASSERT_EQ(trace.alloc_events().size(), 2u);
+  EXPECT_EQ(trace.alloc_events()[0].call_path,
+            (std::vector<sim::Addr>{0x10, 0x20}));
+  EXPECT_EQ(trace.alloc_events()[1].size, 0u);  // free marker
+}
+
+TEST(TraceRecorder, SizeGrowsLinearlyUnlikeCcts) {
+  // The paper's Figure 2 scenario: 100 identical-context allocations.
+  // A CCT folds them into one path; the trace stores 100 full paths.
+  sim::Machine machine(tiny());
+  rt::Team team(machine, 1);
+  rt::ThreadCtx& t = team.master();
+  t.push_frame(0x10);
+  TraceRecorder trace;
+  trace.record_alloc(t, 0x1000, 64);
+  const std::uint64_t one = trace.serialized_bytes();
+  for (int i = 1; i < 100; ++i) {
+    trace.record_alloc(t, 0x1000 + static_cast<sim::Addr>(i) * 64, 64);
+  }
+  EXPECT_EQ(trace.serialized_bytes(), 100 * one);
+}
+
+TEST(TraceRecorder, SerializedBytesMatchesWrite) {
+  sim::Machine machine(tiny());
+  rt::Team team(machine, 1);
+  rt::ThreadCtx& t = team.master();
+  t.push_frame(0x10);
+  TraceRecorder trace;
+  trace.record_sample(sample(0, 0x400000, 0x1000));
+  trace.record_alloc(t, 0x1000, 64);
+  std::ostringstream out;
+  trace.write(out);
+  EXPECT_EQ(trace.serialized_bytes(), out.str().size());
+}
+
+TEST(TraceRecorder, AttachesToPmuAndAllocator) {
+  sim::Machine machine(tiny());
+  rt::Team team(machine, 1);
+  rt::Allocator alloc(machine);
+  pmu::PmuSet pmu(machine.config(),
+                  {pmu::PmuConfig{pmu::EventKind::kIbsOp, 8, 0, 0}});
+  TraceRecorder trace;
+  trace.attach(pmu);
+  trace.attach(alloc);
+  machine.set_observer(&pmu);
+  rt::ThreadCtx& t = team.master();
+  const sim::Addr block = alloc.malloc(t, 8192, 0x99);
+  for (int i = 0; i < 64; ++i) {
+    t.load(block + static_cast<sim::Addr>(i) * 8, 8, 0x400000);
+  }
+  alloc.free(t, block);
+  EXPECT_GE(trace.samples().size(), 6u);
+  EXPECT_EQ(trace.alloc_events().size(), 2u);
+}
+
+}  // namespace
+}  // namespace dcprof::core

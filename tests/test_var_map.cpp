@@ -1,0 +1,103 @@
+#include "core/var_map.h"
+
+#include <gtest/gtest.h>
+
+namespace dcprof::core {
+namespace {
+
+std::shared_ptr<const AllocPath> make_path(AllocPathSet& set,
+                                           std::initializer_list<sim::Addr> f,
+                                           sim::Addr ip) {
+  return set.intern(AllocPath{std::vector<sim::Addr>(f), ip});
+}
+
+TEST(AllocPathSet, IdenticalPathsShareOneInstance) {
+  AllocPathSet set;
+  const auto a = make_path(set, {0x1, 0x2}, 0x99);
+  const auto b = make_path(set, {0x1, 0x2}, 0x99);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(AllocPathSet, DifferentPathsAreDistinct) {
+  AllocPathSet set;
+  const auto a = make_path(set, {0x1, 0x2}, 0x99);
+  const auto b = make_path(set, {0x1, 0x3}, 0x99);
+  const auto c = make_path(set, {0x1, 0x2}, 0x98);  // same frames, other ip
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(HeapVarMap, FindCoversExactRange) {
+  AllocPathSet set;
+  HeapVarMap map;
+  const auto path = make_path(set, {0x1}, 0x2);
+  map.insert(0x1000, 256, path);
+  EXPECT_NE(map.find(0x1000), nullptr);
+  EXPECT_NE(map.find(0x10ff), nullptr);
+  EXPECT_EQ(map.find(0x1100), nullptr);
+  EXPECT_EQ(map.find(0xfff), nullptr);
+}
+
+TEST(HeapVarMap, FindReturnsOwningBlock) {
+  AllocPathSet set;
+  HeapVarMap map;
+  map.insert(0x1000, 256, make_path(set, {0x1}, 0xa));
+  map.insert(0x2000, 256, make_path(set, {0x2}, 0xb));
+  EXPECT_EQ(map.find(0x1010)->path->alloc_ip, 0xau);
+  EXPECT_EQ(map.find(0x2010)->path->alloc_ip, 0xbu);
+}
+
+TEST(HeapVarMap, EraseRemovesAndReturnsBlock) {
+  AllocPathSet set;
+  HeapVarMap map;
+  map.insert(0x1000, 256, make_path(set, {0x1}, 0xa));
+  const auto removed = map.erase(0x1000);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->size, 256u);
+  EXPECT_EQ(map.find(0x1000), nullptr);
+  EXPECT_FALSE(map.erase(0x1000).has_value());
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(HeapVarMap, ReusedRangeGetsNewIdentity) {
+  // The correctness property behind tracking every free: when an address
+  // range is recycled, lookups must see the new owner, never the old.
+  AllocPathSet set;
+  HeapVarMap map;
+  map.insert(0x1000, 512, make_path(set, {0x1}, 0xa));
+  map.erase(0x1000);
+  map.insert(0x1000, 128, make_path(set, {0x2}, 0xb));
+  const HeapBlock* block = map.find(0x1010);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->path->alloc_ip, 0xbu);
+  // The recycled block is smaller: beyond it there is nothing.
+  EXPECT_EQ(map.find(0x1080), nullptr);
+}
+
+TEST(HeapVarMap, AdjacentBlocksDoNotBleed) {
+  AllocPathSet set;
+  HeapVarMap map;
+  map.insert(0x1000, 0x100, make_path(set, {0x1}, 0xa));
+  map.insert(0x1100, 0x100, make_path(set, {0x2}, 0xb));
+  EXPECT_EQ(map.find(0x10ff)->path->alloc_ip, 0xau);
+  EXPECT_EQ(map.find(0x1100)->path->alloc_ip, 0xbu);
+}
+
+TEST(HeapVarMap, ManyBlocksLookupStressed) {
+  AllocPathSet set;
+  HeapVarMap map;
+  const auto path = make_path(set, {0x1}, 0xa);
+  for (sim::Addr b = 0; b < 1000; ++b) {
+    map.insert(0x100000 + b * 0x1000, 0x800, path);
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  for (sim::Addr b = 0; b < 1000; ++b) {
+    EXPECT_NE(map.find(0x100000 + b * 0x1000 + 0x7ff), nullptr);
+    EXPECT_EQ(map.find(0x100000 + b * 0x1000 + 0x800), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace dcprof::core

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include "analysis/views.h"
+#include "workloads/amg.h"
+#include "workloads/lulesh.h"
+#include "workloads/nw.h"
+#include "workloads/streamcluster.h"
+#include "workloads/sweep3d.h"
+
+namespace dcprof::wl {
+namespace {
+
+AmgParams small_amg(AmgVariant v = AmgVariant::kOriginal) {
+  AmgParams prm;
+  prm.rows = 12'000;
+  prm.iters = 2;
+  prm.small_allocs = 100;
+  prm.workspace_doubles = 20'000;
+  prm.symbolic_cycles_per_row = 10;
+  prm.variant = v;
+  return prm;
+}
+
+TEST(Amg, DeterministicAcrossRuns) {
+  const auto run = [] {
+    ProcessCtx proc(node_config(), 8, "amg");
+    Amg amg(proc, small_amg());
+    const RunResult r = amg.run();
+    return std::pair{r.checksum, r.sim_cycles};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Amg, VariantsComputeIdenticalResults) {
+  double reference = 0;
+  for (const auto v : {AmgVariant::kOriginal, AmgVariant::kNumactl,
+                       AmgVariant::kLibnuma}) {
+    ProcessCtx proc(node_config(), 8, "amg");
+    Amg amg(proc, small_amg(v));
+    const RunResult r = amg.run();
+    if (v == AmgVariant::kOriginal) {
+      reference = r.checksum;
+    } else {
+      EXPECT_EQ(r.checksum, reference) << to_string(v);
+    }
+  }
+}
+
+TEST(Amg, ReportsThreePhases) {
+  ProcessCtx proc(node_config(), 8, "amg");
+  Amg amg(proc, small_amg());
+  const RunResult r = amg.run();
+  EXPECT_GT(r.phase("initialization"), 0u);
+  EXPECT_GT(r.phase("setup"), 0u);
+  EXPECT_GT(r.phase("solver"), 0u);
+  EXPECT_THROW(r.phase("nonsense"), std::out_of_range);
+  EXPECT_GE(r.sim_cycles,
+            r.phase("initialization") + r.phase("setup") + r.phase("solver"));
+}
+
+TEST(Amg, ProfileAttributesSolverRemoteAccessesToMatrixArrays) {
+  ProcessCtx proc(node_config(), 16, "amg");
+  AmgParams prm = small_amg();
+  prm.rows = 40'000;
+  Amg amg(proc, prm);
+  proc.enable_profiling(rmem_config(32));
+  amg.run();
+  const core::ThreadProfile merged = proc.merged_profile();
+  const auto summary = analysis::summarize(merged);
+  EXPECT_GT(summary.fraction(core::StorageClass::kHeap,
+                             core::Metric::kRemoteDram),
+            0.8);
+  const auto vars = analysis::variable_table(merged, proc.actx(),
+                                             core::Metric::kRemoteDram);
+  ASSERT_GE(vars.size(), 3u);
+  // The matrix arrays lead, with S_diag_j among them (Figure 4; its
+  // exact rank depends on problem size).
+  std::set<std::string> top{vars[0].name, vars[1].name, vars[2].name};
+  EXPECT_TRUE(top.count("S_diag_j")) << vars[0].name;
+}
+
+TEST(Sweep3d, TransposePreservesResultsExactly) {
+  Sweep3dParams prm;
+  prm.ranks = 2;
+  prm.nx = 8;
+  prm.ny = 24;
+  prm.nz = 24;
+  const auto base = run_sweep3d_cluster(prm, false);
+  prm.transposed = true;
+  const auto fixed = run_sweep3d_cluster(prm, false);
+  EXPECT_EQ(base.checksum, fixed.checksum);
+}
+
+TEST(Sweep3d, TransposeImprovesSimulatedTime) {
+  Sweep3dParams prm;
+  prm.ranks = 2;
+  prm.nx = 16;
+  prm.ny = 32;
+  prm.nz = 32;
+  prm.compute_per_cell = 10;  // nearly memory-bound at this size
+  const auto base = run_sweep3d_cluster(prm, false);
+  prm.transposed = true;
+  const auto fixed = run_sweep3d_cluster(prm, false);
+  EXPECT_LT(fixed.sim_cycles, base.sim_cycles);
+}
+
+TEST(Sweep3d, ClusterRunIsDeterministic) {
+  Sweep3dParams prm;
+  prm.ranks = 3;
+  prm.nx = 8;
+  prm.ny = 16;
+  prm.nz = 16;
+  const auto a = run_sweep3d_cluster(prm, false);
+  const auto b = run_sweep3d_cluster(prm, false);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.sim_cycles, b.sim_cycles);
+}
+
+TEST(Sweep3d, ProfiledRunAttributesLatencyToFluxSrcFace) {
+  Sweep3dParams prm;
+  prm.ranks = 2;
+  prm.nx = 16;
+  prm.ny = 32;
+  prm.nz = 32;
+  const auto run = run_sweep3d_cluster(prm, true, ibs_config(256));
+  ASSERT_TRUE(run.profile.has_value());
+  ProcessCtx labels(rank_config(), 1, "sweep3d");
+  Sweep3dRank structure(labels, prm, nullptr);
+  const auto vars = analysis::variable_table(*run.profile, labels.actx(),
+                                             core::Metric::kLatency);
+  ASSERT_GE(vars.size(), 3u);
+  std::set<std::string> top;
+  for (std::size_t i = 0; i < 3; ++i) top.insert(vars[i].name);
+  EXPECT_TRUE(top.count("Flux"));
+  EXPECT_TRUE(top.count("Src"));
+}
+
+TEST(Amg, HybridClusterRunIsDeterministicAcrossRanks) {
+  const auto run = [] {
+    rt::Cluster cluster(2, node_config(), 4);
+    std::vector<double> checksums(2, 0);
+    cluster.run([&](rt::Rank& rank) {
+      ProcessCtx proc(rank, "amg");
+      Amg amg(proc, small_amg(), &rank);
+      checksums[static_cast<std::size_t>(rank.id())] = amg.run().checksum;
+    });
+    return checksums;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  // Both ranks run the same problem: identical results.
+  EXPECT_EQ(a[0], a[1]);
+}
+
+LuleshParams small_lulesh() {
+  LuleshParams prm;
+  prm.nelem = 6'000;
+  prm.iters = 1;
+  return prm;
+}
+
+TEST(Lulesh, FixesPreserveResultsExactly) {
+  double reference = 0;
+  for (int mode = 0; mode < 4; ++mode) {
+    LuleshParams prm = small_lulesh();
+    prm.interleave_heap = (mode & 1) != 0;
+    prm.transpose_static = (mode & 2) != 0;
+    ProcessCtx proc(node_config(), 8, "lulesh");
+    Lulesh lulesh(proc, prm);
+    const RunResult r = lulesh.run();
+    if (mode == 0) {
+      reference = r.checksum;
+    } else {
+      EXPECT_EQ(r.checksum, reference) << "mode " << mode;
+    }
+  }
+}
+
+TEST(Lulesh, ProfiledRunSeesStaticFElem) {
+  ProcessCtx proc(node_config(), 16, "lulesh");
+  LuleshParams prm = small_lulesh();
+  prm.nelem = 20'000;
+  prm.iters = 2;
+  Lulesh lulesh(proc, prm);
+  proc.enable_profiling(ibs_config(256));
+  lulesh.run();
+  const core::ThreadProfile merged = proc.merged_profile();
+  const auto vars = analysis::variable_table(merged, proc.actx(),
+                                             core::Metric::kLatency);
+  bool found = false;
+  for (const auto& v : vars) {
+    if (v.name == "f_elem") {
+      EXPECT_EQ(v.cls, core::StorageClass::kStatic);
+      EXPECT_GT(v.metrics[core::Metric::kLatency], 0u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Streamcluster, FirstTouchPreservesResultsExactly) {
+  StreamclusterParams prm;
+  prm.npoints = 6'000;
+  prm.dim = 8;
+  prm.iters = 1;
+  double reference = 0;
+  for (const bool fix : {false, true}) {
+    StreamclusterParams p = prm;
+    p.parallel_first_touch = fix;
+    ProcessCtx proc(node_config(), 8, "sc");
+    Streamcluster sc(proc, p);
+    const RunResult r = sc.run();
+    if (!fix) {
+      reference = r.checksum;
+    } else {
+      EXPECT_EQ(r.checksum, reference);
+    }
+  }
+}
+
+TEST(Streamcluster, FirstTouchImprovesSimulatedTime) {
+  StreamclusterParams prm;
+  prm.npoints = 24'000;
+  prm.dim = 16;
+  prm.iters = 2;
+  sim::Cycles base = 0;
+  for (const bool fix : {false, true}) {
+    StreamclusterParams p = prm;
+    p.parallel_first_touch = fix;
+    ProcessCtx proc(node_config(), 16, "sc");
+    Streamcluster sc(proc, p);
+    const RunResult r = sc.run();
+    if (!fix) {
+      base = r.sim_cycles;
+    } else {
+      EXPECT_LT(r.sim_cycles, base);
+    }
+  }
+}
+
+TEST(Streamcluster, BlockDominatesRemoteAccesses) {
+  StreamclusterParams prm;
+  prm.npoints = 24'000;
+  prm.dim = 16;
+  prm.iters = 2;
+  ProcessCtx proc(node_config(), 16, "sc");
+  Streamcluster sc(proc, prm);
+  proc.enable_profiling(rmem_config(32));
+  sc.run();
+  const core::ThreadProfile merged = proc.merged_profile();
+  const auto vars = analysis::variable_table(merged, proc.actx(),
+                                             core::Metric::kRemoteDram);
+  ASSERT_FALSE(vars.empty());
+  EXPECT_EQ(vars[0].name, "block");
+}
+
+TEST(Nw, InterleavePreservesResultsExactly) {
+  NwParams prm;
+  prm.n = 192;
+  double reference = 0;
+  for (const bool fix : {false, true}) {
+    NwParams p = prm;
+    p.interleave = fix;
+    ProcessCtx proc(node_config(), 8, "nw");
+    Nw nw(proc, p);
+    const RunResult r = nw.run();
+    if (!fix) {
+      reference = r.checksum;
+    } else {
+      EXPECT_EQ(r.checksum, reference);
+    }
+  }
+}
+
+TEST(Nw, DpRecurrenceIsCorrectOnTinyInput) {
+  // With penalty so large that gaps never win, the DP degenerates to the
+  // diagonal accumulation of reference scores — checkable by hand.
+  NwParams prm;
+  prm.n = 16;
+  prm.tile = 4;
+  prm.penalty = 1'000'000;
+  ProcessCtx proc(node_config(), 2, "nw");
+  Nw nw(proc, prm);
+  const RunResult r = nw.run();
+  // The final cell is finite and deterministic.
+  EXPECT_EQ(r.checksum, r.checksum);
+  ProcessCtx proc2(node_config(), 4, "nw");  // different thread count
+  Nw nw2(proc2, prm);
+  EXPECT_EQ(nw2.run().checksum, r.checksum)
+      << "wavefront result must not depend on the team size";
+}
+
+TEST(Nw, ReferrenceAndItemsetsAreTheHotVariables) {
+  NwParams prm;
+  prm.n = 512;
+  ProcessCtx proc(node_config(), 16, "nw");
+  Nw nw(proc, prm);
+  proc.enable_profiling(rmem_config(32));
+  nw.run();
+  const core::ThreadProfile merged = proc.merged_profile();
+  const auto vars = analysis::variable_table(merged, proc.actx(),
+                                             core::Metric::kRemoteDram);
+  ASSERT_GE(vars.size(), 2u);
+  std::set<std::string> top{vars[0].name, vars[1].name};
+  EXPECT_TRUE(top.count("referrence"));
+  EXPECT_TRUE(top.count("input_itemsets"));
+}
+
+}  // namespace
+}  // namespace dcprof::wl

@@ -1,0 +1,176 @@
+// dcprof_analyze — the post-mortem analyzer CLI (the hpcprof analog).
+//
+// Usage:
+//   dcprof_analyze <measurement-dir> [--metric samples|latency|rdram]
+//                  [--top-down heap|static|stack|unknown] [--advice]
+//                  [--html <file>]
+//
+// Loads a measurement directory (per-thread profile files + a structure
+// file), reduces the profiles, and prints the storage-class summary,
+// the data-centric variable view, the hot-access view, the bottom-up
+// allocation-site view, and (with --advice) optimization guidance.
+
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+
+#include "analysis/advisor.h"
+#include "analysis/html_report.h"
+#include "analysis/merge.h"
+#include "analysis/report.h"
+#include "analysis/views.h"
+#include "core/measurement.h"
+
+using namespace dcprof;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <measurement-dir> [--metric "
+               "samples|latency|rdram] [--top-down "
+               "heap|static|stack|unknown] [--advice] [--html <file>]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string dir = argv[1];
+  core::Metric metric = core::Metric::kLatency;
+  std::string top_down_class;
+  std::string html_path;
+  bool advice = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metric" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "samples") {
+        metric = core::Metric::kSamples;
+      } else if (name == "latency") {
+        metric = core::Metric::kLatency;
+      } else if (name == "rdram") {
+        metric = core::Metric::kRemoteDram;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--top-down" && i + 1 < argc) {
+      top_down_class = argv[++i];
+    } else if (arg == "--advice") {
+      advice = true;
+    } else if (arg == "--html" && i + 1 < argc) {
+      html_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  core::Measurement m;
+  try {
+    m = core::read_measurement_dir(dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("loaded %zu profiles (%s bytes) from %s\n",
+              m.profiles.size(),
+              analysis::format_count(m.total_bytes).c_str(), dir.c_str());
+
+  analysis::AnalysisContext pre_ctx;
+  const auto threads = analysis::thread_table(m.profiles);
+  const std::size_t nprofiles = m.profiles.size();
+  core::ThreadProfile merged = analysis::reduce(std::move(m.profiles));
+  std::printf("merged: %s samples across %zu profiles\n\n",
+              analysis::format_count(merged.total_samples()).c_str(),
+              nprofiles);
+
+  analysis::AnalysisContext ctx;
+  ctx.modules = &m.structure;
+  ctx.alloc_names = &m.structure.alloc_names();
+
+  const analysis::ClassSummary summary = analysis::summarize(merged);
+  analysis::Table classes({"storage class", to_string(metric), "share"});
+  for (std::size_t c = 0; c < core::kNumStorageClasses; ++c) {
+    const auto cls = static_cast<core::StorageClass>(c);
+    classes.add_row(
+        {to_string(cls),
+         analysis::format_count(summary.per_class[c][metric]),
+         analysis::format_percent(summary.fraction(cls, metric))});
+  }
+  std::printf("%s\n", classes.render().c_str());
+
+  const auto vars = analysis::variable_table(merged, ctx, metric);
+  std::printf("%s\n",
+              analysis::render_variables(vars, summary, metric).c_str());
+
+  const auto accesses =
+      analysis::access_table(merged, core::StorageClass::kHeap, ctx, metric);
+  analysis::Table hot({"variable", "access site", to_string(metric)});
+  for (std::size_t i = 0; i < accesses.size() && i < 10; ++i) {
+    hot.add_row({accesses[i].variable, accesses[i].site,
+                 analysis::format_count(accesses[i].metrics[metric])});
+  }
+  std::printf("hot heap accesses:\n%s\n", hot.render().c_str());
+
+  const auto funcs = analysis::function_table(merged, ctx, metric);
+  analysis::Table flat({"function", "file", to_string(metric)});
+  for (std::size_t i = 0; i < funcs.size() && i < 10; ++i) {
+    flat.add_row({funcs[i].func, funcs[i].file,
+                  analysis::format_count(funcs[i].metrics[metric])});
+  }
+  std::printf("code-centric flat view:\n%s\n", flat.render().c_str());
+
+  if (threads.size() > 1) {
+    std::uint64_t lo = ~0ull;
+    std::uint64_t hi = 0;
+    for (const auto& t : threads) {
+      lo = std::min(lo, t.metrics[core::Metric::kSamples]);
+      hi = std::max(hi, t.metrics[core::Metric::kSamples]);
+    }
+    std::printf("per-thread samples: min %s, max %s across %zu threads\n\n",
+                analysis::format_count(lo).c_str(),
+                analysis::format_count(hi).c_str(), threads.size());
+  }
+  (void)pre_ctx;
+
+  if (!top_down_class.empty()) {
+    core::StorageClass cls = core::StorageClass::kHeap;
+    if (top_down_class == "static") {
+      cls = core::StorageClass::kStatic;
+    } else if (top_down_class == "stack") {
+      cls = core::StorageClass::kStack;
+    } else if (top_down_class == "unknown") {
+      cls = core::StorageClass::kUnknown;
+    } else if (top_down_class != "heap") {
+      return usage(argv[0]);
+    }
+    std::printf("%s\n",
+                analysis::render_top_down(merged, cls, ctx, {metric})
+                    .c_str());
+  }
+
+  if (advice) {
+    std::printf("== guidance ==\n%s",
+                analysis::render_advice(analysis::advise(merged, ctx))
+                    .c_str());
+  }
+
+  if (!html_path.empty()) {
+    analysis::HtmlReportOptions opt;
+    opt.title = "dcprof report: " + dir;
+    opt.metric = metric;
+    std::ofstream html(html_path);
+    if (!html) {
+      std::fprintf(stderr, "error: cannot write %s\n", html_path.c_str());
+      return 1;
+    }
+    html << analysis::render_html_report(merged, ctx, opt);
+    std::printf("wrote HTML report to %s\n", html_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// dcprof_measure — the measurement CLI (the hpcrun analog): runs one of
+// the case-study workloads under the data-centric profiler and writes a
+// measurement directory for dcprof_analyze.
+//
+// Usage:
+//   dcprof_measure <amg|lulesh|streamcluster|nw|sweep3d> <out-dir>
+//                  [--event ibs|rmem] [--period N] [--threads N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "rt/cluster.h"
+#include "workloads/amg.h"
+#include "workloads/harness.h"
+#include "workloads/lulesh.h"
+#include "workloads/nw.h"
+#include "workloads/streamcluster.h"
+#include "workloads/sweep3d.h"
+
+using namespace dcprof;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <amg|lulesh|streamcluster|nw|sweep3d> <out-dir> "
+               "[--event ibs|rmem] [--period N] [--threads N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string workload = argv[1];
+  const std::string dir = argv[2];
+  std::string event = "ibs";
+  std::uint64_t period = 0;
+  int threads = 16;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--event" && i + 1 < argc) {
+      event = argv[++i];
+    } else if (arg == "--period" && i + 1 < argc) {
+      period = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  std::vector<pmu::PmuConfig> pmu_cfg;
+  if (event == "ibs") {
+    pmu_cfg = wl::ibs_config(period != 0 ? period : 1024);
+  } else if (event == "rmem") {
+    pmu_cfg = wl::rmem_config(period != 0 ? period : 64);
+  } else {
+    return usage(argv[0]);
+  }
+
+  // Sweep3D is pure MPI: run the cluster, each rank writing its own
+  // per-thread profiles (plus the shared structure file) into the dir.
+  if (workload == "sweep3d") {
+    rt::Cluster cluster(8, wl::rank_config(), 1);
+    wl::Sweep3dParams prm;
+    std::mutex mu;
+    std::uint64_t bytes = 0;
+    cluster.run([&](rt::Rank& rank) {
+      wl::ProcessCtx proc(rank, "sweep3d");
+      proc.enable_profiling(pmu_cfg, {}, rank.id());
+      wl::Sweep3dRank w(proc, prm, &rank);
+      w.run();
+      std::lock_guard lock(mu);
+      bytes += proc.write_measurements(dir);
+    });
+    std::printf("sweep3d: wrote %llu bytes of measurement data (8 ranks) "
+                "to %s\n",
+                static_cast<unsigned long long>(bytes), dir.c_str());
+    std::printf("analyze with: dcprof_analyze %s --metric %s\n",
+                dir.c_str(), event == "ibs" ? "latency" : "rdram");
+    return 0;
+  }
+
+  wl::ProcessCtx proc(wl::node_config(), threads, workload);
+  wl::RunResult result;
+  if (workload == "amg") {
+    wl::Amg w(proc, wl::AmgParams{});
+    proc.enable_profiling(pmu_cfg);
+    result = w.run();
+  } else if (workload == "lulesh") {
+    wl::Lulesh w(proc, wl::LuleshParams{});
+    proc.enable_profiling(pmu_cfg);
+    result = w.run();
+  } else if (workload == "streamcluster") {
+    wl::Streamcluster w(proc, wl::StreamclusterParams{});
+    proc.enable_profiling(pmu_cfg);
+    result = w.run();
+  } else if (workload == "nw") {
+    wl::Nw w(proc, wl::NwParams{});
+    proc.enable_profiling(pmu_cfg);
+    result = w.run();
+  } else {
+    return usage(argv[0]);
+  }
+
+  const std::uint64_t bytes = proc.write_measurements(dir);
+  std::printf("%s: %llu simulated cycles, checksum %.6g\n",
+              workload.c_str(),
+              static_cast<unsigned long long>(result.sim_cycles),
+              result.checksum);
+  std::printf("wrote %llu bytes of measurement data to %s\n",
+              static_cast<unsigned long long>(bytes), dir.c_str());
+  std::printf("analyze with: dcprof_analyze %s --metric %s --advice\n",
+              dir.c_str(), event == "ibs" ? "latency" : "rdram");
+  return 0;
+}
