@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_streamcluster.dir/fig10_streamcluster.cpp.o"
+  "CMakeFiles/fig10_streamcluster.dir/fig10_streamcluster.cpp.o.d"
+  "fig10_streamcluster"
+  "fig10_streamcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_streamcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

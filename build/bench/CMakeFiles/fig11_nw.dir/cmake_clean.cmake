@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_nw.dir/fig11_nw.cpp.o"
+  "CMakeFiles/fig11_nw.dir/fig11_nw.cpp.o.d"
+  "fig11_nw"
+  "fig11_nw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_nw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

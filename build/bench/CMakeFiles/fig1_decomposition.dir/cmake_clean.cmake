@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_decomposition.dir/fig1_decomposition.cpp.o"
+  "CMakeFiles/fig1_decomposition.dir/fig1_decomposition.cpp.o.d"
+  "fig1_decomposition"
+  "fig1_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_amg_topdown.dir/fig4_amg_topdown.cpp.o"
+  "CMakeFiles/fig4_amg_topdown.dir/fig4_amg_topdown.cpp.o.d"
+  "fig4_amg_topdown"
+  "fig4_amg_topdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_amg_topdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_amg_bottomup.dir/fig5_amg_bottomup.cpp.o"
+  "CMakeFiles/fig5_amg_bottomup.dir/fig5_amg_bottomup.cpp.o.d"
+  "fig5_amg_bottomup"
+  "fig5_amg_bottomup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_amg_bottomup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sweep3d_vars.dir/fig6_sweep3d_vars.cpp.o"
+  "CMakeFiles/fig6_sweep3d_vars.dir/fig6_sweep3d_vars.cpp.o.d"
+  "fig6_sweep3d_vars"
+  "fig6_sweep3d_vars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sweep3d_vars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

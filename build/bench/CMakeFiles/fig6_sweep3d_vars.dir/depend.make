@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_sweep3d_vars.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_sweep3d_fix.dir/fig7_sweep3d_fix.cpp.o"
+  "CMakeFiles/fig7_sweep3d_fix.dir/fig7_sweep3d_fix.cpp.o.d"
+  "fig7_sweep3d_fix"
+  "fig7_sweep3d_fix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sweep3d_fix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

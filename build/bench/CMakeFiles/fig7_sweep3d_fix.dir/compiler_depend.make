@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_sweep3d_fix.
+# This may be replaced when dependencies are built.

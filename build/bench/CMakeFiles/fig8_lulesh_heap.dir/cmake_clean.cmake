@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_lulesh_heap.dir/fig8_lulesh_heap.cpp.o"
+  "CMakeFiles/fig8_lulesh_heap.dir/fig8_lulesh_heap.cpp.o.d"
+  "fig8_lulesh_heap"
+  "fig8_lulesh_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_lulesh_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

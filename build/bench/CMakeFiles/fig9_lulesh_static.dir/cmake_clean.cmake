@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_lulesh_static.dir/fig9_lulesh_static.cpp.o"
+  "CMakeFiles/fig9_lulesh_static.dir/fig9_lulesh_static.cpp.o.d"
+  "fig9_lulesh_static"
+  "fig9_lulesh_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_lulesh_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_amg_numa.dir/table2_amg_numa.cpp.o"
+  "CMakeFiles/table2_amg_numa.dir/table2_amg_numa.cpp.o.d"
+  "table2_amg_numa"
+  "table2_amg_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_amg_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_ranks.dir/hybrid_ranks.cpp.o"
+  "CMakeFiles/hybrid_ranks.dir/hybrid_ranks.cpp.o.d"
+  "hybrid_ranks"
+  "hybrid_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

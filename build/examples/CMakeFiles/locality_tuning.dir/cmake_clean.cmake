@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_tuning.dir/locality_tuning.cpp.o"
+  "CMakeFiles/locality_tuning.dir/locality_tuning.cpp.o.d"
+  "locality_tuning"
+  "locality_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

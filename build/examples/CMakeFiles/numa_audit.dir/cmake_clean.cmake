@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_audit.dir/numa_audit.cpp.o"
+  "CMakeFiles/numa_audit.dir/numa_audit.cpp.o.d"
+  "numa_audit"
+  "numa_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/advisor.cpp" "src/analysis/CMakeFiles/dc_analysis.dir/advisor.cpp.o" "gcc" "src/analysis/CMakeFiles/dc_analysis.dir/advisor.cpp.o.d"
+  "/root/repo/src/analysis/derived.cpp" "src/analysis/CMakeFiles/dc_analysis.dir/derived.cpp.o" "gcc" "src/analysis/CMakeFiles/dc_analysis.dir/derived.cpp.o.d"
+  "/root/repo/src/analysis/html_report.cpp" "src/analysis/CMakeFiles/dc_analysis.dir/html_report.cpp.o" "gcc" "src/analysis/CMakeFiles/dc_analysis.dir/html_report.cpp.o.d"
+  "/root/repo/src/analysis/merge.cpp" "src/analysis/CMakeFiles/dc_analysis.dir/merge.cpp.o" "gcc" "src/analysis/CMakeFiles/dc_analysis.dir/merge.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/dc_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/dc_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/views.cpp" "src/analysis/CMakeFiles/dc_analysis.dir/views.cpp.o" "gcc" "src/analysis/CMakeFiles/dc_analysis.dir/views.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/dc_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/dc_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/binfmt/CMakeFiles/dc_binfmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

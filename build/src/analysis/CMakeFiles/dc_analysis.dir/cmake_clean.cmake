@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_analysis.dir/advisor.cpp.o"
+  "CMakeFiles/dc_analysis.dir/advisor.cpp.o.d"
+  "CMakeFiles/dc_analysis.dir/derived.cpp.o"
+  "CMakeFiles/dc_analysis.dir/derived.cpp.o.d"
+  "CMakeFiles/dc_analysis.dir/html_report.cpp.o"
+  "CMakeFiles/dc_analysis.dir/html_report.cpp.o.d"
+  "CMakeFiles/dc_analysis.dir/merge.cpp.o"
+  "CMakeFiles/dc_analysis.dir/merge.cpp.o.d"
+  "CMakeFiles/dc_analysis.dir/report.cpp.o"
+  "CMakeFiles/dc_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/dc_analysis.dir/views.cpp.o"
+  "CMakeFiles/dc_analysis.dir/views.cpp.o.d"
+  "libdc_analysis.a"
+  "libdc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binfmt/load_module.cpp" "src/binfmt/CMakeFiles/dc_binfmt.dir/load_module.cpp.o" "gcc" "src/binfmt/CMakeFiles/dc_binfmt.dir/load_module.cpp.o.d"
+  "/root/repo/src/binfmt/structure.cpp" "src/binfmt/CMakeFiles/dc_binfmt.dir/structure.cpp.o" "gcc" "src/binfmt/CMakeFiles/dc_binfmt.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_binfmt.dir/load_module.cpp.o"
+  "CMakeFiles/dc_binfmt.dir/load_module.cpp.o.d"
+  "CMakeFiles/dc_binfmt.dir/structure.cpp.o"
+  "CMakeFiles/dc_binfmt.dir/structure.cpp.o.d"
+  "libdc_binfmt.a"
+  "libdc_binfmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_binfmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

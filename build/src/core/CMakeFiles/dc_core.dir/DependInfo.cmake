@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alloc_tracker.cpp" "src/core/CMakeFiles/dc_core.dir/alloc_tracker.cpp.o" "gcc" "src/core/CMakeFiles/dc_core.dir/alloc_tracker.cpp.o.d"
+  "/root/repo/src/core/cct.cpp" "src/core/CMakeFiles/dc_core.dir/cct.cpp.o" "gcc" "src/core/CMakeFiles/dc_core.dir/cct.cpp.o.d"
+  "/root/repo/src/core/measurement.cpp" "src/core/CMakeFiles/dc_core.dir/measurement.cpp.o" "gcc" "src/core/CMakeFiles/dc_core.dir/measurement.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/dc_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/dc_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/dc_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/dc_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/dc_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/dc_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/dc_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/dc_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/var_map.cpp" "src/core/CMakeFiles/dc_core.dir/var_map.cpp.o" "gcc" "src/core/CMakeFiles/dc_core.dir/var_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/binfmt/CMakeFiles/dc_binfmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/dc_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/dc_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_core.dir/alloc_tracker.cpp.o"
+  "CMakeFiles/dc_core.dir/alloc_tracker.cpp.o.d"
+  "CMakeFiles/dc_core.dir/cct.cpp.o"
+  "CMakeFiles/dc_core.dir/cct.cpp.o.d"
+  "CMakeFiles/dc_core.dir/measurement.cpp.o"
+  "CMakeFiles/dc_core.dir/measurement.cpp.o.d"
+  "CMakeFiles/dc_core.dir/metrics.cpp.o"
+  "CMakeFiles/dc_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/dc_core.dir/profile.cpp.o"
+  "CMakeFiles/dc_core.dir/profile.cpp.o.d"
+  "CMakeFiles/dc_core.dir/profiler.cpp.o"
+  "CMakeFiles/dc_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/dc_core.dir/trace.cpp.o"
+  "CMakeFiles/dc_core.dir/trace.cpp.o.d"
+  "CMakeFiles/dc_core.dir/var_map.cpp.o"
+  "CMakeFiles/dc_core.dir/var_map.cpp.o.d"
+  "libdc_core.a"
+  "libdc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

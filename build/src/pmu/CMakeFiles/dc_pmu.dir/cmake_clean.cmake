@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_pmu.dir/pmu.cpp.o"
+  "CMakeFiles/dc_pmu.dir/pmu.cpp.o.d"
+  "libdc_pmu.a"
+  "libdc_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/alloc.cpp" "src/rt/CMakeFiles/dc_rt.dir/alloc.cpp.o" "gcc" "src/rt/CMakeFiles/dc_rt.dir/alloc.cpp.o.d"
+  "/root/repo/src/rt/cluster.cpp" "src/rt/CMakeFiles/dc_rt.dir/cluster.cpp.o" "gcc" "src/rt/CMakeFiles/dc_rt.dir/cluster.cpp.o.d"
+  "/root/repo/src/rt/team.cpp" "src/rt/CMakeFiles/dc_rt.dir/team.cpp.o" "gcc" "src/rt/CMakeFiles/dc_rt.dir/team.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/binfmt/CMakeFiles/dc_binfmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

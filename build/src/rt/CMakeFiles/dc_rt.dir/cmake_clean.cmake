@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_rt.dir/alloc.cpp.o"
+  "CMakeFiles/dc_rt.dir/alloc.cpp.o.d"
+  "CMakeFiles/dc_rt.dir/cluster.cpp.o"
+  "CMakeFiles/dc_rt.dir/cluster.cpp.o.d"
+  "CMakeFiles/dc_rt.dir/team.cpp.o"
+  "CMakeFiles/dc_rt.dir/team.cpp.o.d"
+  "libdc_rt.a"
+  "libdc_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

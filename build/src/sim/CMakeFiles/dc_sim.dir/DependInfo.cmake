@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/address_space.cpp" "src/sim/CMakeFiles/dc_sim.dir/address_space.cpp.o" "gcc" "src/sim/CMakeFiles/dc_sim.dir/address_space.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/dc_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/dc_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/dc_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/dc_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/memory_system.cpp" "src/sim/CMakeFiles/dc_sim.dir/memory_system.cpp.o" "gcc" "src/sim/CMakeFiles/dc_sim.dir/memory_system.cpp.o.d"
+  "/root/repo/src/sim/page_table.cpp" "src/sim/CMakeFiles/dc_sim.dir/page_table.cpp.o" "gcc" "src/sim/CMakeFiles/dc_sim.dir/page_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_sim.dir/address_space.cpp.o"
+  "CMakeFiles/dc_sim.dir/address_space.cpp.o.d"
+  "CMakeFiles/dc_sim.dir/cache.cpp.o"
+  "CMakeFiles/dc_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/dc_sim.dir/machine.cpp.o"
+  "CMakeFiles/dc_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/dc_sim.dir/memory_system.cpp.o"
+  "CMakeFiles/dc_sim.dir/memory_system.cpp.o.d"
+  "CMakeFiles/dc_sim.dir/page_table.cpp.o"
+  "CMakeFiles/dc_sim.dir/page_table.cpp.o.d"
+  "libdc_sim.a"
+  "libdc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

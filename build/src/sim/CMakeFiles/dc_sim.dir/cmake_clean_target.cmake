@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdc_sim.a"
+)

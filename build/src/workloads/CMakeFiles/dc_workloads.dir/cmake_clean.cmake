@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_workloads.dir/amg.cpp.o"
+  "CMakeFiles/dc_workloads.dir/amg.cpp.o.d"
+  "CMakeFiles/dc_workloads.dir/harness.cpp.o"
+  "CMakeFiles/dc_workloads.dir/harness.cpp.o.d"
+  "CMakeFiles/dc_workloads.dir/lulesh.cpp.o"
+  "CMakeFiles/dc_workloads.dir/lulesh.cpp.o.d"
+  "CMakeFiles/dc_workloads.dir/nw.cpp.o"
+  "CMakeFiles/dc_workloads.dir/nw.cpp.o.d"
+  "CMakeFiles/dc_workloads.dir/streamcluster.cpp.o"
+  "CMakeFiles/dc_workloads.dir/streamcluster.cpp.o.d"
+  "CMakeFiles/dc_workloads.dir/sweep3d.cpp.o"
+  "CMakeFiles/dc_workloads.dir/sweep3d.cpp.o.d"
+  "libdc_workloads.a"
+  "libdc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cct.dir/test_cct.cpp.o"
+  "CMakeFiles/test_cct.dir/test_cct.cpp.o.d"
+  "test_cct"
+  "test_cct.pdb"
+  "test_cct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merge_views.dir/test_merge_views.cpp.o"
+  "CMakeFiles/test_merge_views.dir/test_merge_views.cpp.o.d"
+  "test_merge_views"
+  "test_merge_views.pdb"
+  "test_merge_views[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merge_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numa_topology.dir/test_numa_topology.cpp.o"
+  "CMakeFiles/test_numa_topology.dir/test_numa_topology.cpp.o.d"
+  "test_numa_topology"
+  "test_numa_topology.pdb"
+  "test_numa_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numa_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_var_map.dir/test_var_map.cpp.o"
+  "CMakeFiles/test_var_map.dir/test_var_map.cpp.o.d"
+  "test_var_map"
+  "test_var_map.pdb"
+  "test_var_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_var_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcprof_analyze.dir/dcprof_analyze.cpp.o"
+  "CMakeFiles/dcprof_analyze.dir/dcprof_analyze.cpp.o.d"
+  "dcprof_analyze"
+  "dcprof_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcprof_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcprof_measure.dir/dcprof_measure.cpp.o"
+  "CMakeFiles/dcprof_measure.dir/dcprof_measure.cpp.o.d"
+  "dcprof_measure"
+  "dcprof_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcprof_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
