@@ -29,6 +29,60 @@ void merge_into(ThreadProfile& dst, const ThreadProfile& src) {
   dst.tid = -1;
 }
 
+namespace {
+
+/// Replays the exact operation sequence of merge_into(dst, read(in)) —
+/// same child() insert order, same string-intern order, same rank/tid
+/// aggregation — straight off the serialized stream.
+class StreamMerger final : public core::ProfileVisitor {
+ public:
+  explicit StreamMerger(ThreadProfile& dst) : dst_(dst) {}
+
+  void on_header(std::int32_t rank, std::int32_t tid) override {
+    if (dst_.rank != rank) dst_.rank = -1;
+    dst_.tid = -1;
+    (void)tid;
+  }
+  void on_string(const std::string& s) override { strings_.push_back(s); }
+  void on_cct_begin(std::size_t class_index, std::uint32_t) override {
+    class_ = class_index;
+    remap_.clear();
+  }
+  void on_node(std::size_t, NodeKind kind, std::uint64_t sym,
+               std::uint32_t parent, const core::MetricVec& m) override {
+    Cct& cct = dst_.ccts[class_];
+    total_ += m;
+    if (remap_.empty()) {  // the source CCT's root
+      remap_.push_back(Cct::kRootId);
+      cct.add_metrics(Cct::kRootId, m);
+      return;
+    }
+    if (kind == NodeKind::kVarStatic) {
+      sym = dst_.strings.intern(strings_[sym]);
+    }
+    const Cct::NodeId mine = cct.child(remap_[parent], kind, sym);
+    remap_.push_back(mine);
+    cct.add_metrics(mine, m);
+  }
+
+  const core::MetricVec& total() const { return total_; }
+
+ private:
+  ThreadProfile& dst_;
+  std::vector<std::string> strings_;
+  std::vector<Cct::NodeId> remap_;
+  std::size_t class_ = 0;
+  core::MetricVec total_;
+};
+
+}  // namespace
+
+core::MetricVec merge_serialized(ThreadProfile& dst, std::istream& in) {
+  StreamMerger merger(dst);
+  ThreadProfile::scan(in, merger);
+  return merger.total();
+}
+
 ThreadProfile reduce(std::vector<ThreadProfile> profiles) {
   if (profiles.empty()) {
     throw std::invalid_argument("reduce: no profiles");

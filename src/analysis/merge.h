@@ -5,6 +5,8 @@
 // reduction tree, mirroring the paper's MPI-based parallel reduction.
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "core/profile.h"
@@ -13,6 +15,16 @@ namespace dcprof::analysis {
 
 /// Merges `src` into `dst` (all four storage-class CCTs).
 void merge_into(core::ThreadProfile& dst, const core::ThreadProfile& src);
+
+/// Streaming merge: parses one serialized profile from `in` and merges
+/// it into `dst` node-by-node, never materializing the source profile —
+/// the memory-bounded building block of the analysis pipeline. The
+/// result is byte-identical to `merge_into(dst, ThreadProfile::read(in))`.
+/// Throws std::runtime_error on corrupt input; `dst` may then be
+/// partially updated, so validate untrusted input first (one scan with a
+/// no-op visitor) or discard `dst` on failure. Returns the source
+/// profile's per-node metric total (the thread_table row value).
+core::MetricVec merge_serialized(core::ThreadProfile& dst, std::istream& in);
 
 /// Reduces a set of per-thread/per-rank profiles to one aggregate profile
 /// via pairwise reduction-tree rounds. Consumes the input.

@@ -1,0 +1,247 @@
+#include "analysis/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "analysis/merge.h"
+#include "core/measurement.h"
+
+namespace dcprof::analysis {
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Counts simultaneously resident (deserialized) profiles and keeps the
+/// run's high-water mark — the pipeline's memory-bound witness.
+class ResidencyGauge {
+ public:
+  void acquire() {
+    const int now = current_.fetch_add(1) + 1;
+    int peak = peak_.load();
+    while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
+    }
+  }
+  void release() { current_.fetch_sub(1); }
+  int peak() const { return peak_.load(); }
+
+ private:
+  std::atomic<int> current_{0};
+  std::atomic<int> peak_{0};
+};
+
+std::string read_file_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// First pass over a file's bytes: full format validation (so the
+/// streaming merge below cannot fail half-way through mutating a
+/// partial) plus the header and metric totals for the thread table.
+class ValidatingVisitor final : public core::ProfileVisitor {
+ public:
+  void on_header(std::int32_t rank, std::int32_t tid) override {
+    rank_ = rank;
+    tid_ = tid;
+  }
+  void on_node(std::size_t, core::NodeKind, std::uint64_t, std::uint32_t,
+               const core::MetricVec& m) override {
+    total_ += m;
+  }
+
+  ThreadRow row() const {
+    ThreadRow r;
+    r.rank = rank_;
+    r.tid = tid_;
+    r.metrics = total_;
+    return r;
+  }
+
+ private:
+  std::int32_t rank_ = 0;
+  std::int32_t tid_ = 0;
+  core::MetricVec total_;
+};
+
+/// Everything one worker produces from its contiguous shard of the
+/// sorted file list.
+struct WorkerOutput {
+  std::optional<core::ThreadProfile> partial;
+  std::vector<ThreadRow> threads;
+  std::vector<std::string> skipped;
+  std::uint64_t bytes = 0;
+  std::size_t files_read = 0;
+  std::exception_ptr error;
+};
+
+template <typename Rows>
+void truncate_rows(Rows& rows, std::size_t top_n) {
+  if (top_n != 0 && rows.size() > top_n) rows.resize(top_n);
+}
+
+}  // namespace
+
+AnalysisContext AnalysisResult::context() const {
+  AnalysisContext ctx;
+  ctx.modules = &structure;
+  ctx.alloc_names = &structure.alloc_names();
+  return ctx;
+}
+
+AnalysisResult Analyzer::run(const fs::path& dir) const {
+  const auto t_start = Clock::now();
+  AnalysisResult result;
+
+  // Stage 1: discover.
+  result.structure = core::read_structure_file(dir);
+  result.bytes_streamed += fs::file_size(dir / "structure.dcst");
+  const std::vector<fs::path> files = core::list_profile_files(dir);
+  result.files_discovered = files.size();
+  if (files.empty()) {
+    throw std::runtime_error("no profiles in " + dir.string());
+  }
+  result.timings.discover_ms = ms_since(t_start);
+
+  // Stage 2: stream. Contiguous shards keep the overall fold order equal
+  // to the sorted file list, so the result is byte-identical to
+  // reduce(); within a shard each worker holds exactly one deserialized
+  // profile (its running partial) because every file after the first is
+  // merged straight off its serialized bytes.
+  const auto t_stream = Clock::now();
+  const int workers = std::clamp<int>(
+      options_.workers, 1, static_cast<int>(files.size()));
+  const bool skip_corrupt = options_.skip_corrupt;
+  const bool want_threads = (options_.views & kViewThreads) != 0;
+  std::vector<WorkerOutput> outs(static_cast<std::size_t>(workers));
+  ResidencyGauge gauge;
+
+  const auto shard = [&](std::size_t begin, std::size_t end,
+                         WorkerOutput& out) {
+    try {
+      for (std::size_t i = begin; i < end; ++i) {
+        std::istringstream in(read_file_bytes(files[i]));
+        ValidatingVisitor validator;
+        try {
+          core::ThreadProfile::scan(in, validator);
+          if (in.peek() != std::istringstream::traits_type::eof()) {
+            throw std::runtime_error("trailing bytes after profile data");
+          }
+        } catch (const std::exception& e) {
+          if (!skip_corrupt) {
+            throw std::runtime_error(files[i].string() + ": " + e.what());
+          }
+          out.skipped.push_back(files[i].string() + ": " + e.what());
+          continue;
+        }
+        in.clear();
+        in.seekg(0);
+        if (!out.partial) {
+          out.partial = core::ThreadProfile::read(in);
+          gauge.acquire();
+        } else {
+          merge_serialized(*out.partial, in);
+        }
+        if (want_threads) out.threads.push_back(validator.row());
+        out.bytes += static_cast<std::uint64_t>(in.view().size());
+        ++out.files_read;
+      }
+    } catch (...) {
+      out.error = std::current_exception();
+    }
+  };
+
+  if (workers == 1) {
+    shard(0, files.size(), outs[0]);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      const std::size_t begin = files.size() * w / workers;
+      const std::size_t end = files.size() * (w + 1) / workers;
+      pool.emplace_back(shard, begin, end, std::ref(outs[w]));
+    }
+    for (auto& t : pool) t.join();
+  }
+  for (auto& out : outs) {
+    if (out.error) std::rethrow_exception(out.error);
+  }
+  for (auto& out : outs) {
+    result.files_read += out.files_read;
+    result.bytes_streamed += out.bytes;
+    for (auto& row : out.threads) result.threads.push_back(row);
+    for (auto& s : out.skipped) result.skipped.push_back(std::move(s));
+  }
+  result.files_skipped = result.skipped.size();
+  result.workers_used = workers;
+  result.timings.stream_ms = ms_since(t_stream);
+
+  // Stage 3: combine the worker partials, in shard order.
+  const auto t_combine = Clock::now();
+  std::optional<core::ThreadProfile> merged;
+  for (auto& out : outs) {
+    if (!out.partial) continue;  // shard was all-corrupt
+    if (!merged) {
+      merged = std::move(*out.partial);
+    } else {
+      merge_into(*merged, *out.partial);
+      gauge.release();
+    }
+    out.partial.reset();
+  }
+  if (!merged) {
+    throw std::runtime_error("no readable profiles in " + dir.string());
+  }
+  result.merged = std::move(*merged);
+  result.peak_resident_profiles = static_cast<std::size_t>(gauge.peak());
+  result.timings.combine_ms = ms_since(t_combine);
+
+  // Stage 4: views.
+  const auto t_views = Clock::now();
+  const unsigned views = options_.views;
+  const core::Metric metric = options_.sort_metric;
+  const AnalysisContext ctx = result.context();
+  if (views & (kViewSummary | kViewVariables)) {
+    result.summary = summarize(result.merged);
+  }
+  if (views & kViewVariables) {
+    result.variables = variable_table(result.merged, ctx, metric);
+    truncate_rows(result.variables, options_.top_n);
+  }
+  if (views & kViewHotAccesses) {
+    result.hot_accesses =
+        access_table(result.merged, core::StorageClass::kHeap, ctx, metric);
+    truncate_rows(result.hot_accesses, options_.top_n);
+  }
+  if (views & kViewFunctions) {
+    result.functions = function_table(result.merged, ctx, metric);
+    truncate_rows(result.functions, options_.top_n);
+  }
+  if (views & kViewAllocSites) {
+    result.alloc_sites = bottom_up_alloc_sites(result.merged, ctx, metric);
+    truncate_rows(result.alloc_sites, options_.top_n);
+  }
+  if (views & kViewAdvice) {
+    result.advice = advise(result.merged, ctx, options_.advisor);
+  }
+  result.timings.views_ms = ms_since(t_views);
+  result.timings.total_ms = ms_since(t_start);
+  return result;
+}
+
+}  // namespace dcprof::analysis

@@ -1,0 +1,120 @@
+// The unified post-mortem analysis entry point. `Analyzer::run` turns a
+// measurement directory into a merged profile plus the rendered-view
+// tables, using a streaming, memory-bounded pipeline:
+//
+//   discover   list profile-<rank>-<tid>.dcpf files + load structure
+//   stream     `workers` host threads each fold a contiguous shard of
+//              the file list into one partial aggregate, merging every
+//              profile *as it is read* (analysis/merge.h streaming merge)
+//   combine    fold the <= `workers` partials, in shard order
+//   views      compute the selected presentation tables
+//
+// Peak residency is bounded by the worker count — at most one
+// deserialized profile (its running partial) per worker, never the whole
+// directory — which is what lets analysis scale to rank*thread counts
+// whose profiles do not fit in memory (the paper's parallel reduction,
+// recast as an out-of-core fold). The merged output is byte-identical
+// to `reduce(read_measurement_dir(dir).profiles)`.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/advisor.h"
+#include "analysis/views.h"
+#include "binfmt/structure.h"
+#include "core/metrics.h"
+#include "core/profile.h"
+
+namespace dcprof::analysis {
+
+/// Bitmask of the post-merge tables Analyzer::run computes.
+enum View : unsigned {
+  kViewNone = 0,
+  kViewSummary = 1u << 0,      ///< per-storage-class totals
+  kViewVariables = 1u << 1,    ///< data-centric variable table
+  kViewHotAccesses = 1u << 2,  ///< heap access-site table
+  kViewFunctions = 1u << 3,    ///< code-centric flat table
+  kViewAllocSites = 1u << 4,   ///< bottom-up allocation-site table
+  kViewThreads = 1u << 5,      ///< per-profile totals (pre-merge)
+  kViewAdvice = 1u << 6,       ///< rule-based optimization guidance
+  kViewAll = (1u << 7) - 1,
+};
+
+/// Wall time per pipeline stage, in milliseconds.
+struct StageTimings {
+  double discover_ms = 0;  ///< directory listing + structure load
+  double stream_ms = 0;    ///< parallel read + streaming merge
+  double combine_ms = 0;   ///< fold of the worker partials
+  double views_ms = 0;     ///< post-merge table computation
+  double total_ms = 0;
+};
+
+struct AnalysisResult {
+  core::ThreadProfile merged;       ///< aggregate over all readable profiles
+  binfmt::StructureData structure;  ///< symbol info for rendering
+
+  // Pipeline statistics.
+  std::size_t files_discovered = 0;
+  std::size_t files_read = 0;
+  std::size_t files_skipped = 0;           ///< corrupt (skip_corrupt mode)
+  std::vector<std::string> skipped;        ///< "path: reason" per skip
+  std::uint64_t bytes_streamed = 0;        ///< profile + structure bytes
+  std::size_t peak_resident_profiles = 0;  ///< high-water; <= workers + 1
+  int workers_used = 0;
+  StageTimings timings;
+
+  // View tables (filled per Options::views; empty otherwise).
+  ClassSummary summary;
+  std::vector<VariableRow> variables;
+  std::vector<AccessRow> hot_accesses;
+  std::vector<FunctionRow> functions;
+  std::vector<AllocSiteRow> alloc_sites;
+  std::vector<ThreadRow> threads;  ///< in profile-file order, pre-merge
+  std::vector<Advice> advice;
+
+  /// Label-resolution context wired to this result's structure data.
+  /// Rebuild after moving the result; the context borrows from it.
+  AnalysisContext context() const;
+};
+
+class Analyzer {
+ public:
+  struct Options {
+    /// Host threads for the streaming read+merge stage. Also the memory
+    /// bound: at most this many profiles are resident at once.
+    int workers = 1;
+    /// Row cap for the variable/access/function/alloc-site tables
+    /// (0 = unlimited).
+    std::size_t top_n = 10;
+    /// Sort key for every view table.
+    core::Metric sort_metric = core::Metric::kLatency;
+    /// Which tables to compute after the merge.
+    unsigned views = kViewSummary | kViewVariables | kViewHotAccesses |
+                     kViewFunctions | kViewThreads;
+    /// Skip-and-count corrupt profile files (reported in the result)
+    /// instead of failing the whole analysis.
+    bool skip_corrupt = true;
+    /// Thresholds for the advice view (kViewAdvice).
+    AdvisorOptions advisor;
+  };
+
+  Analyzer() = default;
+  explicit Analyzer(Options options) : options_(options) {}
+
+  const Options& options() const { return options_; }
+
+  /// Runs the full pipeline on one measurement directory. Throws
+  /// std::runtime_error if the directory is missing, has no structure
+  /// file, or yields no readable profile (errors name the file at
+  /// fault). Corrupt profiles are skipped and counted unless
+  /// Options::skip_corrupt is false.
+  AnalysisResult run(const std::filesystem::path& dir) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace dcprof::analysis

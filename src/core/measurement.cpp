@@ -31,16 +31,10 @@ std::uint64_t write_measurement_dir(const fs::path& dir,
   return bytes;
 }
 
-Measurement read_measurement_dir(const fs::path& dir) {
-  Measurement m;
-  const fs::path structure_path = dir / "structure.dcst";
-  {
-    std::ifstream in(structure_path, std::ios::binary);
-    if (!in) {
-      throw std::runtime_error("no structure file in " + dir.string());
-    }
-    m.structure = binfmt::StructureData::read(in);
-    m.total_bytes += fs::file_size(structure_path);
+std::vector<fs::path> list_profile_files(const fs::path& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw std::runtime_error("no measurement directory at " + dir.string());
   }
   std::vector<fs::path> profile_paths;
   for (const auto& entry : fs::directory_iterator(dir)) {
@@ -49,10 +43,44 @@ Measurement read_measurement_dir(const fs::path& dir) {
     }
   }
   std::sort(profile_paths.begin(), profile_paths.end());
-  for (const auto& path : profile_paths) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) throw std::runtime_error("cannot read " + path.string());
-    m.profiles.push_back(ThreadProfile::read(in));
+  return profile_paths;
+}
+
+ThreadProfile read_profile_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  ThreadProfile p;
+  try {
+    p = ThreadProfile::read(in);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path.string() + ": " + e.what());
+  }
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    throw std::runtime_error(path.string() +
+                             ": trailing bytes after profile data");
+  }
+  return p;
+}
+
+binfmt::StructureData read_structure_file(const fs::path& dir) {
+  const fs::path structure_path = dir / "structure.dcst";
+  std::ifstream in(structure_path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("no structure file in " + dir.string());
+  }
+  try {
+    return binfmt::StructureData::read(in);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(structure_path.string() + ": " + e.what());
+  }
+}
+
+Measurement read_measurement_dir(const fs::path& dir) {
+  Measurement m;
+  m.structure = read_structure_file(dir);
+  m.total_bytes += fs::file_size(dir / "structure.dcst");
+  for (const auto& path : list_profile_files(dir)) {
+    m.profiles.push_back(read_profile_file(path));
     m.total_bytes += fs::file_size(path);
   }
   if (m.profiles.empty()) {

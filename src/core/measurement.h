@@ -29,8 +29,31 @@ std::uint64_t write_measurement_dir(const std::filesystem::path& dir,
                                     const std::vector<ThreadProfile>& profiles,
                                     const binfmt::StructureData& structure);
 
-/// Loads a measurement directory. Throws std::runtime_error if the
-/// directory has no structure file or no profiles.
+// --- Streaming-friendly primitives -----------------------------------
+// Callers that must bound memory (the analysis pipeline) list the files
+// once and read them one at a time; the all-at-once Measurement struct
+// below is a convenience wrapper over these.
+
+/// The `.dcpf` profile files in `dir`, sorted by path so every consumer
+/// sees the same deterministic order. Throws std::runtime_error if the
+/// directory does not exist.
+std::vector<std::filesystem::path> list_profile_files(
+    const std::filesystem::path& dir);
+
+/// Reads one profile file. Throws std::runtime_error naming the file on
+/// open failure, truncation, corruption, or trailing bytes after the
+/// serialized profile.
+ThreadProfile read_profile_file(const std::filesystem::path& path);
+
+/// Reads `dir`'s structure file. Throws std::runtime_error naming the
+/// directory if the file is missing or unreadable.
+binfmt::StructureData read_structure_file(const std::filesystem::path& dir);
+
+/// Loads a measurement directory all at once. Compatibility entry point
+/// (prefer analysis::Analyzer, which streams): implemented on top of
+/// `list_profile_files` + `read_profile_file` + `read_structure_file`.
+/// Throws std::runtime_error if the directory has no structure file or
+/// no profiles.
 Measurement read_measurement_dir(const std::filesystem::path& dir);
 
 }  // namespace dcprof::core

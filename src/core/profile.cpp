@@ -1,5 +1,6 @@
 #include "core/profile.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -45,6 +46,10 @@ void require(std::istream& in, const char* what) {
   if (!in) throw std::runtime_error(std::string("truncated profile: ") + what);
 }
 
+/// Caps for length fields read from disk: a corrupt file must fail with
+/// a clear error instead of a multi-gigabyte allocation attempt.
+constexpr std::uint32_t kMaxStringBytes = 1u << 24;
+
 void write_cct(std::ostream& o, const Cct& cct) {
   put_u32(o, static_cast<std::uint32_t>(cct.size()));
   for (const auto& n : cct.nodes()) {
@@ -53,25 +58,6 @@ void write_cct(std::ostream& o, const Cct& cct) {
     put_u32(o, n.parent);
     for (auto m : n.metrics.v) put_u64(o, m);
   }
-}
-
-Cct read_cct(std::istream& in) {
-  const std::uint32_t count = get_u32(in);
-  require(in, "cct node count");
-  std::vector<Cct::Node> nodes;
-  nodes.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    Cct::Node n;
-    n.kind = static_cast<NodeKind>(get_u8(in));
-    n.sym = get_u64(in);
-    n.parent = get_u32(in);
-    for (auto& m : n.metrics.v) m = get_u64(in);
-    require(in, "cct node");
-    nodes.push_back(std::move(n));
-  }
-  Cct cct;
-  cct.load_nodes(std::move(nodes));
-  return cct;
 }
 
 }  // namespace
@@ -107,25 +93,110 @@ void ThreadProfile::write(std::ostream& out) const {
   for (const auto& c : ccts) write_cct(out, c);
 }
 
-ThreadProfile ThreadProfile::read(std::istream& in) {
-  if (get_u32(in) != kMagic) throw std::runtime_error("bad profile magic");
+void ThreadProfile::scan(std::istream& in, ProfileVisitor& visitor) {
+  const std::uint32_t magic = get_u32(in);
+  require(in, "header");
+  if (magic != kMagic) throw std::runtime_error("bad profile magic");
   if (get_u32(in) != kVersion) throw std::runtime_error("bad profile version");
-  ThreadProfile p;
-  p.rank = static_cast<std::int32_t>(get_u32(in));
-  p.tid = static_cast<std::int32_t>(get_u32(in));
+  const auto rank = static_cast<std::int32_t>(get_u32(in));
+  const auto tid = static_cast<std::int32_t>(get_u32(in));
   const std::uint32_t nstrings = get_u32(in);
   require(in, "string count");
+  visitor.on_header(rank, tid);
+  std::string s;
   for (std::uint32_t i = 0; i < nstrings; ++i) {
     const std::uint32_t len = get_u32(in);
     require(in, "string length");
-    std::string s(len, '\0');
+    if (len > kMaxStringBytes) {
+      throw std::runtime_error("corrupt profile: implausible string length");
+    }
+    s.assign(len, '\0');
     in.read(s.data(), static_cast<std::streamsize>(len));
     require(in, "string data");
-    p.strings.intern(s);
+    visitor.on_string(s);
   }
-  for (auto& c : p.ccts) c = read_cct(in);
-  require(in, "profile body");
-  return p;
+  for (std::size_t c = 0; c < kNumStorageClasses; ++c) {
+    const std::uint32_t count = get_u32(in);
+    require(in, "cct node count");
+    if (count == 0) {
+      throw std::runtime_error("corrupt profile: CCT without a root node");
+    }
+    visitor.on_cct_begin(c, count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint8_t kind_raw = get_u8(in);
+      const std::uint64_t sym = get_u64(in);
+      const std::uint32_t parent = get_u32(in);
+      MetricVec m;
+      for (auto& x : m.v) x = get_u64(in);
+      require(in, "cct node");
+      if (kind_raw > static_cast<std::uint8_t>(NodeKind::kVarStatic)) {
+        throw std::runtime_error("corrupt profile: unknown CCT node kind");
+      }
+      const auto kind = static_cast<NodeKind>(kind_raw);
+      if (i == 0) {
+        if (kind != NodeKind::kRoot) {
+          throw std::runtime_error(
+              "corrupt profile: CCT must start with a root node");
+        }
+      } else if (parent >= i) {
+        throw std::runtime_error(
+            "corrupt profile: CCT node precedes its parent");
+      }
+      if (kind == NodeKind::kVarStatic && sym >= nstrings) {
+        throw std::runtime_error(
+            "corrupt profile: static-variable name id out of range");
+      }
+      visitor.on_node(c, kind, sym, parent, m);
+    }
+  }
+}
+
+namespace {
+
+/// ProfileVisitor that materializes a full ThreadProfile (the classic
+/// deserializer, now layered on the streaming scan).
+class ProfileBuilder final : public ProfileVisitor {
+ public:
+  void on_header(std::int32_t rank, std::int32_t tid) override {
+    profile.rank = rank;
+    profile.tid = tid;
+  }
+  void on_string(const std::string& s) override { profile.strings.intern(s); }
+  void on_cct_begin(std::size_t class_index,
+                    std::uint32_t node_count) override {
+    flush();
+    class_ = class_index;
+    pending_ = true;
+    // Cap the reservation: node_count was validated only as nonzero, and
+    // a scan failure later should not be preceded by a huge allocation.
+    nodes_.reserve(std::min<std::uint32_t>(node_count, 1u << 20));
+  }
+  void on_node(std::size_t, NodeKind kind, std::uint64_t sym,
+               std::uint32_t parent, const MetricVec& metrics) override {
+    nodes_.push_back(Cct::Node{kind, sym, parent, metrics});
+  }
+  void flush() {
+    if (!pending_) return;
+    profile.ccts[class_].load_nodes(std::move(nodes_));
+    nodes_ = {};
+    pending_ = false;
+  }
+
+  ThreadProfile profile;
+
+ private:
+  std::vector<Cct::Node> nodes_;
+  std::size_t class_ = 0;
+  bool pending_ = false;
+};
+
+}  // namespace
+
+ThreadProfile ThreadProfile::read(std::istream& in) {
+  ProfileBuilder builder;
+  scan(in, builder);
+  builder.flush();
+  return std::move(builder.profile);
 }
 
 std::uint64_t ThreadProfile::serialized_bytes() const {

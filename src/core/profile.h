@@ -26,6 +26,24 @@ inline constexpr std::size_t kNumStorageClasses = 5;
 
 const char* to_string(StorageClass c);
 
+/// Callbacks for ThreadProfile::scan — a pull-free streaming parse of the
+/// serialized profile format. Events arrive in on-disk order: header,
+/// every string-table entry, then for each storage class a cct-begin
+/// followed by its nodes in id order (parents before children; node 0 is
+/// the root). Lets consumers (validation, streaming merge) process a
+/// profile without materializing it.
+class ProfileVisitor {
+ public:
+  virtual ~ProfileVisitor() = default;
+  virtual void on_header(std::int32_t /*rank*/, std::int32_t /*tid*/) {}
+  virtual void on_string(const std::string& /*s*/) {}
+  virtual void on_cct_begin(std::size_t /*class_index*/,
+                            std::uint32_t /*node_count*/) {}
+  virtual void on_node(std::size_t /*class_index*/, NodeKind /*kind*/,
+                       std::uint64_t /*sym*/, std::uint32_t /*parent*/,
+                       const MetricVec& /*metrics*/) {}
+};
+
 struct ThreadProfile {
   std::int32_t rank = 0;
   std::int32_t tid = 0;
@@ -42,6 +60,14 @@ struct ThreadProfile {
 
   void write(std::ostream& out) const;
   static ThreadProfile read(std::istream& in);
+
+  /// Streaming parse: walks one serialized profile and feeds `visitor`
+  /// without building a ThreadProfile. Validates the format as it goes
+  /// (magic/version, truncation, node ordering, string references) and
+  /// throws std::runtime_error on the first inconsistency, leaving the
+  /// stream wherever the error was detected. `read` and the analyzer's
+  /// streaming merge are both built on this.
+  static void scan(std::istream& in, ProfileVisitor& visitor);
 
   /// Size of the serialized form, in bytes (the paper's space overhead).
   std::uint64_t serialized_bytes() const;

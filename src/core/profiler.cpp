@@ -11,11 +11,11 @@ Profiler::Profiler(binfmt::ModuleRegistry& modules, ProfilerConfig cfg,
     : modules_(&modules), cfg_(cfg), rank_(rank),
       tracker_(var_map_, paths_, cfg.tracker) {}
 
-void Profiler::attach(pmu::PmuSet& pmu) {
+void Profiler::attach_pmu(pmu::PmuSet& pmu) {
   pmu.set_handler([this](const pmu::Sample& s) { handle_sample(s); });
 }
 
-void Profiler::attach(rt::Allocator& alloc) {
+void Profiler::attach_allocator(rt::Allocator& alloc) {
   alloc.set_hooks(rt::AllocHooks{
       [this](rt::ThreadCtx& ctx, sim::Addr base, std::uint64_t size,
              sim::Addr ip) { tracker_.on_alloc(ctx, base, size, ip); },

@@ -51,9 +51,18 @@ class Profiler {
                     ProfilerConfig cfg = {}, std::int32_t rank = 0);
 
   /// Installs this profiler as the PMU's sample handler.
-  void attach(pmu::PmuSet& pmu);
+  void attach_pmu(pmu::PmuSet& pmu);
   /// Installs allocation-tracking hooks on the allocator.
-  void attach(rt::Allocator& alloc);
+  void attach_allocator(rt::Allocator& alloc);
+
+  /// Deprecated forwarders for the old ambiguous `attach` overload set;
+  /// will be removed once out-of-repo callers have migrated.
+  [[deprecated("use attach_pmu")]] void attach(pmu::PmuSet& pmu) {
+    attach_pmu(pmu);
+  }
+  [[deprecated("use attach_allocator")]] void attach(rt::Allocator& alloc) {
+    attach_allocator(alloc);
+  }
   /// Registers a thread so samples carrying its tid can be unwound.
   void register_thread(rt::ThreadCtx& ctx);
   /// Registers every thread of a team.

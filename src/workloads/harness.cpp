@@ -50,8 +50,8 @@ void ProcessCtx::enable_profiling(std::vector<pmu::PmuConfig> pmu_cfgs,
   pmu_.emplace(machine_->config(), std::move(pmu_cfgs));
   if (tool_attached) {
     profiler_.emplace(modules_, prof_cfg, rank_id);
-    profiler_->attach(*pmu_);
-    profiler_->attach(*alloc_);
+    profiler_->attach_pmu(*pmu_);
+    profiler_->attach_allocator(*alloc_);
     profiler_->register_team(*team_);
   }
   machine_->set_observer(&*pmu_);

@@ -224,7 +224,7 @@ TEST(Profiler, ReallocRetargetsAttribution) {
   sim::Machine machine(tiny());
   rt::Team team(machine, 1);
   rt::Allocator alloc(machine);
-  f.profiler.attach(alloc);
+  f.profiler.attach_allocator(alloc);
   f.profiler.register_thread(team.master());
   rt::ThreadCtx& t = team.master();
   t.push_frame(0x10);

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Fails when build artifacts are tracked by git — keeps the repository
+# free of the object files and CMake droppings that .gitignore excludes.
+# Run from anywhere; it locates the repository from its own path.
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+if ! command -v git >/dev/null 2>&1 ||
+   ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "check_no_build_artifacts: not a git checkout; skipping"
+  exit 0
+fi
+
+bad=$(git ls-files |
+      grep -E '^(build|cmake-build-[^/]*)/|\.(o|obj|a|so|dylib)$' || true)
+if [ -n "$bad" ]; then
+  echo "check_no_build_artifacts: tracked build artifacts found:"
+  echo "$bad" | head -20
+  echo "(git rm -r --cached them and make sure .gitignore covers them)"
+  exit 1
+fi
+echo "check_no_build_artifacts: clean"

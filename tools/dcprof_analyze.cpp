@@ -2,27 +2,30 @@
 //
 // Usage:
 //   dcprof_analyze <measurement-dir> [--metric samples|latency|rdram]
+//                  [--workers N] [--top N]
 //                  [--top-down heap|static|stack|unknown] [--advice]
-//                  [--html <file>]
+//                  [--html <file>] [--strict]
 //
-// Loads a measurement directory (per-thread profile files + a structure
-// file), reduces the profiles, and prints the storage-class summary,
-// the data-centric variable view, the hot-access view, the bottom-up
-// allocation-site view, and (with --advice) optimization guidance.
+// Streams a measurement directory (per-thread profile files + a
+// structure file) through the analysis::Analyzer pipeline — profiles
+// are merged as they are read, so memory stays bounded by --workers —
+// and prints the storage-class summary, the data-centric variable view,
+// the hot-access view, the code-centric flat view, and (with --advice)
+// optimization guidance. Corrupt profile files are skipped and counted
+// unless --strict is given.
 
-#include <cstdio>
 #include <algorithm>
-#include <cstring>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include <fstream>
 
-#include "analysis/advisor.h"
 #include "analysis/html_report.h"
-#include "analysis/merge.h"
+#include "analysis/pipeline.h"
 #include "analysis/report.h"
 #include "analysis/views.h"
-#include "core/measurement.h"
+#include "core/profile.h"
 
 using namespace dcprof;
 
@@ -31,8 +34,9 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <measurement-dir> [--metric "
-               "samples|latency|rdram] [--top-down "
-               "heap|static|stack|unknown] [--advice] [--html <file>]\n",
+               "samples|latency|rdram] [--workers N] [--top N] [--top-down "
+               "heap|static|stack|unknown] [--advice] [--html <file>] "
+               "[--strict]\n",
                argv0);
   return 2;
 }
@@ -42,101 +46,107 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const std::string dir = argv[1];
-  core::Metric metric = core::Metric::kLatency;
+  analysis::Analyzer::Options opts;
+  opts.sort_metric = core::Metric::kLatency;
   std::string top_down_class;
   std::string html_path;
-  bool advice = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--metric" && i + 1 < argc) {
       const std::string name = argv[++i];
       if (name == "samples") {
-        metric = core::Metric::kSamples;
+        opts.sort_metric = core::Metric::kSamples;
       } else if (name == "latency") {
-        metric = core::Metric::kLatency;
+        opts.sort_metric = core::Metric::kLatency;
       } else if (name == "rdram") {
-        metric = core::Metric::kRemoteDram;
+        opts.sort_metric = core::Metric::kRemoteDram;
       } else {
         return usage(argv[0]);
       }
+    } else if (arg == "--workers" && i + 1 < argc) {
+      opts.workers = std::atoi(argv[++i]);
+      if (opts.workers < 1) return usage(argv[0]);
+    } else if (arg == "--top" && i + 1 < argc) {
+      opts.top_n = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (arg == "--top-down" && i + 1 < argc) {
       top_down_class = argv[++i];
     } else if (arg == "--advice") {
-      advice = true;
+      opts.views |= analysis::kViewAdvice;
     } else if (arg == "--html" && i + 1 < argc) {
       html_path = argv[++i];
+    } else if (arg == "--strict") {
+      opts.skip_corrupt = false;
     } else {
       return usage(argv[0]);
     }
   }
+  const core::Metric metric = opts.sort_metric;
 
-  core::Measurement m;
+  analysis::AnalysisResult r;
   try {
-    m = core::read_measurement_dir(dir);
+    r = analysis::Analyzer(opts).run(dir);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  std::printf("loaded %zu profiles (%s bytes) from %s\n",
-              m.profiles.size(),
-              analysis::format_count(m.total_bytes).c_str(), dir.c_str());
+  std::printf(
+      "streamed %zu profiles (%s bytes) from %s with %d worker%s\n",
+      r.files_read, analysis::format_count(r.bytes_streamed).c_str(),
+      dir.c_str(), r.workers_used, r.workers_used == 1 ? "" : "s");
+  std::printf(
+      "merged: %s samples; peak resident profiles %zu; "
+      "discover/stream/combine %.1f/%.1f/%.1f ms\n",
+      analysis::format_count(r.merged.total_samples()).c_str(),
+      r.peak_resident_profiles, r.timings.discover_ms, r.timings.stream_ms,
+      r.timings.combine_ms);
+  if (r.files_skipped > 0) {
+    std::printf("skipped %zu corrupt profile file(s):\n", r.files_skipped);
+    for (const auto& s : r.skipped) std::printf("  %s\n", s.c_str());
+  }
+  std::printf("\n");
 
-  analysis::AnalysisContext pre_ctx;
-  const auto threads = analysis::thread_table(m.profiles);
-  const std::size_t nprofiles = m.profiles.size();
-  core::ThreadProfile merged = analysis::reduce(std::move(m.profiles));
-  std::printf("merged: %s samples across %zu profiles\n\n",
-              analysis::format_count(merged.total_samples()).c_str(),
-              nprofiles);
+  const analysis::AnalysisContext ctx = r.context();
 
-  analysis::AnalysisContext ctx;
-  ctx.modules = &m.structure;
-  ctx.alloc_names = &m.structure.alloc_names();
-
-  const analysis::ClassSummary summary = analysis::summarize(merged);
   analysis::Table classes({"storage class", to_string(metric), "share"});
   for (std::size_t c = 0; c < core::kNumStorageClasses; ++c) {
     const auto cls = static_cast<core::StorageClass>(c);
     classes.add_row(
         {to_string(cls),
-         analysis::format_count(summary.per_class[c][metric]),
-         analysis::format_percent(summary.fraction(cls, metric))});
+         analysis::format_count(r.summary.per_class[c][metric]),
+         analysis::format_percent(r.summary.fraction(cls, metric))});
   }
   std::printf("%s\n", classes.render().c_str());
 
-  const auto vars = analysis::variable_table(merged, ctx, metric);
   std::printf("%s\n",
-              analysis::render_variables(vars, summary, metric).c_str());
+              analysis::render_variables(r.variables, r.summary, metric,
+                                         opts.top_n == 0 ? 20 : opts.top_n)
+                  .c_str());
 
-  const auto accesses =
-      analysis::access_table(merged, core::StorageClass::kHeap, ctx, metric);
   analysis::Table hot({"variable", "access site", to_string(metric)});
-  for (std::size_t i = 0; i < accesses.size() && i < 10; ++i) {
-    hot.add_row({accesses[i].variable, accesses[i].site,
-                 analysis::format_count(accesses[i].metrics[metric])});
+  for (const auto& a : r.hot_accesses) {
+    hot.add_row(
+        {a.variable, a.site, analysis::format_count(a.metrics[metric])});
   }
   std::printf("hot heap accesses:\n%s\n", hot.render().c_str());
 
-  const auto funcs = analysis::function_table(merged, ctx, metric);
   analysis::Table flat({"function", "file", to_string(metric)});
-  for (std::size_t i = 0; i < funcs.size() && i < 10; ++i) {
-    flat.add_row({funcs[i].func, funcs[i].file,
-                  analysis::format_count(funcs[i].metrics[metric])});
+  for (const auto& f : r.functions) {
+    flat.add_row(
+        {f.func, f.file, analysis::format_count(f.metrics[metric])});
   }
   std::printf("code-centric flat view:\n%s\n", flat.render().c_str());
 
-  if (threads.size() > 1) {
+  if (r.threads.size() > 1) {
     std::uint64_t lo = ~0ull;
     std::uint64_t hi = 0;
-    for (const auto& t : threads) {
+    for (const auto& t : r.threads) {
       lo = std::min(lo, t.metrics[core::Metric::kSamples]);
       hi = std::max(hi, t.metrics[core::Metric::kSamples]);
     }
     std::printf("per-thread samples: min %s, max %s across %zu threads\n\n",
                 analysis::format_count(lo).c_str(),
-                analysis::format_count(hi).c_str(), threads.size());
+                analysis::format_count(hi).c_str(), r.threads.size());
   }
-  (void)pre_ctx;
 
   if (!top_down_class.empty()) {
     core::StorageClass cls = core::StorageClass::kHeap;
@@ -150,14 +160,13 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
     std::printf("%s\n",
-                analysis::render_top_down(merged, cls, ctx, {metric})
+                analysis::render_top_down(r.merged, cls, ctx, {metric})
                     .c_str());
   }
 
-  if (advice) {
+  if (opts.views & analysis::kViewAdvice) {
     std::printf("== guidance ==\n%s",
-                analysis::render_advice(analysis::advise(merged, ctx))
-                    .c_str());
+                analysis::render_advice(r.advice).c_str());
   }
 
   if (!html_path.empty()) {
@@ -169,7 +178,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot write %s\n", html_path.c_str());
       return 1;
     }
-    html << analysis::render_html_report(merged, ctx, opt);
+    html << analysis::render_html_report(r.merged, ctx, opt);
     std::printf("wrote HTML report to %s\n", html_path.c_str());
   }
   return 0;
