@@ -3,6 +3,7 @@
 // memoized vs. full unwinds, and the underlying machine model.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
 #include "core/alloc_tracker.h"
@@ -11,6 +12,7 @@
 #include "core/var_map.h"
 #include "pmu/pmu.h"
 #include "rt/team.h"
+#include "sim/address_space.h"
 #include "sim/machine.h"
 #include "workloads/harness.h"
 
@@ -114,6 +116,106 @@ void BM_Unwind(benchmark::State& state) {
 BENCHMARK(BM_Unwind)
     ->ArgsProduct({{0, 1}, {8, 32}})
     ->ArgNames({"memoized", "depth"});
+
+// --- Attribution-throughput suite -----------------------------------
+// End-to-end handle_sample cost for the three storage classes, under the
+// access patterns that dominate real runs: the same hot context sampled
+// repeatedly, two contexts alternating (partial prefix reuse), and a
+// heap/static/stack mix. `fast` toggles the attribution caches so the
+// memoized path can be compared against the uncached walk in one binary.
+struct AttrFixture {
+  AttrFixture(int depth, bool fast)
+      : machine(wl::node_config()), team(machine, 2) {
+    exe = std::make_unique<binfmt::LoadModule>("bench", machine.aspace());
+    modules.load(exe.get());
+    const auto f = exe->add_function("f", "f.c");
+    ip = exe->add_instr(f, 1);
+    static_base = exe->add_static_var("g_table", 1 << 20);
+    core::ProfilerConfig cfg;
+    cfg.memoized_attribution = fast;
+    cfg.var_map_mru = fast;
+    profiler = std::make_unique<core::Profiler>(modules, cfg);
+    profiler->register_team(team);
+    rt::ThreadCtx& t = team.master();
+    for (int i = 0; i < depth; ++i) {
+      t.push_frame(0x400000 + static_cast<sim::Addr>(i) * 4);
+    }
+    profiler->tracker().on_alloc(t, kHeapBase, 1 << 20, ip);
+  }
+
+  pmu::Sample sample(sim::Addr eaddr) const {
+    pmu::Sample s;
+    s.tid = 0;
+    s.is_memory = true;
+    s.precise_ip = ip;
+    s.signal_ip = ip;
+    s.eaddr = eaddr;
+    s.latency = 200;
+    s.source = sim::MemLevel::kRemoteDram;
+    return s;
+  }
+
+  static constexpr sim::Addr kHeapBase = 0x7f0000000000ull;
+
+  sim::Machine machine;
+  rt::Team team;
+  binfmt::ModuleRegistry modules;
+  std::unique_ptr<binfmt::LoadModule> exe;
+  std::unique_ptr<core::Profiler> profiler;
+  sim::Addr ip = 0;
+  sim::Addr static_base = 0;
+};
+
+void BM_AttributeHotRepeated(benchmark::State& state) {
+  AttrFixture f(static_cast<int>(state.range(1)), state.range(0) != 0);
+  const pmu::Sample s = f.sample(AttrFixture::kHeapBase + 0x100);
+  for (auto _ : state) {
+    f.profiler->handle_sample(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttributeHotRepeated)
+    ->ArgsProduct({{0, 1}, {8, 32}})
+    ->ArgNames({"fast", "depth"});
+
+void BM_AttributeAlternating(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(1));
+  AttrFixture f(depth, state.range(0) != 0);
+  const pmu::Sample s = f.sample(AttrFixture::kHeapBase + 0x100);
+  rt::ThreadCtx& t = f.team.master();
+  const int tail = depth / 2;
+  sim::Addr variant = 0x600000;
+  for (auto _ : state) {
+    // Swap out the innermost half of the context between samples.
+    for (int i = 0; i < tail; ++i) t.pop_frame();
+    for (int i = 0; i < tail; ++i) {
+      t.push_frame(variant + static_cast<sim::Addr>(i) * 4);
+    }
+    variant ^= 0x100000;  // two alternating calling contexts
+    f.profiler->handle_sample(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttributeAlternating)
+    ->ArgsProduct({{0, 1}, {8, 32}})
+    ->ArgNames({"fast", "depth"});
+
+void BM_AttributeMixedClasses(benchmark::State& state) {
+  AttrFixture f(static_cast<int>(state.range(1)), state.range(0) != 0);
+  const pmu::Sample samples[3] = {
+      f.sample(AttrFixture::kHeapBase + 0x100),         // heap block
+      f.sample(f.static_base + 64),                     // static variable
+      f.sample(sim::kStackBase + 0x100),                // stack segment
+  };
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    f.profiler->handle_sample(samples[i++ % 3]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttributeMixedClasses)
+    ->ArgsProduct({{0, 1}, {8, 32}})
+    ->ArgNames({"fast", "depth"});
 
 void BM_MachineAccessL1Hit(benchmark::State& state) {
   sim::Machine machine(wl::node_config());

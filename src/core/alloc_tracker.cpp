@@ -59,7 +59,7 @@ void AllocTracker::on_alloc(rt::ThreadCtx& ctx, sim::Addr base,
     // (the paper's future-work extension for small-block data
     // structures) instead of dropping them all.
     if (cfg_.small_sample_period == 0 ||
-        ++small_countdown_ % cfg_.small_sample_period != 0) {
+        ++cache_[ctx.tid()].small_countdown % cfg_.small_sample_period != 0) {
       ++stats_.allocations_skipped;
       return;
     }

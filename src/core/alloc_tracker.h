@@ -65,13 +65,16 @@ class AllocTracker {
     std::vector<sim::Addr> last_stack;
     sim::Addr last_alloc_ip = 0;
     std::shared_ptr<const AllocPath> last_path;
+    /// Sub-threshold sampling counter. Per-thread so every thread tracks
+    /// exactly every Nth of *its own* small allocations, independent of
+    /// how threads interleave.
+    std::uint64_t small_countdown = 0;
   };
 
   HeapVarMap* var_map_;
   AllocPathSet* paths_;
   TrackerConfig cfg_;
   TrackerStats stats_;
-  std::uint64_t small_countdown_ = 0;
   std::unordered_map<sim::ThreadId, PerThreadCache> cache_;
 };
 

@@ -1,8 +1,16 @@
 #include "core/cct.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dcprof::core {
+
+namespace {
+
+constexpr std::size_t kInitialSlots = 16;
+constexpr std::uint64_t kFib = 0x9e3779b97f4a7c15ull;  // 2^64 / phi
+
+}  // namespace
 
 const char* to_string(NodeKind kind) {
   switch (kind) {
@@ -18,18 +26,68 @@ const char* to_string(NodeKind kind) {
 
 Cct::Cct() {
   nodes_.push_back(Node{});
-  child_index_.emplace_back();
+  slot_keys_.resize(kInitialSlots);
+  slot_vals_.resize(kInitialSlots);
+  slot_mask_ = kInitialSlots - 1;
+}
+
+std::size_t Cct::probe_start(std::uint64_t tag, std::uint64_t sym) const {
+  // Fibonacci hashing: the golden-ratio multiply spreads consecutive
+  // keys (IPs differ in low bits) across the table; the middle bits of
+  // the product index the power-of-2 capacity.
+  return static_cast<std::size_t>(((sym ^ tag) * kFib) >> 32) & slot_mask_;
+}
+
+void Cct::grow_slots(std::size_t capacity) {
+  std::vector<SlotKey> old_keys = std::move(slot_keys_);
+  std::vector<NodeId> old_vals = std::move(slot_vals_);
+  slot_keys_.assign(capacity, SlotKey{});
+  slot_vals_.assign(capacity, kRootId);
+  slot_mask_ = capacity - 1;
+  for (std::size_t s = 0; s < old_keys.size(); ++s) {
+    if (old_keys[s].tag == 0) continue;
+    std::size_t i = probe_start(old_keys[s].tag, old_keys[s].sym);
+    while (slot_keys_[i].tag != 0) i = (i + 1) & slot_mask_;
+    slot_keys_[i] = old_keys[s];
+    slot_vals_[i] = old_vals[s];
+  }
 }
 
 Cct::NodeId Cct::child(NodeId parent, NodeKind kind, std::uint64_t sym) {
-  const ChildKey key{static_cast<std::uint8_t>(kind), sym};
-  auto it = child_index_[parent].find(key);
-  if (it != child_index_[parent].end()) return it->second;
+  const std::uint64_t tag =
+      SlotKey::pack(parent, static_cast<std::uint8_t>(kind));
+  std::size_t i = probe_start(tag, sym);
+  for (;; i = (i + 1) & slot_mask_) {
+    const SlotKey& k = slot_keys_[i];
+    if (k.tag == 0) break;  // miss: create below
+    if (k.tag == tag && k.sym == sym) return slot_vals_[i];
+  }
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(Node{kind, sym, parent, {}});
-  child_index_.emplace_back();  // may reallocate: index parent afterwards
-  child_index_[parent].emplace(key, id);
+  slot_keys_[i] = SlotKey{sym, tag};
+  slot_vals_[i] = id;
+  ++slot_count_;
+  adjacency_valid_ = false;
+  if (slot_count_ * 4 >= slot_keys_.size() * 3) {
+    grow_slots(slot_keys_.size() * 2);
+  }
   return id;
+}
+
+void Cct::index_child(NodeId parent, std::uint8_t kind, std::uint64_t sym,
+                      NodeId id) {
+  const std::uint64_t tag = SlotKey::pack(parent, kind);
+  std::size_t i = probe_start(tag, sym);
+  for (;; i = (i + 1) & slot_mask_) {
+    const SlotKey& k = slot_keys_[i];
+    if (k.tag == 0) {
+      slot_keys_[i] = SlotKey{sym, tag};
+      slot_vals_[i] = id;
+      ++slot_count_;
+      return;
+    }
+    if (k.tag == tag && k.sym == sym) return;
+  }
 }
 
 Cct::NodeId Cct::insert_path(NodeId start,
@@ -42,11 +100,34 @@ Cct::NodeId Cct::insert_path(NodeId start,
   return child(cur, leaf_kind, leaf_sym);
 }
 
+void Cct::build_adjacency() const {
+  const std::size_t n = nodes_.size();
+  child_offsets_.assign(n + 1, 0);
+  for (NodeId id = 1; id < n; ++id) ++child_offsets_[nodes_[id].parent + 1];
+  for (std::size_t p = 1; p <= n; ++p) child_offsets_[p] += child_offsets_[p - 1];
+  sorted_children_.resize(n - 1);
+  std::vector<std::uint32_t> cursor(child_offsets_.begin(),
+                                    child_offsets_.end() - 1);
+  for (NodeId id = 1; id < n; ++id) {
+    sorted_children_[cursor[nodes_[id].parent]++] = id;
+  }
+  const auto key = [this](NodeId id) {
+    return std::pair<std::uint8_t, std::uint64_t>{
+        static_cast<std::uint8_t>(nodes_[id].kind), nodes_[id].sym};
+  };
+  for (std::size_t p = 0; p < n; ++p) {
+    std::sort(sorted_children_.begin() + child_offsets_[p],
+              sorted_children_.begin() + child_offsets_[p + 1],
+              [&](NodeId a, NodeId b) { return key(a) < key(b); });
+  }
+  adjacency_valid_ = true;
+}
+
 std::vector<Cct::NodeId> Cct::children(NodeId id) const {
-  std::vector<NodeId> out;
-  out.reserve(child_index_[id].size());
-  for (const auto& [key, child_id] : child_index_[id]) out.push_back(child_id);
-  return out;
+  if (!adjacency_valid_) build_adjacency();
+  return std::vector<NodeId>(
+      sorted_children_.begin() + child_offsets_[id],
+      sorted_children_.begin() + child_offsets_[id + 1]);
 }
 
 void Cct::merge(const Cct& other, const SymRemap& sym_remap) {
@@ -92,14 +173,19 @@ void Cct::load_nodes(std::vector<Node> nodes) {
 }
 
 void Cct::reindex() {
-  child_index_.assign(nodes_.size(), {});
+  std::size_t capacity = kInitialSlots;
+  while (capacity * 3 < nodes_.size() * 4) capacity *= 2;
+  slot_keys_.assign(capacity, SlotKey{});
+  slot_vals_.assign(capacity, kRootId);
+  slot_mask_ = capacity - 1;
+  slot_count_ = 0;
+  adjacency_valid_ = false;
   for (NodeId id = 1; id < nodes_.size(); ++id) {
     const Node& n = nodes_[id];
     if (n.parent >= id) {
       throw std::invalid_argument("CCT nodes must follow their parents");
     }
-    child_index_[n.parent].emplace(
-        ChildKey{static_cast<std::uint8_t>(n.kind), n.sym}, id);
+    index_child(n.parent, static_cast<std::uint8_t>(n.kind), n.sym, id);
   }
 }
 

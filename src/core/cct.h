@@ -1,11 +1,16 @@
 // Calling context tree. Common call-path prefixes coalesce, which is what
 // keeps profiles compact (the paper's space-scalability argument). Nodes
 // carry exclusive metrics; inclusive metrics are computed post-mortem.
+//
+// The child index is a single open-addressing hash table over
+// (parent, kind, sym) — the measurement-side find-or-create in `child` is
+// O(1) instead of the O(log fanout) red-black-tree probe it replaced.
+// Nodes are never deleted, so the table needs no tombstones. Post-mortem
+// traversal order is unchanged: `children` sorts on demand.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <span>
 #include <vector>
 
@@ -54,7 +59,9 @@ class Cct {
   const Node& node(NodeId id) const { return nodes_[id]; }
   std::size_t size() const { return nodes_.size(); }
 
-  /// Children of `id`, in deterministic (kind, sym) order.
+  /// Children of `id`, in deterministic (kind, sym) order. Post-mortem
+  /// only: the order is produced by sorting a lazily built adjacency
+  /// (rebuilt after any insertion), not maintained on the hot path.
   std::vector<NodeId> children(NodeId id) const;
 
   /// Merges `other` into this tree. `sym_remap` translates symbol values
@@ -76,11 +83,39 @@ class Cct {
   void load_nodes(std::vector<Node> nodes);
 
  private:
-  using ChildKey = std::pair<std::uint8_t, std::uint64_t>;
+  // One key of the open-addressing child index: the (parent, kind) pair
+  // packs into one tag word. A child's kind is never kRoot, so tag == 0
+  // marks an empty slot. Keys are 16 bytes (4 per cache line) and the
+  // matching child ids live in a parallel array touched only on a hit.
+  struct SlotKey {
+    std::uint64_t sym = 0;
+    std::uint64_t tag = 0;  ///< (parent << 8) | kind; 0 = empty
+
+    static std::uint64_t pack(NodeId parent, std::uint8_t kind) {
+      return (static_cast<std::uint64_t>(parent) << 8) | kind;
+    }
+  };
+
+  std::size_t probe_start(std::uint64_t tag, std::uint64_t sym) const;
+  /// Indexes (parent, kind, sym) -> id; keeps the existing entry when the
+  /// key is already present. Does not create nodes.
+  void index_child(NodeId parent, std::uint8_t kind, std::uint64_t sym,
+                   NodeId id);
+  void grow_slots(std::size_t capacity);
+  void build_adjacency() const;
 
   std::vector<Node> nodes_;
-  // child_index_[parent] maps (kind, sym) -> node id.
-  std::vector<std::map<ChildKey, NodeId>> child_index_;
+  std::vector<SlotKey> slot_keys_;  // power-of-2 capacity
+  std::vector<NodeId> slot_vals_;   // parallel to slot_keys_
+  std::size_t slot_mask_ = 0;
+  std::size_t slot_count_ = 0;
+
+  // Lazily built post-mortem adjacency: children of parent p live at
+  // sorted_children_[child_offsets_[p] .. child_offsets_[p + 1]), in
+  // (kind, sym) order. Invalidated by any node insertion.
+  mutable std::vector<NodeId> sorted_children_;
+  mutable std::vector<std::uint32_t> child_offsets_;
+  mutable bool adjacency_valid_ = false;
 };
 
 }  // namespace dcprof::core

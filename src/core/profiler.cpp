@@ -1,5 +1,6 @@
 #include "core/profiler.h"
 
+#include <algorithm>
 #include <string>
 
 #include "sim/address_space.h"
@@ -9,7 +10,9 @@ namespace dcprof::core {
 Profiler::Profiler(binfmt::ModuleRegistry& modules, ProfilerConfig cfg,
                    std::int32_t rank)
     : modules_(&modules), cfg_(cfg), rank_(rank),
-      tracker_(var_map_, paths_, cfg.tracker) {}
+      tracker_(var_map_, paths_, cfg.tracker) {
+  var_map_.set_mru_enabled(cfg_.var_map_mru);
+}
 
 void Profiler::attach_pmu(pmu::PmuSet& pmu) {
   pmu.set_handler([this](const pmu::Sample& s) { handle_sample(s); });
@@ -45,22 +48,44 @@ ThreadProfile& Profiler::profile(sim::ThreadId tid) {
   return *profiles_[i];
 }
 
-void Profiler::attribute_heap(ThreadProfile& tp, rt::ThreadCtx& ctx,
-                              const HeapBlock& block, sim::Addr leaf_ip,
-                              const MetricVec& m) {
-  Cct& cct = tp.cct(StorageClass::kHeap);
-  // Prepend the variable's allocation path (possibly unwound in another
-  // thread; AllocPaths are immutable so this copy is lock-free), then the
-  // dummy data node, then this sample's own calling context.
-  Cct::NodeId cur = Cct::kRootId;
-  for (const sim::Addr frame : block.path->frames) {
-    cur = cct.child(cur, NodeKind::kCallSite, frame);
+Profiler::ThreadAttrState& Profiler::attr_state(std::size_t tid) {
+  if (attr_.size() <= tid) attr_.resize(tid + 1);
+  if (!attr_[tid]) attr_[tid] = std::make_unique<ThreadAttrState>();
+  return *attr_[tid];
+}
+
+void Profiler::attribute_context(ThreadProfile& tp, StorageClass sc,
+                                 ThreadAttrState& as, Cct::NodeId anchor,
+                                 std::span<const sim::Addr> stack,
+                                 sim::Addr leaf_ip, const MetricVec& m) {
+  Cct& cct = tp.cct(sc);
+  ClassMemo& memo = as.memo[static_cast<std::size_t>(sc)];
+  // Resume at the divergence point: the first `valid` frames are
+  // unchanged since the memoized walk (watermark-guaranteed), so their
+  // find-or-create results are already known.
+  std::size_t k = 0;
+  if (cfg_.memoized_attribution && memo.anchor_known &&
+      memo.anchor == anchor) {
+    k = std::min({memo.valid, memo.nodes.size(), stack.size()});
   }
-  cur = cct.child(cur, NodeKind::kAllocPoint, block.path->alloc_ip);
-  cur = cct.child(cur, NodeKind::kVarData, 0);
-  const Cct::NodeId leaf =
-      cct.insert_path(cur, ctx.call_stack(), NodeKind::kLeafInstr, leaf_ip);
-  cct.add_metrics(leaf, m);
+  stats_.memo_frames_reused += k;
+  stats_.memo_frames_walked += stack.size() - k;
+  Cct::NodeId cur = k == 0 ? anchor : memo.nodes[k - 1];
+  if (cfg_.memoized_attribution) {
+    memo.nodes.resize(stack.size());
+    for (std::size_t i = k; i < stack.size(); ++i) {
+      cur = cct.child(cur, NodeKind::kCallSite, stack[i]);
+      memo.nodes[i] = cur;
+    }
+    memo.anchor = anchor;
+    memo.anchor_known = true;
+    memo.valid = stack.size();
+  } else {
+    for (std::size_t i = k; i < stack.size(); ++i) {
+      cur = cct.child(cur, NodeKind::kCallSite, stack[i]);
+    }
+  }
+  cct.add_metrics(cct.child(cur, NodeKind::kLeafInstr, leaf_ip), m);
 }
 
 void Profiler::handle_sample(const pmu::Sample& sample) {
@@ -71,6 +96,11 @@ void Profiler::handle_sample(const pmu::Sample& sample) {
   }
   rt::ThreadCtx& ctx = *threads_[tid];
   ThreadProfile& tp = profile(sample.tid);
+  ThreadAttrState& as = attr_state(tid);
+  // One watermark take per sample: every class's trusted prefix shrinks
+  // to how far the stack has unwound since the previous sample.
+  const std::size_t watermark = ctx.take_stack_watermark();
+  for (auto& memo : as.memo) memo.valid = std::min(memo.valid, watermark);
   const MetricVec m = MetricVec::from_sample(sample);
   // The unwind from the signal context ends at the skidded IP; the paper
   // swaps in the precise IP recorded by the PMU.
@@ -80,51 +110,77 @@ void Profiler::handle_sample(const pmu::Sample& sample) {
 
   if (!sample.is_memory) {
     ++stats_.nomem_samples;
-    Cct& cct = tp.cct(StorageClass::kNoMem);
-    cct.add_metrics(cct.insert_path(Cct::kRootId, ctx.call_stack(),
-                                    NodeKind::kLeafInstr, leaf_ip),
-                    m);
+    attribute_context(tp, StorageClass::kNoMem, as, Cct::kRootId,
+                      ctx.call_stack(), leaf_ip, m);
     return;
   }
 
   if (const HeapBlock* block = var_map_.find(sample.eaddr)) {
     ++stats_.heap_samples;
-    attribute_heap(tp, ctx, *block, leaf_ip, m);
+    // Prepend the variable's allocation path (possibly unwound in another
+    // thread; AllocPaths are immutable so this copy is lock-free), then
+    // the dummy data node, then this sample's own calling context.
+    // Consecutive samples into the same variable reuse the dummy node.
+    Cct& cct = tp.cct(StorageClass::kHeap);
+    Cct::NodeId anchor;
+    if (cfg_.memoized_attribution &&
+        as.last_heap_path == block->path.get()) {
+      anchor = as.heap_anchor;
+    } else {
+      Cct::NodeId cur = Cct::kRootId;
+      for (const sim::Addr frame : block->path->frames) {
+        cur = cct.child(cur, NodeKind::kCallSite, frame);
+      }
+      cur = cct.child(cur, NodeKind::kAllocPoint, block->path->alloc_ip);
+      anchor = cct.child(cur, NodeKind::kVarData, 0);
+      as.last_heap_path = block->path.get();
+      as.heap_anchor = anchor;
+    }
+    attribute_context(tp, StorageClass::kHeap, as, anchor, ctx.call_stack(),
+                      leaf_ip, m);
     return;
   }
 
   if (auto hit = modules_->resolve_static(sample.eaddr)) {
     ++stats_.static_samples;
+    StringId name;
+    if (auto it = as.static_names.find(hit->sym->lo);
+        it != as.static_names.end()) {
+      name = it->second;
+    } else {
+      name = tp.strings.intern(hit->sym->name);
+      as.static_names.emplace(hit->sym->lo, name);
+    }
     Cct& cct = tp.cct(StorageClass::kStatic);
-    const StringId name = tp.strings.intern(hit->sym->name);
     const Cct::NodeId dummy =
         cct.child(Cct::kRootId, NodeKind::kVarStatic, name);
-    cct.add_metrics(cct.insert_path(dummy, ctx.call_stack(),
-                                    NodeKind::kLeafInstr, leaf_ip),
-                    m);
+    attribute_context(tp, StorageClass::kStatic, as, dummy, ctx.call_stack(),
+                      leaf_ip, m);
     return;
   }
 
   if (cfg_.attribute_stack && sample.eaddr >= sim::kStackBase) {
     ++stats_.stack_samples;
+    const std::uint64_t owner = (sample.eaddr - sim::kStackBase) >> 20;
+    StringId name;
+    if (auto it = as.stack_names.find(owner); it != as.stack_names.end()) {
+      name = it->second;
+    } else {
+      name = tp.strings.intern(
+          "stack (thread " + std::to_string(static_cast<long>(owner)) + ")");
+      as.stack_names.emplace(owner, name);
+    }
     Cct& cct = tp.cct(StorageClass::kStack);
-    const auto owner = static_cast<long>(
-        (sample.eaddr - sim::kStackBase) >> 20);
-    const StringId name = tp.strings.intern(
-        "stack (thread " + std::to_string(owner) + ")");
     const Cct::NodeId dummy =
         cct.child(Cct::kRootId, NodeKind::kVarStatic, name);
-    cct.add_metrics(cct.insert_path(dummy, ctx.call_stack(),
-                                    NodeKind::kLeafInstr, leaf_ip),
-                    m);
+    attribute_context(tp, StorageClass::kStack, as, dummy, ctx.call_stack(),
+                      leaf_ip, m);
     return;
   }
 
   ++stats_.unknown_samples;
-  Cct& cct = tp.cct(StorageClass::kUnknown);
-  cct.add_metrics(cct.insert_path(Cct::kRootId, ctx.call_stack(),
-                                  NodeKind::kLeafInstr, leaf_ip),
-                  m);
+  attribute_context(tp, StorageClass::kUnknown, as, Cct::kRootId,
+                    ctx.call_stack(), leaf_ip, m);
 }
 
 std::vector<ThreadProfile> Profiler::take_profiles() {
@@ -133,6 +189,9 @@ std::vector<ThreadProfile> Profiler::take_profiles() {
     if (p) out.push_back(std::move(*p));
   }
   profiles_.clear();
+  // Every cached NodeId and StringId referred to the profiles just moved
+  // out; a new measurement phase starts cold.
+  attr_.clear();
   return out;
 }
 

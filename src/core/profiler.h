@@ -6,11 +6,19 @@
 //  * heap samples get the allocation path *prepended* to the access path,
 //    under a dummy "data accesses" node, so same-variable accesses from
 //    any thread merge;
-//  * per-thread CCTs mean no synchronization on the hot path.
+//  * per-thread CCTs mean no synchronization on the hot path;
+//  * sample attribution is trampoline-memoized: each thread remembers the
+//    CCT node path of its previous sample per storage class, and a sample
+//    whose calling context shares a prefix with it (validated by the
+//    ThreadCtx stack watermark, not a frame-by-frame compare) resumes the
+//    walk at the divergence point. The caches only skip find-or-create
+//    steps whose outcome is already known, so profiles are byte-identical
+//    with memoization on or off.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "binfmt/load_module.h"
@@ -33,6 +41,13 @@ struct ProfilerConfig {
   /// (the paper's future-work extension). When false, stack accesses
   /// fall through to unknown data, as in the paper.
   bool attribute_stack = true;
+  /// Trampoline-memoized sample attribution: resume the CCT walk of the
+  /// previous sample's calling context at the divergence point. Off =
+  /// every sample walks all frames from its anchor (ablation baseline;
+  /// output profiles are byte-identical either way).
+  bool memoized_attribution = true;
+  /// MRU cache in front of the heap interval map (see HeapVarMap).
+  bool var_map_mru = true;
 };
 
 struct ProfilerStats {
@@ -43,6 +58,10 @@ struct ProfilerStats {
   std::uint64_t stack_samples = 0;
   std::uint64_t unknown_samples = 0;
   std::uint64_t nomem_samples = 0;
+  // Attribution-memo effectiveness, in frames (the unit of saved work):
+  // a fully repeated context re-walks 0 frames and reuses all of them.
+  std::uint64_t memo_frames_reused = 0;  ///< resumed from the cached path
+  std::uint64_t memo_frames_walked = 0;  ///< walked through the CCT index
 };
 
 class Profiler {
@@ -81,9 +100,43 @@ class Profiler {
   AllocTracker& tracker() { return tracker_; }
 
  private:
-  void attribute_heap(ThreadProfile& tp, rt::ThreadCtx& ctx,
-                      const HeapBlock& block, sim::Addr leaf_ip,
-                      const MetricVec& m);
+  /// Memoized state for one (thread, storage class): the CCT node after
+  /// each frame of the last inserted calling context, hanging under
+  /// `anchor` (root, or the variable's dummy node). `valid` counts the
+  /// leading frames still trusted, min-reduced by every sample's stack
+  /// watermark.
+  struct ClassMemo {
+    Cct::NodeId anchor = Cct::kRootId;
+    bool anchor_known = false;
+    std::vector<Cct::NodeId> nodes;
+    std::size_t valid = 0;
+  };
+
+  /// Per-thread attribution caches. All cached ids are local to the
+  /// thread's current ThreadProfile, so take_profiles resets this state.
+  struct ThreadAttrState {
+    ClassMemo memo[kNumStorageClasses];
+    // Last heap sample's allocation path -> its kVarData anchor node
+    // (AllocPaths are interned for the profiler's lifetime, so pointer
+    // identity is stable).
+    const AllocPath* last_heap_path = nullptr;
+    Cct::NodeId heap_anchor = Cct::kRootId;
+    // Interned-name caches: static symbol base address / stack owner ->
+    // StringId in this thread's table. Steady-state samples intern and
+    // allocate nothing.
+    std::unordered_map<sim::Addr, StringId> static_names;
+    std::unordered_map<std::uint64_t, StringId> stack_names;
+  };
+
+  ThreadAttrState& attr_state(std::size_t tid);
+
+  /// Inserts the calling context under `anchor` in the class's CCT,
+  /// resuming from the memoized path where the watermark allows, then
+  /// adds `m` to the (leaf_kind-free) kLeafInstr leaf at `leaf_ip`.
+  void attribute_context(ThreadProfile& tp, StorageClass sc,
+                         ThreadAttrState& as, Cct::NodeId anchor,
+                         std::span<const sim::Addr> stack,
+                         sim::Addr leaf_ip, const MetricVec& m);
 
   binfmt::ModuleRegistry* modules_;
   ProfilerConfig cfg_;
@@ -94,6 +147,7 @@ class Profiler {
   ProfilerStats stats_;
   std::vector<rt::ThreadCtx*> threads_;                 // by tid
   std::vector<std::unique_ptr<ThreadProfile>> profiles_;  // by tid
+  std::vector<std::unique_ptr<ThreadAttrState>> attr_;    // by tid
 };
 
 }  // namespace dcprof::core

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -12,11 +13,13 @@ using StringId = std::uint64_t;
 
 class StringTable {
  public:
-  StringId intern(const std::string& s) {
+  /// Heterogeneous lookup: callers holding a string_view (or literal)
+  /// pay no std::string construction unless the string is new.
+  StringId intern(std::string_view s) {
     auto it = index_.find(s);
     if (it != index_.end()) return it->second;
     const StringId id = strings_.size();
-    strings_.push_back(s);
+    strings_.emplace_back(s);
     index_.emplace(strings_.back(), id);
     return id;
   }
@@ -25,8 +28,15 @@ class StringTable {
   std::size_t size() const { return strings_.size(); }
 
  private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::vector<std::string> strings_;
-  std::unordered_map<std::string, StringId> index_;
+  std::unordered_map<std::string, StringId, Hash, std::equal_to<>> index_;
 };
 
 }  // namespace dcprof::core

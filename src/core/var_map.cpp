@@ -1,5 +1,7 @@
 #include "core/var_map.h"
 
+#include <algorithm>
+
 namespace dcprof::core {
 
 std::shared_ptr<const AllocPath> AllocPathSet::intern(AllocPath path) {
@@ -12,24 +14,53 @@ std::shared_ptr<const AllocPath> AllocPathSet::intern(AllocPath path) {
 
 void HeapVarMap::insert(sim::Addr base, std::uint64_t size,
                         std::shared_ptr<const AllocPath> path) {
+  // Overwriting an existing base updates the mapped HeapBlock in place,
+  // so a cached pointer to it stays valid and sees the new extent.
   blocks_[base] = HeapBlock{base, size, std::move(path)};
 }
 
 std::optional<HeapBlock> HeapVarMap::erase(sim::Addr base) {
   auto it = blocks_.find(base);
   if (it == blocks_.end()) return std::nullopt;
+  for (auto& slot : mru_) {
+    if (slot == &it->second) slot = nullptr;
+  }
   HeapBlock block = std::move(it->second);
   blocks_.erase(it);
   return block;
 }
 
 const HeapBlock* HeapVarMap::find(sim::Addr addr) const {
+  if (mru_enabled_) {
+    for (std::size_t i = 0; i < kMruWays; ++i) {
+      const HeapBlock* b = mru_[i];
+      if (b != nullptr && addr >= b->base && addr - b->base < b->size) {
+        ++stats_.mru_hits;
+        // Move-to-front keeps the hottest blocks cheapest.
+        for (; i > 0; --i) mru_[i] = mru_[i - 1];
+        mru_[0] = b;
+        return b;
+      }
+    }
+    ++stats_.mru_misses;
+  }
   auto it = blocks_.upper_bound(addr);
   if (it == blocks_.begin()) return nullptr;
   --it;
   const HeapBlock& b = it->second;
-  if (addr >= b.base && addr < b.base + b.size) return &b;
+  if (addr >= b.base && addr < b.base + b.size) {
+    if (mru_enabled_) {
+      for (std::size_t i = kMruWays - 1; i > 0; --i) mru_[i] = mru_[i - 1];
+      mru_[0] = &b;
+    }
+    return &b;
+  }
   return nullptr;
+}
+
+void HeapVarMap::set_mru_enabled(bool enabled) {
+  mru_enabled_ = enabled;
+  std::fill(std::begin(mru_), std::end(mru_), nullptr);
 }
 
 }  // namespace dcprof::core

@@ -55,7 +55,16 @@ struct HeapBlock {
   std::shared_ptr<const AllocPath> path;  ///< null for untracked blocks
 };
 
-/// Address-interval map over live heap blocks.
+struct VarMapStats {
+  std::uint64_t mru_hits = 0;
+  std::uint64_t mru_misses = 0;  ///< lookups that fell through to the tree
+};
+
+/// Address-interval map over live heap blocks. Lookups check a small MRU
+/// cache of recently hit blocks before probing the tree — consecutive
+/// memory samples overwhelmingly land in the same live block. The cache
+/// never changes a lookup's result (entries are invalidated on erase and
+/// map nodes are pointer-stable), only its cost.
 class HeapVarMap {
  public:
   void insert(sim::Addr base, std::uint64_t size,
@@ -69,8 +78,19 @@ class HeapVarMap {
 
   std::size_t size() const { return blocks_.size(); }
 
+  /// Disabling flushes the cache; every find probes the tree (ablation
+  /// baseline for the equivalence tests).
+  void set_mru_enabled(bool enabled);
+  bool mru_enabled() const { return mru_enabled_; }
+  const VarMapStats& stats() const { return stats_; }
+
  private:
+  static constexpr std::size_t kMruWays = 4;
+
   std::map<sim::Addr, HeapBlock> blocks_;  // keyed by base
+  bool mru_enabled_ = true;
+  mutable const HeapBlock* mru_[kMruWays] = {};  // most recent first
+  mutable VarMapStats stats_;
 };
 
 }  // namespace dcprof::core

@@ -46,8 +46,22 @@ class ThreadCtx {
   /// Shadow call stack of call-site IPs, outermost first.
   std::span<const Addr> call_stack() const { return stack_; }
   void push_frame(Addr call_site_ip) { stack_.push_back(call_site_ip); }
-  void pop_frame() { stack_.pop_back(); }
+  void pop_frame() {
+    stack_.pop_back();
+    if (stack_.size() < stack_low_water_) stack_low_water_ = stack_.size();
+  }
   std::size_t stack_depth() const { return stack_.size(); }
+
+  /// Stack-version watermark for trampoline-style sample memoization:
+  /// returns how many leading frames are guaranteed unchanged since the
+  /// previous call (any deeper frame may have been popped and re-pushed
+  /// in between — pushes alone never lower it). Calling it re-arms the
+  /// watermark at the current depth.
+  std::size_t take_stack_watermark() {
+    const std::size_t w = stack_low_water_;
+    stack_low_water_ = stack_.size();
+    return w;
+  }
 
   /// Reserves `bytes` of this thread's stack segment (a frame-local
   /// buffer); 64-byte aligned, bump-allocated, released with
@@ -69,6 +83,7 @@ class ThreadCtx {
   sim::CoreId core_;
   Cycles clock_ = 0;
   std::uint64_t stack_cursor_ = 0;
+  std::size_t stack_low_water_ = 0;
   std::vector<Addr> stack_;
 };
 

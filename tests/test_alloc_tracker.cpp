@@ -170,6 +170,35 @@ TEST(AllocTracker, SmallAllocationSamplingTracksEveryNth) {
   EXPECT_EQ(f.tracker.stats().allocations_tracked, 4u);
 }
 
+TEST(AllocTracker, SmallSamplingPeriodIsPerThread) {
+  // Two threads allocating concurrently: each must see exactly every Nth
+  // of its *own* small allocations tracked, regardless of interleaving.
+  // (A shared countdown would make the outcome depend on arrival order.)
+  TrackerConfig cfg;
+  cfg.small_sample_period = 4;
+  Fixture f(cfg);
+  rt::ThreadCtx& t0 = f.team.thread(0);
+  rt::ThreadCtx& t1 = f.team.thread(1);
+  int tracked0 = 0;
+  int tracked1 = 0;
+  // Irregular interleaving: thread 1 issues two allocations for each of
+  // thread 0's, with distinct address ranges.
+  for (int i = 0; i < 12; ++i) {
+    const sim::Addr b0 = 0x100000 + static_cast<sim::Addr>(i) * 0x100;
+    f.tracker.on_alloc(t0, b0, 64, 0x99);
+    if (f.map.find(b0) != nullptr) ++tracked0;
+    for (int j = 0; j < 2; ++j) {
+      const sim::Addr b1 =
+          0x200000 + static_cast<sim::Addr>(i * 2 + j) * 0x100;
+      f.tracker.on_alloc(t1, b1, 64, 0x99);
+      if (f.map.find(b1) != nullptr) ++tracked1;
+    }
+  }
+  EXPECT_EQ(tracked0, 3);  // every 4th of thread 0's 12
+  EXPECT_EQ(tracked1, 6);  // every 4th of thread 1's 24
+  EXPECT_EQ(f.tracker.stats().small_sampled, 9u);
+}
+
 TEST(AllocTracker, SmallSamplingDoesNotAffectLargeBlocks) {
   TrackerConfig cfg;
   cfg.small_sample_period = 1000;

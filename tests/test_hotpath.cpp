@@ -1,0 +1,184 @@
+// The attribution fast path must never change profile *content*: the
+// memoized sample attribution, the var-map MRU cache, and the flat CCT
+// child index only skip work whose outcome is already known. These tests
+// prove it by comparing serialized profile bytes with the caches enabled
+// vs. disabled — across real workloads (AMG, streamcluster) and a
+// randomized sample/push/pop driver — plus a determinism check that
+// children() reproduces the old std::map (kind, sym) ordering.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/profiler.h"
+#include "workloads/amg.h"
+#include "workloads/harness.h"
+#include "workloads/streamcluster.h"
+
+namespace dcprof {
+namespace {
+
+core::ProfilerConfig fastpath_config(bool enabled) {
+  core::ProfilerConfig cfg;
+  cfg.memoized_attribution = enabled;
+  cfg.var_map_mru = enabled;
+  return cfg;
+}
+
+std::string serialize_all(const std::vector<core::ThreadProfile>& profiles) {
+  std::ostringstream os;
+  for (const auto& p : profiles) p.write(os);
+  return os.str();
+}
+
+TEST(Hotpath, AmgProfilesByteIdenticalWithCachesOnOrOff) {
+  std::string reference;
+  for (const bool fast : {false, true}) {
+    wl::ProcessCtx proc(wl::node_config(), 16, "amg");
+    wl::AmgParams prm;
+    prm.rows = 12'000;
+    prm.iters = 2;
+    prm.small_allocs = 100;
+    prm.workspace_doubles = 20'000;
+    prm.symbolic_cycles_per_row = 10;
+    wl::Amg amg(proc, prm);
+    proc.enable_profiling(wl::rmem_config(32), fastpath_config(fast));
+    amg.run();
+    if (fast) {
+      // The caches actually engaged on this workload...
+      EXPECT_GT(proc.profiler()->stats().memo_frames_reused, 0u);
+      EXPECT_GT(proc.profiler()->heap_map().stats().mru_hits, 0u);
+    }
+    const std::string bytes = serialize_all(proc.take_profiles());
+    if (!fast) {
+      reference = bytes;
+    } else {
+      // ...and the output is the byte-identical profile.
+      EXPECT_EQ(bytes, reference);
+    }
+  }
+}
+
+TEST(Hotpath, StreamclusterProfilesByteIdenticalWithCachesOnOrOff) {
+  std::string reference;
+  for (const bool fast : {false, true}) {
+    wl::ProcessCtx proc(wl::node_config(), 8, "sc");
+    wl::StreamclusterParams prm;
+    prm.npoints = 6'000;
+    prm.dim = 8;
+    prm.iters = 1;
+    wl::Streamcluster sc(proc, prm);
+    proc.enable_profiling(wl::ibs_config(256), fastpath_config(fast));
+    sc.run();
+    if (fast) {
+      EXPECT_GT(proc.profiler()->stats().memo_frames_reused, 0u);
+    }
+    const std::string bytes = serialize_all(proc.take_profiles());
+    if (!fast) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference);
+    }
+  }
+}
+
+// Randomized adversarial driver: interleaves frame pushes/pops with
+// samples of every storage class, replayed against a memoized and an
+// unmemoized profiler. Exercises the watermark across class switches and
+// partial unwinds in ways the workloads may not.
+TEST(Hotpath, RandomSampleSequencesAreEquivalent) {
+  const auto run = [](bool fast) {
+    sim::Machine machine(wl::node_config());
+    rt::Team team(machine, 2);
+    binfmt::ModuleRegistry modules;
+    binfmt::LoadModule exe("hotpath", machine.aspace());
+    modules.load(&exe);
+    const auto f = exe.add_function("f", "f.c");
+    const sim::Addr ip = exe.add_instr(f, 1);
+    const sim::Addr static_base = exe.add_static_var("g_state", 1 << 16);
+    core::Profiler profiler(modules, fastpath_config(fast));
+    profiler.register_team(team);
+    rt::ThreadCtx& t = team.master();
+    // Two tracked heap blocks with different allocation contexts.
+    t.push_frame(0x700);
+    profiler.tracker().on_alloc(t, 0x7f0000000000ull, 1 << 16, ip);
+    t.push_frame(0x701);
+    profiler.tracker().on_alloc(t, 0x7f0000100000ull, 1 << 16, ip + 4);
+    t.pop_frame();
+    t.pop_frame();
+
+    std::uint64_t seed = 0x5eed;
+    const auto next = [&seed] {
+      seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+      return seed >> 40;
+    };
+    pmu::Sample s;
+    s.tid = 0;
+    s.latency = 100;
+    s.source = sim::MemLevel::kRemoteDram;
+    for (int op = 0; op < 20'000; ++op) {
+      switch (next() % 8) {
+        case 0:
+        case 1:
+        case 2:
+          t.push_frame(0x400000 + (next() % 16) * 4);
+          break;
+        case 3:
+        case 4:
+          if (t.stack_depth() > 0) t.pop_frame();
+          break;
+        default: {
+          s.precise_ip = ip + (next() % 4) * 4;
+          s.signal_ip = s.precise_ip;
+          s.is_memory = next() % 8 != 0;
+          switch (next() % 5) {
+            case 0: s.eaddr = 0x7f0000000000ull + next() % (1 << 16); break;
+            case 1: s.eaddr = 0x7f0000100000ull + next() % (1 << 16); break;
+            case 2: s.eaddr = static_base + next() % (1 << 16); break;
+            case 3: s.eaddr = sim::kStackBase + next() % (1 << 20); break;
+            default: s.eaddr = 0x1234;  // unknown data
+          }
+          profiler.handle_sample(s);
+        }
+      }
+    }
+    std::ostringstream os;
+    for (const auto& p : profiler.take_profiles()) p.write(os);
+    return os.str();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+// The old child index was a per-parent std::map keyed by (kind, sym);
+// children() must keep producing exactly that iteration order from the
+// flat hash index.
+TEST(Hotpath, ChildrenMatchReferenceMapOrdering) {
+  using ChildKey = std::pair<std::uint8_t, std::uint64_t>;
+  core::Cct cct;
+  std::map<core::Cct::NodeId, std::map<ChildKey, core::Cct::NodeId>> ref;
+  std::uint64_t seed = 42;
+  const auto next = [&seed] {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    return seed >> 40;
+  };
+  for (int i = 0; i < 5'000; ++i) {
+    const auto parent =
+        static_cast<core::Cct::NodeId>(next() % cct.size());
+    const auto kind = static_cast<core::NodeKind>(1 + next() % 5);
+    const std::uint64_t sym = next() % 64;
+    const auto id = cct.child(parent, kind, sym);
+    ref[parent].emplace(
+        ChildKey{static_cast<std::uint8_t>(kind), sym}, id);
+  }
+  for (core::Cct::NodeId p = 0; p < cct.size(); ++p) {
+    std::vector<core::Cct::NodeId> expected;
+    for (const auto& [key, id] : ref[p]) expected.push_back(id);
+    EXPECT_EQ(cct.children(p), expected) << "parent " << p;
+  }
+}
+
+}  // namespace
+}  // namespace dcprof

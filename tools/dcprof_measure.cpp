@@ -31,6 +31,29 @@ int usage(const char* argv0) {
   return 2;
 }
 
+double pct(std::uint64_t hits, std::uint64_t misses) {
+  const std::uint64_t total = hits + misses;
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                static_cast<double>(total);
+}
+
+/// End-of-run effectiveness of the measurement-side caches (must be read
+/// before write_measurements ends the profiling session).
+void print_cache_stats(core::Profiler& prof) {
+  const core::ProfilerStats& s = prof.stats();
+  const core::VarMapStats& v = prof.heap_map().stats();
+  std::printf("attribution memo: %llu frames reused, %llu walked "
+              "(%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(s.memo_frames_reused),
+              static_cast<unsigned long long>(s.memo_frames_walked),
+              pct(s.memo_frames_reused, s.memo_frames_walked));
+  std::printf("var-map MRU: %llu hits, %llu tree probes "
+              "(%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(v.mru_hits),
+              static_cast<unsigned long long>(v.mru_misses),
+              pct(v.mru_hits, v.mru_misses));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -68,17 +91,40 @@ int main(int argc, char** argv) {
     wl::Sweep3dParams prm;
     std::mutex mu;
     std::uint64_t bytes = 0;
+    core::ProfilerStats cluster_stats;
+    core::VarMapStats cluster_var_stats;
     cluster.run([&](rt::Rank& rank) {
       wl::ProcessCtx proc(rank, "sweep3d");
       proc.enable_profiling(pmu_cfg, {}, rank.id());
       wl::Sweep3dRank w(proc, prm, &rank);
       w.run();
       std::lock_guard lock(mu);
+      const core::ProfilerStats& s = proc.profiler()->stats();
+      cluster_stats.memo_frames_reused += s.memo_frames_reused;
+      cluster_stats.memo_frames_walked += s.memo_frames_walked;
+      const core::VarMapStats& v = proc.profiler()->heap_map().stats();
+      cluster_var_stats.mru_hits += v.mru_hits;
+      cluster_var_stats.mru_misses += v.mru_misses;
       bytes += proc.write_measurements(dir);
     });
     std::printf("sweep3d: wrote %llu bytes of measurement data (8 ranks) "
                 "to %s\n",
                 static_cast<unsigned long long>(bytes), dir.c_str());
+    std::printf("attribution memo: %llu frames reused, %llu walked "
+                "(%.1f%% hit rate, all ranks)\n",
+                static_cast<unsigned long long>(
+                    cluster_stats.memo_frames_reused),
+                static_cast<unsigned long long>(
+                    cluster_stats.memo_frames_walked),
+                pct(cluster_stats.memo_frames_reused,
+                    cluster_stats.memo_frames_walked));
+    std::printf("var-map MRU: %llu hits, %llu tree probes "
+                "(%.1f%% hit rate, all ranks)\n",
+                static_cast<unsigned long long>(cluster_var_stats.mru_hits),
+                static_cast<unsigned long long>(
+                    cluster_var_stats.mru_misses),
+                pct(cluster_var_stats.mru_hits,
+                    cluster_var_stats.mru_misses));
     std::printf("analyze with: dcprof_analyze %s --metric %s\n",
                 dir.c_str(), event == "ibs" ? "latency" : "rdram");
     return 0;
@@ -106,6 +152,7 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
 
+  print_cache_stats(*proc.profiler());
   const std::uint64_t bytes = proc.write_measurements(dir);
   std::printf("%s: %llu simulated cycles, checksum %.6g\n",
               workload.c_str(),

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the Release tree and runs the profiler micro benchmarks,
+# recording the attribution-hot-path trajectory to BENCH_hotpath.json
+# (google-benchmark JSON). Run from anywhere; paths resolve from the
+# script's own location. Usage:
+#
+#   tools/run_bench.sh [benchmark-filter]
+#
+# The default filter covers the hot-path suite (CCT insertion, heap-map
+# lookup, end-to-end attribution). Pass '' to run everything.
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-release"
+filter="${1-BM_Attribute|BM_Cct|BM_HeapMap}"
+out="$repo/BENCH_hotpath.json"
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build" -j --target micro_profiler
+
+"$build/bench/micro_profiler" \
+    ${filter:+--benchmark_filter="$filter"} \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json
+
+echo
+echo "wrote $out"
+echo "baseline (pre-optimization) numbers: bench/BENCH_hotpath_baseline.json"
