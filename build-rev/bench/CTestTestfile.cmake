@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-rev/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(hotpath_smoke "/root/repo/build-rev/bench/micro_profiler" "--benchmark_filter=BM_Attribute|BM_CctInsertPath|BM_HeapMapLookup" "--benchmark_min_time=0.01")
+set_tests_properties(hotpath_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")

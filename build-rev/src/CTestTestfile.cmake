@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-rev/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("binfmt")
+subdirs("pmu")
+subdirs("rt")
+subdirs("core")
+subdirs("analysis")
+subdirs("workloads")
