@@ -10,6 +10,8 @@
 #include "core/cct.h"
 #include "core/profiler.h"
 #include "core/var_map.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "pmu/pmu.h"
 #include "rt/team.h"
 #include "sim/address_space.h"
@@ -216,6 +218,27 @@ void BM_AttributeMixedClasses(benchmark::State& state) {
 BENCHMARK(BM_AttributeMixedClasses)
     ->ArgsProduct({{0, 1}, {8, 32}})
     ->ArgNames({"fast", "depth"});
+
+// End-to-end handle_sample with the self-telemetry layer in its three
+// states: 0 = everything off (the default; must stay within noise of
+// the pre-telemetry hot path — tools/run_bench.sh asserts it against
+// BM_AttributeHotRepeated/fast:1/depth:32), 1 = metrics registry on
+// (two clock reads + histogram records per sample), 2 = metrics plus
+// event tracing (one ring-buffer span per sample).
+void BM_SampleHandler(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  obs::set_metrics_enabled(mode >= 1);
+  obs::Tracer::set_enabled(mode >= 2);
+  AttrFixture f(32, true);
+  const pmu::Sample s = f.sample(AttrFixture::kHeapBase + 0x100);
+  for (auto _ : state) {
+    f.profiler->handle_sample(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+  obs::set_metrics_enabled(false);
+  obs::Tracer::set_enabled(false);
+}
+BENCHMARK(BM_SampleHandler)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"telemetry"});
 
 void BM_MachineAccessL1Hit(benchmark::State& state) {
   sim::Machine machine(wl::node_config());

@@ -13,6 +13,8 @@
 
 #include "analysis/merge.h"
 #include "core/measurement.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 
 namespace dcprof::analysis {
 
@@ -25,23 +27,9 @@ double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
-/// Counts simultaneously resident (deserialized) profiles and keeps the
-/// run's high-water mark — the pipeline's memory-bound witness.
-class ResidencyGauge {
- public:
-  void acquire() {
-    const int now = current_.fetch_add(1) + 1;
-    int peak = peak_.load();
-    while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
-    }
-  }
-  void release() { current_.fetch_sub(1); }
-  int peak() const { return peak_.load(); }
-
- private:
-  std::atomic<int> current_{0};
-  std::atomic<int> peak_{0};
-};
+std::uint64_t us_of(double ms) {
+  return ms > 0 ? static_cast<std::uint64_t>(ms * 1000.0) : 0;
+}
 
 std::string read_file_bytes(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
@@ -87,12 +75,35 @@ struct WorkerOutput {
   std::vector<std::string> skipped;
   std::uint64_t bytes = 0;
   std::size_t files_read = 0;
+  double merge_ms = 0;
   std::exception_ptr error;
 };
 
 template <typename Rows>
 void truncate_rows(Rows& rows, std::size_t top_n) {
   if (top_n != 0 && rows.size() > top_n) rows.resize(top_n);
+}
+
+/// kViewOverhead: the analyzer reporting on itself, from the same live
+/// telemetry that feeds the registry (Table-1 style, but for analysis).
+std::string render_overhead(const AnalysisResult& r) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(2);
+  out << "analysis overhead (self-telemetry)\n"
+      << "  total wall            " << r.timings.total_ms << " ms\n"
+      << "    discover            " << r.timings.discover_ms << " ms\n"
+      << "    stream              " << r.timings.stream_ms << " ms  ("
+      << r.workers_used << " workers, " << r.files_read << " files, "
+      << r.bytes_streamed / 1024.0 << " KB)\n"
+      << "    combine             " << r.timings.combine_ms << " ms\n"
+      << "    views               " << r.timings.views_ms << " ms\n"
+      << "  peak resident profiles  " << r.peak_resident_profiles << "\n";
+  for (const auto& s : r.shards) {
+    out << "  shard " << s.worker << "  " << s.files << " files, "
+        << s.bytes / 1024.0 << " KB, " << s.merge_ms << " ms\n";
+  }
+  return std::move(out).str();
 }
 
 }  // namespace
@@ -105,18 +116,32 @@ AnalysisContext AnalysisResult::context() const {
 }
 
 AnalysisResult Analyzer::run(const fs::path& dir) const {
+  OBS_SPAN("analyze.run");
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter stage_discover_us =
+      reg.counter("analyze.stage_us", {{"stage", "discover"}});
+  obs::Counter stage_stream_us =
+      reg.counter("analyze.stage_us", {{"stage", "stream"}});
+  obs::Counter stage_combine_us =
+      reg.counter("analyze.stage_us", {{"stage", "combine"}});
+  obs::Counter stage_views_us =
+      reg.counter("analyze.stage_us", {{"stage", "views"}});
   const auto t_start = Clock::now();
   AnalysisResult result;
 
   // Stage 1: discover.
-  result.structure = core::read_structure_file(dir);
-  result.bytes_streamed += fs::file_size(dir / "structure.dcst");
+  {
+    OBS_SPAN("analyze.discover");
+    result.structure = core::read_structure_file(dir);
+    result.bytes_streamed += fs::file_size(dir / "structure.dcst");
+  }
   const std::vector<fs::path> files = core::list_profile_files(dir);
   result.files_discovered = files.size();
   if (files.empty()) {
     throw std::runtime_error("no profiles in " + dir.string());
   }
   result.timings.discover_ms = ms_since(t_start);
+  stage_discover_us.add(us_of(result.timings.discover_ms));
 
   // Stage 2: stream. Contiguous shards keep the overall fold order equal
   // to the sorted file list, so the result is byte-identical to
@@ -124,17 +149,29 @@ AnalysisResult Analyzer::run(const fs::path& dir) const {
   // profile (its running partial) because every file after the first is
   // merged straight off its serialized bytes.
   const auto t_stream = Clock::now();
+  const std::uint64_t ts_stream =
+      obs::Tracer::enabled() ? obs::Tracer::global().now_ns() : 0;
   const int workers = std::clamp<int>(
       options_.workers, 1, static_cast<int>(files.size()));
   const bool skip_corrupt = options_.skip_corrupt;
   const bool want_threads = (options_.views & kViewThreads) != 0;
   std::vector<WorkerOutput> outs(static_cast<std::size_t>(workers));
-  ResidencyGauge gauge;
+  obs::Gauge gauge = reg.gauge("analyze.resident_profiles");
+  std::vector<obs::Counter> shard_merge_us;
+  for (int w = 0; w < workers; ++w) {
+    shard_merge_us.push_back(
+        reg.counter("analyze.shard_merge_us", {{"shard", std::to_string(w)}}));
+  }
+  std::atomic<std::size_t> files_done{0};
+  const auto& progress = options_.progress;
 
-  const auto shard = [&](std::size_t begin, std::size_t end,
+  const auto shard = [&](int w, std::size_t begin, std::size_t end,
                          WorkerOutput& out) {
+    OBS_SPAN_V("analyze.shard", "worker", w);
+    const auto t_shard = Clock::now();
     try {
       for (std::size_t i = begin; i < end; ++i) {
+        OBS_SPAN_V("analyze.file", "index", i);
         std::istringstream in(read_file_bytes(files[i]));
         ValidatingVisitor validator;
         try {
@@ -147,52 +184,73 @@ AnalysisResult Analyzer::run(const fs::path& dir) const {
             throw std::runtime_error(files[i].string() + ": " + e.what());
           }
           out.skipped.push_back(files[i].string() + ": " + e.what());
+          if (progress) progress(++files_done, files.size());
           continue;
         }
         in.clear();
         in.seekg(0);
         if (!out.partial) {
           out.partial = core::ThreadProfile::read(in);
-          gauge.acquire();
+          gauge.add(1);
         } else {
           merge_serialized(*out.partial, in);
         }
         if (want_threads) out.threads.push_back(validator.row());
         out.bytes += static_cast<std::uint64_t>(in.view().size());
         ++out.files_read;
+        if (progress) progress(++files_done, files.size());
       }
     } catch (...) {
       out.error = std::current_exception();
     }
+    out.merge_ms = ms_since(t_shard);
+    shard_merge_us[static_cast<std::size_t>(w)].add(us_of(out.merge_ms));
   };
 
   if (workers == 1) {
-    shard(0, files.size(), outs[0]);
+    shard(0, 0, files.size(), outs[0]);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w) {
       const std::size_t begin = files.size() * w / workers;
       const std::size_t end = files.size() * (w + 1) / workers;
-      pool.emplace_back(shard, begin, end, std::ref(outs[w]));
+      pool.emplace_back([&, w, begin, end] {
+        if (obs::Tracer::enabled()) {
+          obs::Tracer::global().set_thread_name(
+              "analyze-worker-" + std::to_string(w));
+        }
+        shard(w, begin, end, outs[static_cast<std::size_t>(w)]);
+      });
     }
     for (auto& t : pool) t.join();
   }
   for (auto& out : outs) {
     if (out.error) std::rethrow_exception(out.error);
   }
-  for (auto& out : outs) {
+  for (int w = 0; w < workers; ++w) {
+    auto& out = outs[static_cast<std::size_t>(w)];
     result.files_read += out.files_read;
     result.bytes_streamed += out.bytes;
     for (auto& row : out.threads) result.threads.push_back(row);
     for (auto& s : out.skipped) result.skipped.push_back(std::move(s));
+    result.shards.push_back(
+        ShardStat{w, out.files_read, out.bytes, out.merge_ms});
   }
   result.files_skipped = result.skipped.size();
   result.workers_used = workers;
   result.timings.stream_ms = ms_since(t_stream);
+  stage_stream_us.add(us_of(result.timings.stream_ms));
+  if (obs::Tracer::enabled()) {
+    obs::Tracer& tr = obs::Tracer::global();
+    tr.record_complete("analyze.stream", ts_stream,
+                       tr.now_ns() - ts_stream);
+  }
 
   // Stage 3: combine the worker partials, in shard order.
   const auto t_combine = Clock::now();
+  const std::uint64_t ts_combine =
+      obs::Tracer::enabled() ? obs::Tracer::global().now_ns() : 0;
   std::optional<core::ThreadProfile> merged;
   for (auto& out : outs) {
     if (!out.partial) continue;  // shard was all-corrupt
@@ -200,7 +258,7 @@ AnalysisResult Analyzer::run(const fs::path& dir) const {
       merged = std::move(*out.partial);
     } else {
       merge_into(*merged, *out.partial);
-      gauge.release();
+      gauge.add(-1);
     }
     out.partial.reset();
   }
@@ -208,11 +266,19 @@ AnalysisResult Analyzer::run(const fs::path& dir) const {
     throw std::runtime_error("no readable profiles in " + dir.string());
   }
   result.merged = std::move(*merged);
-  result.peak_resident_profiles = static_cast<std::size_t>(gauge.peak());
+  result.peak_resident_profiles = static_cast<std::size_t>(gauge.max());
   result.timings.combine_ms = ms_since(t_combine);
+  stage_combine_us.add(us_of(result.timings.combine_ms));
+  if (obs::Tracer::enabled()) {
+    obs::Tracer& tr = obs::Tracer::global();
+    tr.record_complete("analyze.combine", ts_combine,
+                       tr.now_ns() - ts_combine);
+  }
 
   // Stage 4: views.
   const auto t_views = Clock::now();
+  const std::uint64_t ts_views =
+      obs::Tracer::enabled() ? obs::Tracer::global().now_ns() : 0;
   const unsigned views = options_.views;
   const core::Metric metric = options_.sort_metric;
   const AnalysisContext ctx = result.context();
@@ -240,7 +306,15 @@ AnalysisResult Analyzer::run(const fs::path& dir) const {
     result.advice = advise(result.merged, ctx, options_.advisor);
   }
   result.timings.views_ms = ms_since(t_views);
+  stage_views_us.add(us_of(result.timings.views_ms));
+  if (obs::Tracer::enabled()) {
+    obs::Tracer& tr = obs::Tracer::global();
+    tr.record_complete("analyze.views", ts_views, tr.now_ns() - ts_views);
+  }
   result.timings.total_ms = ms_since(t_start);
+  if (views & kViewOverhead) {
+    result.overhead_report = render_overhead(result);
+  }
   return result;
 }
 

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,16 +41,27 @@ enum View : unsigned {
   kViewAllocSites = 1u << 4,   ///< bottom-up allocation-site table
   kViewThreads = 1u << 5,      ///< per-profile totals (pre-merge)
   kViewAdvice = 1u << 6,       ///< rule-based optimization guidance
-  kViewAll = (1u << 7) - 1,
+  kViewOverhead = 1u << 7,     ///< the analyzer's own telemetry report
+  kViewAll = (1u << 8) - 1,
 };
 
-/// Wall time per pipeline stage, in milliseconds.
+/// Wall time per pipeline stage, in milliseconds. A view over the same
+/// measurements that feed the registry's `analyze.stage_us{stage=...}`
+/// counters (which accumulate across runs).
 struct StageTimings {
   double discover_ms = 0;  ///< directory listing + structure load
   double stream_ms = 0;    ///< parallel read + streaming merge
   double combine_ms = 0;   ///< fold of the worker partials
   double views_ms = 0;     ///< post-merge table computation
   double total_ms = 0;
+};
+
+/// One stream-stage worker's shard, as it ran.
+struct ShardStat {
+  int worker = 0;
+  std::size_t files = 0;       ///< files folded (skipped ones excluded)
+  std::uint64_t bytes = 0;     ///< serialized bytes streamed
+  double merge_ms = 0;         ///< wall time of the whole shard fold
 };
 
 struct AnalysisResult {
@@ -65,6 +77,7 @@ struct AnalysisResult {
   std::size_t peak_resident_profiles = 0;  ///< high-water; <= workers + 1
   int workers_used = 0;
   StageTimings timings;
+  std::vector<ShardStat> shards;  ///< one per stream-stage worker
 
   // View tables (filled per Options::views; empty otherwise).
   ClassSummary summary;
@@ -74,6 +87,7 @@ struct AnalysisResult {
   std::vector<AllocSiteRow> alloc_sites;
   std::vector<ThreadRow> threads;  ///< in profile-file order, pre-merge
   std::vector<Advice> advice;
+  std::string overhead_report;     ///< kViewOverhead: Table-1-style text
 
   /// Label-resolution context wired to this result's structure data.
   /// Rebuild after moving the result; the context borrows from it.
@@ -99,6 +113,9 @@ class Analyzer {
     bool skip_corrupt = true;
     /// Thresholds for the advice view (kViewAdvice).
     AdvisorOptions advisor;
+    /// Called after each profile file is folded during the stream stage.
+    /// Invoked from worker threads — must be thread-safe.
+    std::function<void(std::size_t done, std::size_t total)> progress;
   };
 
   Analyzer() = default;

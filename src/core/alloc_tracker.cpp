@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/tracer.h"
+
 namespace dcprof::core {
 
 namespace {
@@ -17,6 +19,32 @@ std::uint64_t frame_work(sim::Addr a) {
 volatile std::uint64_t g_unwind_sink = 0;
 }  // namespace
 
+AllocTracker::AllocTracker(HeapVarMap& var_map, AllocPathSet& paths,
+                           TrackerConfig cfg)
+    : var_map_(&var_map), paths_(&paths), cfg_(cfg) {
+  obs::Registry& reg = obs::Registry::global();
+  tm_.tracked = reg.counter("tracker.allocations", {{"outcome", "tracked"}});
+  tm_.skipped = reg.counter("tracker.allocations", {{"outcome", "skipped"}});
+  tm_.small_sampled =
+      reg.counter("tracker.allocations", {{"outcome", "small_sampled"}});
+  tm_.frees = reg.counter("tracker.frees");
+  tm_.frames_unwound = reg.counter("tracker.frames", {{"kind", "unwound"}});
+  tm_.frames_reused = reg.counter("tracker.frames", {{"kind", "reused"}});
+  tm_.alloc_ns = reg.counter("tracker.alloc_ns");
+}
+
+TrackerStats AllocTracker::stats() const {
+  TrackerStats s;
+  s.allocations_tracked = tm_.tracked.value();
+  s.allocations_skipped = tm_.skipped.value();
+  s.allocations_seen = s.allocations_tracked + s.allocations_skipped;
+  s.small_sampled = tm_.small_sampled.value();
+  s.frees_seen = tm_.frees.value();
+  s.frames_unwound = tm_.frames_unwound.value();
+  s.frames_reused = tm_.frames_reused.value();
+  return s;
+}
+
 std::shared_ptr<const AllocPath> AllocTracker::unwind(rt::ThreadCtx& ctx,
                                                       sim::Addr alloc_ip) {
   const std::span<const sim::Addr> stack = ctx.call_stack();
@@ -30,7 +58,7 @@ std::shared_ptr<const AllocPath> AllocTracker::unwind(rt::ThreadCtx& ctx,
     while (reuse < limit && stack[reuse] == cache.last_stack[reuse]) ++reuse;
     if (reuse == stack.size() && reuse == cache.last_stack.size() &&
         alloc_ip == cache.last_alloc_ip && cache.last_path) {
-      stats_.frames_reused += reuse;
+      tm_.frames_reused.add(reuse);
       return cache.last_path;
     }
   }
@@ -40,8 +68,8 @@ std::shared_ptr<const AllocPath> AllocTracker::unwind(rt::ThreadCtx& ctx,
     sink ^= frame_work(stack[i]);
   }
   g_unwind_sink = sink;
-  stats_.frames_unwound += stack.size() - reuse;
-  stats_.frames_reused += reuse;
+  tm_.frames_unwound.add(stack.size() - reuse);
+  tm_.frames_reused.add(reuse);
 
   auto path = paths_->intern(
       AllocPath{std::vector<sim::Addr>(stack.begin(), stack.end()), alloc_ip});
@@ -53,19 +81,20 @@ std::shared_ptr<const AllocPath> AllocTracker::unwind(rt::ThreadCtx& ctx,
 
 void AllocTracker::on_alloc(rt::ThreadCtx& ctx, sim::Addr base,
                             std::uint64_t size, sim::Addr alloc_ip) {
-  ++stats_.allocations_seen;
+  obs::ScopedNs timer(tm_.alloc_ns);
   if (!cfg_.track_all && size < cfg_.size_threshold) {
     // Optionally sample sub-threshold allocations at a fixed period
     // (the paper's future-work extension for small-block data
     // structures) instead of dropping them all.
     if (cfg_.small_sample_period == 0 ||
         ++cache_[ctx.tid()].small_countdown % cfg_.small_sample_period != 0) {
-      ++stats_.allocations_skipped;
+      tm_.skipped.inc();
       return;
     }
-    ++stats_.small_sampled;
+    tm_.small_sampled.inc();
   }
-  ++stats_.allocations_tracked;
+  tm_.tracked.inc();
+  OBS_SPAN("tracker.track_alloc");
   var_map_->insert(base, size, unwind(ctx, alloc_ip));
 }
 
@@ -73,7 +102,7 @@ void AllocTracker::on_free(rt::ThreadCtx& ctx, sim::Addr base,
                            std::uint64_t size) {
   (void)ctx;
   (void)size;
-  ++stats_.frees_seen;
+  tm_.frees.inc();
   // Every free is observed — even of untracked blocks — so stale ranges
   // never linger in the map (the paper's correctness argument for
   // wrapping all frees).

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/var_map.h"
+#include "obs/registry.h"
 #include "rt/thread.h"
 #include "sim/types.h"
 
@@ -29,6 +30,9 @@ struct TrackerConfig {
   std::uint64_t small_sample_period = 0;
 };
 
+/// Point-in-time view of a tracker's registry counters
+/// (`tracker.allocations{outcome=...}`, `tracker.frees`,
+/// `tracker.frames{kind=unwound|reused}`).
 struct TrackerStats {
   std::uint64_t allocations_seen = 0;
   std::uint64_t allocations_tracked = 0;
@@ -41,8 +45,7 @@ struct TrackerStats {
 
 class AllocTracker {
  public:
-  AllocTracker(HeapVarMap& var_map, AllocPathSet& paths, TrackerConfig cfg)
-      : var_map_(&var_map), paths_(&paths), cfg_(cfg) {}
+  AllocTracker(HeapVarMap& var_map, AllocPathSet& paths, TrackerConfig cfg);
 
   /// Allocator hook: possibly records the block with its allocation path.
   void on_alloc(rt::ThreadCtx& ctx, sim::Addr base, std::uint64_t size,
@@ -51,7 +54,7 @@ class AllocTracker {
   /// Allocator hook: always observed (cheap — no unwind).
   void on_free(rt::ThreadCtx& ctx, sim::Addr base, std::uint64_t size);
 
-  const TrackerStats& stats() const { return stats_; }
+  TrackerStats stats() const;
   const TrackerConfig& config() const { return cfg_; }
 
  private:
@@ -74,8 +77,14 @@ class AllocTracker {
   HeapVarMap* var_map_;
   AllocPathSet* paths_;
   TrackerConfig cfg_;
-  TrackerStats stats_;
   std::unordered_map<sim::ThreadId, PerThreadCache> cache_;
+
+  struct Telemetry {
+    obs::Counter tracked, skipped, small_sampled, frees;
+    obs::Counter frames_unwound, frames_reused;
+    obs::Counter alloc_ns;  ///< on_alloc time, metrics-gated
+  };
+  Telemetry tm_;
 };
 
 }  // namespace dcprof::core

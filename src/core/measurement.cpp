@@ -5,6 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/registry.h"
+#include "obs/tracer.h"
+
 namespace dcprof::core {
 
 namespace fs = std::filesystem;
@@ -12,6 +15,11 @@ namespace fs = std::filesystem;
 std::uint64_t write_measurement_dir(const fs::path& dir,
                                     const std::vector<ThreadProfile>& profiles,
                                     const binfmt::StructureData& structure) {
+  OBS_SPAN_V("measure.write_out", "profiles", profiles.size());
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter write_ns = reg.counter("io.write_ns");
+  obs::Counter profile_bytes = reg.counter("io.profile_bytes");
+  obs::ScopedNs timer(write_ns);
   fs::create_directories(dir);
   std::uint64_t bytes = 0;
   {
@@ -28,6 +36,7 @@ std::uint64_t write_measurement_dir(const fs::path& dir,
     p.write(out);
     bytes += static_cast<std::uint64_t>(out.tellp());
   }
+  profile_bytes.add(bytes);
   return bytes;
 }
 

@@ -1,17 +1,74 @@
 #include "core/profiler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
+#include "obs/tracer.h"
 #include "sim/address_space.h"
 
 namespace dcprof::core {
+
+namespace {
+// Index-aligned with StorageClass; used for metric labels.
+constexpr const char* kClassNames[kNumStorageClasses] = {
+    "nomem", "static", "heap", "stack", "unknown"};
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+Profiler::Telemetry::Telemetry() {
+  obs::Registry& reg = obs::Registry::global();
+  handled = reg.counter("profiler.samples", {{"outcome", "handled"}});
+  dropped = reg.counter("profiler.samples", {{"outcome", "dropped"}});
+  for (std::size_t c = 0; c < kNumStorageClasses; ++c) {
+    class_samples[c] =
+        reg.counter("profiler.class_samples", {{"class", kClassNames[c]}});
+    attr_depth[c] =
+        reg.histogram("profiler.attr_depth", {{"class", kClassNames[c]}});
+  }
+  memo_reused = reg.counter("profiler.memo_frames", {{"kind", "reused"}});
+  memo_walked = reg.counter("profiler.memo_frames", {{"kind", "walked"}});
+  sample_ns = reg.counter("profiler.sample_ns");
+  cct_nodes = reg.counter("profiler.cct_nodes");
+  cct_bytes = reg.counter("profiler.cct_bytes");
+  sample_ns_hist = reg.histogram("profiler.sample_ns_hist");
+}
 
 Profiler::Profiler(binfmt::ModuleRegistry& modules, ProfilerConfig cfg,
                    std::int32_t rank)
     : modules_(&modules), cfg_(cfg), rank_(rank),
       tracker_(var_map_, paths_, cfg.tracker) {
   var_map_.set_mru_enabled(cfg_.var_map_mru);
+}
+
+ProfilerStats Profiler::stats() const {
+  ProfilerStats s;
+  s.samples_handled = tm_.handled.value();
+  s.samples_dropped = tm_.dropped.value();
+  s.nomem_samples =
+      tm_.class_samples[static_cast<std::size_t>(StorageClass::kNoMem)]
+          .value();
+  s.static_samples =
+      tm_.class_samples[static_cast<std::size_t>(StorageClass::kStatic)]
+          .value();
+  s.heap_samples =
+      tm_.class_samples[static_cast<std::size_t>(StorageClass::kHeap)]
+          .value();
+  s.stack_samples =
+      tm_.class_samples[static_cast<std::size_t>(StorageClass::kStack)]
+          .value();
+  s.unknown_samples =
+      tm_.class_samples[static_cast<std::size_t>(StorageClass::kUnknown)]
+          .value();
+  s.memo_frames_reused = tm_.memo_reused.value();
+  s.memo_frames_walked = tm_.memo_walked.value();
+  return s;
 }
 
 void Profiler::attach_pmu(pmu::PmuSet& pmu) {
@@ -68,8 +125,11 @@ void Profiler::attribute_context(ThreadProfile& tp, StorageClass sc,
       memo.anchor == anchor) {
     k = std::min({memo.valid, memo.nodes.size(), stack.size()});
   }
-  stats_.memo_frames_reused += k;
-  stats_.memo_frames_walked += stack.size() - k;
+  tm_.memo_reused.add(k);
+  tm_.memo_walked.add(stack.size() - k);
+  if (obs::metrics_enabled()) {
+    tm_.attr_depth[static_cast<std::size_t>(sc)].record(stack.size());
+  }
   Cct::NodeId cur = k == 0 ? anchor : memo.nodes[k - 1];
   if (cfg_.memoized_attribution) {
     memo.nodes.resize(stack.size());
@@ -91,12 +151,41 @@ void Profiler::attribute_context(ThreadProfile& tp, StorageClass sc,
 void Profiler::handle_sample(const pmu::Sample& sample) {
   const auto tid = static_cast<std::size_t>(sample.tid);
   if (tid >= threads_.size() || threads_[tid] == nullptr) {
-    ++stats_.samples_dropped;
+    tm_.dropped.inc();
     return;
   }
+  OBS_SPAN("profiler.handle_sample");
   rt::ThreadCtx& ctx = *threads_[tid];
   ThreadProfile& tp = profile(sample.tid);
   ThreadAttrState& as = attr_state(tid);
+  tm_.handled.inc();
+  if (!obs::metrics_enabled()) {
+    attribute_sample(sample, ctx, tp, as);
+    return;
+  }
+  // Metrics on: time the handler and account CCT growth across every
+  // class (anchor nodes included).
+  std::size_t nodes0 = 0;
+  for (std::size_t c = 0; c < kNumStorageClasses; ++c) {
+    nodes0 += tp.cct(static_cast<StorageClass>(c)).size();
+  }
+  const std::uint64_t t0 = steady_ns();
+  attribute_sample(sample, ctx, tp, as);
+  const std::uint64_t dt = steady_ns() - t0;
+  tm_.sample_ns.add(dt);
+  tm_.sample_ns_hist.record(dt);
+  std::size_t nodes1 = 0;
+  for (std::size_t c = 0; c < kNumStorageClasses; ++c) {
+    nodes1 += tp.cct(static_cast<StorageClass>(c)).size();
+  }
+  if (nodes1 > nodes0) {
+    tm_.cct_nodes.add(nodes1 - nodes0);
+    tm_.cct_bytes.add((nodes1 - nodes0) * sizeof(Cct::Node));
+  }
+}
+
+void Profiler::attribute_sample(const pmu::Sample& sample, rt::ThreadCtx& ctx,
+                                ThreadProfile& tp, ThreadAttrState& as) {
   // One watermark take per sample: every class's trusted prefix shrinks
   // to how far the stack has unwound since the previous sample.
   const std::size_t watermark = ctx.take_stack_watermark();
@@ -106,17 +195,16 @@ void Profiler::handle_sample(const pmu::Sample& sample) {
   // swaps in the precise IP recorded by the PMU.
   const sim::Addr leaf_ip =
       cfg_.use_precise_ip ? sample.precise_ip : sample.signal_ip;
-  ++stats_.samples_handled;
 
   if (!sample.is_memory) {
-    ++stats_.nomem_samples;
+    tm_.class_samples[static_cast<std::size_t>(StorageClass::kNoMem)].inc();
     attribute_context(tp, StorageClass::kNoMem, as, Cct::kRootId,
                       ctx.call_stack(), leaf_ip, m);
     return;
   }
 
   if (const HeapBlock* block = var_map_.find(sample.eaddr)) {
-    ++stats_.heap_samples;
+    tm_.class_samples[static_cast<std::size_t>(StorageClass::kHeap)].inc();
     // Prepend the variable's allocation path (possibly unwound in another
     // thread; AllocPaths are immutable so this copy is lock-free), then
     // the dummy data node, then this sample's own calling context.
@@ -142,7 +230,7 @@ void Profiler::handle_sample(const pmu::Sample& sample) {
   }
 
   if (auto hit = modules_->resolve_static(sample.eaddr)) {
-    ++stats_.static_samples;
+    tm_.class_samples[static_cast<std::size_t>(StorageClass::kStatic)].inc();
     StringId name;
     if (auto it = as.static_names.find(hit->sym->lo);
         it != as.static_names.end()) {
@@ -160,7 +248,7 @@ void Profiler::handle_sample(const pmu::Sample& sample) {
   }
 
   if (cfg_.attribute_stack && sample.eaddr >= sim::kStackBase) {
-    ++stats_.stack_samples;
+    tm_.class_samples[static_cast<std::size_t>(StorageClass::kStack)].inc();
     const std::uint64_t owner = (sample.eaddr - sim::kStackBase) >> 20;
     StringId name;
     if (auto it = as.stack_names.find(owner); it != as.stack_names.end()) {
@@ -178,7 +266,7 @@ void Profiler::handle_sample(const pmu::Sample& sample) {
     return;
   }
 
-  ++stats_.unknown_samples;
+  tm_.class_samples[static_cast<std::size_t>(StorageClass::kUnknown)].inc();
   attribute_context(tp, StorageClass::kUnknown, as, Cct::kRootId,
                     ctx.call_stack(), leaf_ip, m);
 }

@@ -25,6 +25,7 @@
 #include "core/alloc_tracker.h"
 #include "core/profile.h"
 #include "core/var_map.h"
+#include "obs/registry.h"
 #include "pmu/pmu.h"
 #include "rt/alloc.h"
 #include "rt/team.h"
@@ -50,6 +51,9 @@ struct ProfilerConfig {
   bool var_map_mru = true;
 };
 
+/// Point-in-time view of a profiler's registry counters
+/// (`profiler.samples{outcome=...}`, `profiler.class_samples{class=...}`,
+/// `profiler.memo_frames{kind=reused|walked}`).
 struct ProfilerStats {
   std::uint64_t samples_handled = 0;
   std::uint64_t samples_dropped = 0;  ///< unregistered thread
@@ -74,14 +78,6 @@ class Profiler {
   /// Installs allocation-tracking hooks on the allocator.
   void attach_allocator(rt::Allocator& alloc);
 
-  /// Deprecated forwarders for the old ambiguous `attach` overload set;
-  /// will be removed once out-of-repo callers have migrated.
-  [[deprecated("use attach_pmu")]] void attach(pmu::PmuSet& pmu) {
-    attach_pmu(pmu);
-  }
-  [[deprecated("use attach_allocator")]] void attach(rt::Allocator& alloc) {
-    attach_allocator(alloc);
-  }
   /// Registers a thread so samples carrying its tid can be unwound.
   void register_thread(rt::ThreadCtx& ctx);
   /// Registers every thread of a team.
@@ -94,8 +90,8 @@ class Profiler {
   /// Moves out all per-thread profiles (ends measurement).
   std::vector<ThreadProfile> take_profiles();
 
-  const ProfilerStats& stats() const { return stats_; }
-  const TrackerStats& tracker_stats() const { return tracker_.stats(); }
+  ProfilerStats stats() const;
+  TrackerStats tracker_stats() const { return tracker_.stats(); }
   HeapVarMap& heap_map() { return var_map_; }
   AllocTracker& tracker() { return tracker_; }
 
@@ -130,6 +126,11 @@ class Profiler {
 
   ThreadAttrState& attr_state(std::size_t tid);
 
+  /// Classifies one sample and attributes it (the body of handle_sample,
+  /// split out so telemetry can bracket every exit path).
+  void attribute_sample(const pmu::Sample& sample, rt::ThreadCtx& ctx,
+                        ThreadProfile& tp, ThreadAttrState& as);
+
   /// Inserts the calling context under `anchor` in the class's CCT,
   /// resuming from the memoized path where the watermark allows, then
   /// adds `m` to the (leaf_kind-free) kLeafInstr leaf at `leaf_ip`.
@@ -144,10 +145,25 @@ class Profiler {
   HeapVarMap var_map_;
   AllocPathSet paths_;
   AllocTracker tracker_;
-  ProfilerStats stats_;
   std::vector<rt::ThreadCtx*> threads_;                 // by tid
   std::vector<std::unique_ptr<ThreadProfile>> profiles_;  // by tid
   std::vector<std::unique_ptr<ThreadAttrState>> attr_;    // by tid
+
+  // Registry-backed telemetry (this profiler's private cells). Counter
+  // bumps are unconditional (plain add); wall-clock reads feeding the
+  // latency histogram and depth/growth metrics are metrics_enabled-gated.
+  struct Telemetry {
+    obs::Counter handled, dropped;
+    obs::Counter class_samples[kNumStorageClasses];
+    obs::Counter memo_reused, memo_walked;
+    obs::Counter sample_ns;       ///< total handling time (overhead report)
+    obs::Counter cct_nodes;       ///< CCT growth, nodes
+    obs::Counter cct_bytes;       ///< CCT growth, approx bytes
+    obs::Histogram sample_ns_hist;
+    obs::Histogram attr_depth[kNumStorageClasses];
+    Telemetry();
+  };
+  Telemetry tm_;
 };
 
 }  // namespace dcprof::core

@@ -35,14 +35,14 @@ const HeapBlock* HeapVarMap::find(sim::Addr addr) const {
     for (std::size_t i = 0; i < kMruWays; ++i) {
       const HeapBlock* b = mru_[i];
       if (b != nullptr && addr >= b->base && addr - b->base < b->size) {
-        ++stats_.mru_hits;
+        tm_.mru_hits.inc();
         // Move-to-front keeps the hottest blocks cheapest.
         for (; i > 0; --i) mru_[i] = mru_[i - 1];
         mru_[0] = b;
         return b;
       }
     }
-    ++stats_.mru_misses;
+    tm_.tree_probes.inc();
   }
   auto it = blocks_.upper_bound(addr);
   if (it == blocks_.begin()) return nullptr;
@@ -56,6 +56,19 @@ const HeapBlock* HeapVarMap::find(sim::Addr addr) const {
     return &b;
   }
   return nullptr;
+}
+
+HeapVarMap::Telemetry::Telemetry() {
+  obs::Registry& reg = obs::Registry::global();
+  mru_hits = reg.counter("varmap.lookups", {{"outcome", "mru_hit"}});
+  tree_probes = reg.counter("varmap.lookups", {{"outcome", "tree_probe"}});
+}
+
+VarMapStats HeapVarMap::stats() const {
+  VarMapStats s;
+  s.mru_hits = tm_.mru_hits.value();
+  s.mru_misses = tm_.tree_probes.value();
+  return s;
 }
 
 void HeapVarMap::set_mru_enabled(bool enabled) {

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.h"
 #include "sim/types.h"
 
 namespace dcprof::core {
@@ -55,6 +56,8 @@ struct HeapBlock {
   std::shared_ptr<const AllocPath> path;  ///< null for untracked blocks
 };
 
+/// Point-in-time view of a map's registry counters
+/// (`varmap.lookups{outcome=mru_hit|tree_probe}`).
 struct VarMapStats {
   std::uint64_t mru_hits = 0;
   std::uint64_t mru_misses = 0;  ///< lookups that fell through to the tree
@@ -82,7 +85,7 @@ class HeapVarMap {
   /// baseline for the equivalence tests).
   void set_mru_enabled(bool enabled);
   bool mru_enabled() const { return mru_enabled_; }
-  const VarMapStats& stats() const { return stats_; }
+  VarMapStats stats() const;
 
  private:
   static constexpr std::size_t kMruWays = 4;
@@ -90,7 +93,12 @@ class HeapVarMap {
   std::map<sim::Addr, HeapBlock> blocks_;  // keyed by base
   bool mru_enabled_ = true;
   mutable const HeapBlock* mru_[kMruWays] = {};  // most recent first
-  mutable VarMapStats stats_;
+
+  struct Telemetry {
+    obs::Counter mru_hits, tree_probes;
+    Telemetry();
+  };
+  mutable Telemetry tm_;
 };
 
 }  // namespace dcprof::core

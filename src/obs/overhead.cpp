@@ -1,0 +1,37 @@
+#include "obs/overhead.h"
+
+#include <cstdio>
+
+namespace dcprof::obs {
+
+OverheadReport account_overhead(const Snapshot& snap, double total_wall_ms) {
+  OverheadReport r;
+  r.total_wall_ms = total_wall_ms;
+  r.sample_handling_ms = snap.value("profiler.sample_ns") / 1e6;
+  r.alloc_tracking_ms = snap.value("tracker.alloc_ns") / 1e6;
+  r.writeout_ms = snap.value("io.write_ns") / 1e6;
+  r.samples = snap.value("profiler.samples{outcome=handled}");
+  r.profile_bytes = snap.value("io.profile_bytes");
+  return r;
+}
+
+std::string OverheadReport::to_table(const std::string& workload) const {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof buf,
+      "profiler overhead%s%s (Table-1 style, live telemetry)\n"
+      "  total wall            %10.2f ms\n"
+      "  sample handling       %10.2f ms  (%llu samples, %.0f ns/sample)\n"
+      "  allocation tracking   %10.2f ms\n"
+      "  profile write-out     %10.2f ms\n"
+      "  profiler total        %10.2f ms\n"
+      "  runtime dilation      %10.2f %%\n"
+      "  profile size          %10.1f KB\n",
+      workload.empty() ? "" : ": ", workload.c_str(), total_wall_ms,
+      sample_handling_ms, static_cast<unsigned long long>(samples),
+      ns_per_sample(), alloc_tracking_ms, writeout_ms, profiler_ms(),
+      dilation_percent(), profile_bytes / 1024.0);
+  return buf;
+}
+
+}  // namespace dcprof::obs

@@ -1,0 +1,59 @@
+// Profiler-overhead accounting: attributes a measured run's wall clock
+// and bytes between the simulated workload and the profiler's own work
+// (sample handling, allocation tracking, profile write-out), reproducing
+// the paper's Table 1 — runtime dilation % and profile size — from live
+// telemetry instead of one-off stopwatch experiments.
+//
+// The inputs are the well-known registry counters the instrumented
+// components maintain when `obs::metrics_enabled()`:
+//
+//   profiler.sample_ns    wall ns inside Profiler::handle_sample
+//   tracker.alloc_ns      wall ns inside AllocTracker::on_alloc
+//   io.write_ns           wall ns writing the measurement directory
+//   io.profile_bytes      bytes of profiles + structure written
+//   profiler.samples{outcome=handled}   samples attributed
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace dcprof::obs {
+
+/// One Table-1-style row: where the run's wall clock and bytes went.
+struct OverheadReport {
+  double total_wall_ms = 0;       ///< the whole measured run
+  double sample_handling_ms = 0;  ///< profiler.sample_ns
+  double alloc_tracking_ms = 0;   ///< tracker.alloc_ns
+  double writeout_ms = 0;         ///< io.write_ns
+  std::uint64_t samples = 0;
+  std::uint64_t profile_bytes = 0;
+
+  double profiler_ms() const {
+    return sample_handling_ms + alloc_tracking_ms + writeout_ms;
+  }
+  double workload_ms() const {
+    const double w = total_wall_ms - profiler_ms();
+    return w > 0 ? w : 0;
+  }
+  /// Runtime dilation: profiler time over workload-only time (the
+  /// paper's "overhead (%)" column).
+  double dilation_percent() const {
+    return workload_ms() <= 0 ? 0
+                              : 100.0 * profiler_ms() / workload_ms();
+  }
+  double ns_per_sample() const {
+    return samples == 0 ? 0 : sample_handling_ms * 1e6 / samples;
+  }
+
+  /// Renders the Table-1-style text block.
+  std::string to_table(const std::string& workload = "") const;
+};
+
+/// Builds a report from a registry snapshot plus the run's total wall
+/// clock. Counter deltas are the caller's concern: pass a snapshot taken
+/// with a fresh registry/run, or subtract baselines upstream.
+OverheadReport account_overhead(const Snapshot& snap, double total_wall_ms);
+
+}  // namespace dcprof::obs

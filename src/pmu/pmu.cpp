@@ -31,11 +31,16 @@ PmuSet::PmuSet(const sim::MachineConfig& machine_cfg,
                            0x7f4a7c15ull * i);
     }
   }
-  event_counts_.assign(configs_.size(), 0);
+  obs::Registry& reg = obs::Registry::global();
+  samples_ = reg.counter("pmu.samples");
+  for (const auto& cfg : configs_) {
+    event_counts_.push_back(
+        reg.counter("pmu.events", {{"event", to_string(cfg.event)}}));
+  }
 }
 
 std::uint64_t PmuSet::events_counted(std::size_t cfg_index) const {
-  return event_counts_.at(cfg_index);
+  return event_counts_.at(cfg_index).value();
 }
 
 bool PmuSet::event_matches(const PmuConfig& cfg,
@@ -56,7 +61,7 @@ bool PmuSet::event_matches(const PmuConfig& cfg,
 }
 
 void PmuSet::emit(const PmuConfig& cfg, const Sample& sample) {
-  ++samples_;
+  samples_.inc();
   (void)cfg;
   if (handler_) handler_(sample);
 }
@@ -78,7 +83,7 @@ void PmuSet::on_access(const sim::MemAccess& a) {
   for (std::size_t i = 0; i < configs_.size(); ++i) {
     const PmuConfig& cfg = configs_[i];
     if (!event_matches(cfg, a)) continue;
-    ++event_counts_[i];
+    event_counts_[i].inc();
     auto& cd = countdown_[i * cores_ + static_cast<std::size_t>(a.core)];
     if (--cd > 0) continue;
     cd = next_period(i, a.core);
@@ -106,7 +111,7 @@ void PmuSet::on_compute(sim::ThreadId tid, sim::CoreId core,
   for (std::size_t i = 0; i < configs_.size(); ++i) {
     const PmuConfig& cfg = configs_[i];
     if (cfg.event != EventKind::kIbsOp) continue;  // only IBS counts ops
-    event_counts_[i] += instrs;
+    event_counts_[i].add(instrs);
     auto& cd = countdown_[i * cores_ + static_cast<std::size_t>(core)];
     std::uint64_t remaining = instrs;
     while (remaining >= cd) {

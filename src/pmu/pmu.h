@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.h"
 #include "sim/config.h"
 #include "sim/machine.h"
 #include "sim/types.h"
@@ -77,7 +78,7 @@ class PmuSet : public sim::AccessObserver {
   void on_compute(sim::ThreadId tid, sim::CoreId core, std::uint64_t instrs,
                   sim::Addr ip, sim::Cycles now) override;
 
-  std::uint64_t samples_taken() const { return samples_; }
+  std::uint64_t samples_taken() const { return samples_.value(); }
   std::uint64_t events_counted(std::size_t cfg_index) const;
   const std::vector<PmuConfig>& configs() const { return configs_; }
 
@@ -93,10 +94,13 @@ class PmuSet : public sim::AccessObserver {
   // Flattened [cfg * cores_ + core] — one indirection on the hot path.
   std::vector<std::uint64_t> countdown_;
   std::vector<std::uint64_t> rng_state_;
-  std::vector<std::uint64_t> event_counts_;  // per cfg
+  // Registry-backed (`pmu.events{event=...}` per cfg, `pmu.samples`).
+  // Each cfg owns its own cell, so events_counted(i) stays per-cfg even
+  // when two cfgs sample the same event kind.
+  std::vector<obs::Counter> event_counts_;  // per cfg
   SampleHandler handler_;
   bool enabled_ = true;
-  std::uint64_t samples_ = 0;
+  obs::Counter samples_;
 };
 
 }  // namespace dcprof::pmu

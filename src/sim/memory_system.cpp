@@ -4,6 +4,14 @@ namespace dcprof::sim {
 
 MemorySystem::MemorySystem(const MachineConfig& cfg)
     : cfg_(cfg), page_table_(cfg.page_bytes, cfg.num_nodes()) {
+  obs::Registry& reg = obs::Registry::global();
+  tm_.l1 = reg.counter("sim.accesses", {{"level", "l1"}});
+  tm_.l2 = reg.counter("sim.accesses", {{"level", "l2"}});
+  tm_.l3 = reg.counter("sim.accesses", {{"level", "l3"}});
+  tm_.local_dram = reg.counter("sim.accesses", {{"level", "local_dram"}});
+  tm_.remote_dram = reg.counter("sim.accesses", {{"level", "remote_dram"}});
+  tm_.tlb_misses = reg.counter("sim.tlb_misses");
+  tm_.prefetched = reg.counter("sim.prefetched");
   const int cores = cfg_.num_cores();
   l1_.reserve(static_cast<std::size_t>(cores));
   l2_.reserve(static_cast<std::size_t>(cores));
@@ -29,27 +37,27 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, bool is_store,
   r.tlb_miss = !tlb_hit;
   if (r.tlb_miss) {
     r.latency += cfg_.lat.tlb_walk;
-    ++stats_.tlb_misses;
+    tm_.tlb_misses.inc();
   }
 
   if (l1_[ci].access(addr)) {
     // Store hits drain through the store buffer without a stall.
     r.latency += is_store ? cfg_.lat.store_hit : cfg_.lat.l1;
     r.level = MemLevel::kL1;
-    ++stats_.l1_hits;
+    tm_.l1.inc();
     return r;
   }
   if (l2_[ci].access(addr)) {
     r.latency += cfg_.lat.l2;
     r.level = MemLevel::kL2;
-    ++stats_.l2_hits;
+    tm_.l2.inc();
     return r;
   }
   const auto si = static_cast<std::size_t>(cfg_.socket_of(core));
   if (l3_[si].access(addr)) {
     r.latency += cfg_.lat.l3;
     r.level = MemLevel::kL3;
-    ++stats_.l3_hits;
+    tm_.l3.inc();
     return r;
   }
 
@@ -69,19 +77,31 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, bool is_store,
     // consumed controller bandwidth (the serve() above).
     r.latency += cfg_.lat.prefetch_hit + r.queue_wait +
                  (remote ? cfg_.lat.prefetch_remote_extra : 0);
-    ++stats_.prefetched;
+    tm_.prefetched.inc();
   } else {
     r.latency += cfg_.lat.l3 + cfg_.lat.dram + r.queue_wait +
                  (remote ? cfg_.lat.remote_extra : 0);
   }
   if (remote) {
     r.level = MemLevel::kRemoteDram;
-    ++stats_.remote_dram;
+    tm_.remote_dram.inc();
   } else {
     r.level = MemLevel::kLocalDram;
-    ++stats_.local_dram;
+    tm_.local_dram.inc();
   }
   return r;
+}
+
+MemLevelStats MemorySystem::stats() const {
+  MemLevelStats s;
+  s.l1_hits = tm_.l1.value();
+  s.l2_hits = tm_.l2.value();
+  s.l3_hits = tm_.l3.value();
+  s.local_dram = tm_.local_dram.value();
+  s.remote_dram = tm_.remote_dram.value();
+  s.tlb_misses = tm_.tlb_misses.value();
+  s.prefetched = tm_.prefetched.value();
+  return s;
 }
 
 void MemorySystem::flush_caches() {

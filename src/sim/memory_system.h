@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/registry.h"
 #include "sim/cache.h"
 #include "sim/config.h"
 #include "sim/page_table.h"
@@ -86,7 +87,9 @@ class StreamPrefetcher {
   std::array<Addr, 8> streams_{};
 };
 
-/// Aggregate hit counts per level, for machine-wide reporting.
+/// Aggregate hit counts per level, for machine-wide reporting. A
+/// point-in-time view assembled from this machine's registry counters
+/// (`sim.accesses{level=...}`, `sim.tlb_misses`, `sim.prefetched`).
 struct MemLevelStats {
   std::uint64_t l1_hits = 0;
   std::uint64_t l2_hits = 0;
@@ -109,7 +112,7 @@ class MemorySystem {
 
   PageTable& page_table() { return page_table_; }
   const PageTable& page_table() const { return page_table_; }
-  const MemLevelStats& stats() const { return stats_; }
+  MemLevelStats stats() const;
   const DramController& controller(NodeId node) const {
     return controllers_[static_cast<std::size_t>(node)];
   }
@@ -126,7 +129,13 @@ class MemorySystem {
   std::vector<StreamPrefetcher> prefetchers_;  // per core
   std::vector<DramController> controllers_;  // per NUMA node
   PageTable page_table_;
-  MemLevelStats stats_;
+
+  // Registry-backed level counts (this instance's private cells; the
+  // global registry additionally sums them machine-wide).
+  struct Telemetry {
+    obs::Counter l1, l2, l3, local_dram, remote_dram, tlb_misses, prefetched;
+  };
+  Telemetry tm_;
 };
 
 }  // namespace dcprof::sim

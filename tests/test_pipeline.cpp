@@ -348,7 +348,7 @@ sim::MachineConfig tiny() {
   return cfg;
 }
 
-std::uint64_t run_attached_kernel(bool use_deprecated) {
+std::uint64_t run_attached_kernel() {
   sim::Machine machine(tiny());
   rt::Team team(machine, 1);
   rt::Allocator alloc(machine);
@@ -358,16 +358,8 @@ std::uint64_t run_attached_kernel(bool use_deprecated) {
   binfmt::LoadModule exe("exe", machine.aspace());
   modules.load(&exe);
   core::Profiler profiler(modules);
-  if (use_deprecated) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    profiler.attach(pmu);
-    profiler.attach(alloc);
-#pragma GCC diagnostic pop
-  } else {
-    profiler.attach_pmu(pmu);
-    profiler.attach_allocator(alloc);
-  }
+  profiler.attach_pmu(pmu);
+  profiler.attach_allocator(alloc);
   profiler.register_team(team);
   machine.set_observer(&pmu);
   rt::ThreadCtx& t = team.master();
@@ -380,11 +372,8 @@ std::uint64_t run_attached_kernel(bool use_deprecated) {
   return profiler.stats().samples_handled;
 }
 
-TEST(DeprecatedWrappers, AttachOverloadsForwardToRenamedMethods) {
-  const std::uint64_t renamed = run_attached_kernel(false);
-  const std::uint64_t deprecated = run_attached_kernel(true);
-  EXPECT_GT(renamed, 0u);
-  EXPECT_EQ(renamed, deprecated);
+TEST(ProfilerAttach, PmuAndAllocatorHooksDeliverSamples) {
+  EXPECT_GT(run_attached_kernel(), 0u);
 }
 
 }  // namespace

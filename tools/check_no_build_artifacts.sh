@@ -13,7 +13,7 @@ if ! command -v git >/dev/null 2>&1 ||
 fi
 
 bad=$(git ls-files |
-      grep -E '^(build|cmake-build-[^/]*)/|\.(o|obj|a|so|dylib)$' || true)
+      grep -E '^(build[^/]*|cmake-build-[^/]*)/|\.(o|obj|a|so|dylib)$' || true)
 if [ -n "$bad" ]; then
   echo "check_no_build_artifacts: tracked build artifacts found:"
   echo "$bad" | head -20

@@ -5,6 +5,14 @@
 //                  [--workers N] [--top N]
 //                  [--top-down heap|static|stack|unknown] [--advice]
 //                  [--html <file>] [--strict]
+//                  [--metrics-json <file>] [--trace-out <file>]
+//                  [--progress] [--overhead]
+//
+// --trace-out records the pipeline's own execution (one span per stage,
+// one track per stream worker) as Chrome trace_event JSON for Perfetto;
+// --metrics-json dumps the self-telemetry registry; --progress prints a
+// heartbeat line as profiles are folded; --overhead prints the
+// analyzer's self-overhead report (kViewOverhead).
 //
 // Streams a measurement directory (per-thread profile files + a
 // structure file) through the analysis::Analyzer pipeline — profiles
@@ -26,6 +34,8 @@
 #include "analysis/report.h"
 #include "analysis/views.h"
 #include "core/profile.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 
 using namespace dcprof;
 
@@ -36,9 +46,25 @@ int usage(const char* argv0) {
                "usage: %s <measurement-dir> [--metric "
                "samples|latency|rdram] [--workers N] [--top N] [--top-down "
                "heap|static|stack|unknown] [--advice] [--html <file>] "
-               "[--strict]\n",
+               "[--strict] [--metrics-json <file>] [--trace-out <file>] "
+               "[--progress] [--overhead]\n",
                argv0);
   return 2;
+}
+
+/// Matches `--name value` (consuming the next argv) or `--name=value`.
+bool flag_value(const std::string& arg, const std::string& name, int argc,
+                char** argv, int& i, std::string& out) {
+  if (arg == name && i + 1 < argc) {
+    out = argv[++i];
+    return true;
+  }
+  if (arg.size() > name.size() + 1 && arg.compare(0, name.size(), name) == 0 &&
+      arg[name.size()] == '=') {
+    out = arg.substr(name.size() + 1);
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -50,6 +76,8 @@ int main(int argc, char** argv) {
   opts.sort_metric = core::Metric::kLatency;
   std::string top_down_class;
   std::string html_path;
+  std::string metrics_json;
+  std::string trace_out;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--metric" && i + 1 < argc) {
@@ -76,11 +104,24 @@ int main(int argc, char** argv) {
       html_path = argv[++i];
     } else if (arg == "--strict") {
       opts.skip_corrupt = false;
+    } else if (arg == "--progress") {
+      opts.progress = [](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "progress: %zu/%zu profiles folded\n", done,
+                     total);
+      };
+    } else if (arg == "--overhead") {
+      opts.views |= analysis::kViewOverhead;
+    } else if (flag_value(arg, "--metrics-json", argc, argv, i,
+                          metrics_json) ||
+               flag_value(arg, "--trace-out", argc, argv, i, trace_out)) {
+      continue;
     } else {
       return usage(argv[0]);
     }
   }
   const core::Metric metric = opts.sort_metric;
+  if (!metrics_json.empty()) obs::set_metrics_enabled(true);
+  if (!trace_out.empty()) obs::Tracer::set_enabled(true);
 
   analysis::AnalysisResult r;
   try {
@@ -180,6 +221,29 @@ int main(int argc, char** argv) {
     }
     html << analysis::render_html_report(r.merged, ctx, opt);
     std::printf("wrote HTML report to %s\n", html_path.c_str());
+  }
+
+  if (opts.views & analysis::kViewOverhead) {
+    std::printf("%s", r.overhead_report.c_str());
+  }
+  if (!metrics_json.empty()) {
+    std::ofstream out(metrics_json);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_json.c_str());
+      return 1;
+    }
+    out << obs::to_json(obs::Registry::global().snapshot());
+    std::printf("wrote metrics snapshot to %s\n", metrics_json.c_str());
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    obs::Tracer::global().write_json(out);
+    std::printf("wrote event trace to %s (open in Perfetto)\n",
+                trace_out.c_str());
   }
   return 0;
 }

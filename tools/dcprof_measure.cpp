@@ -5,12 +5,23 @@
 // Usage:
 //   dcprof_measure <amg|lulesh|streamcluster|nw|sweep3d> <out-dir>
 //                  [--event ibs|rmem] [--period N] [--threads N]
+//                  [--metrics-json <file>] [--trace-out <file>]
+//
+// --metrics-json enables the self-telemetry registry, dumps its snapshot
+// as JSON, and prints the Table-1-style overhead report; --trace-out
+// enables the runtime event tracer and writes Chrome trace_event JSON
+// (loadable in Perfetto / chrome://tracing).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <mutex>
 #include <string>
 
+#include "obs/overhead.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "rt/cluster.h"
 #include "workloads/amg.h"
 #include "workloads/harness.h"
@@ -26,9 +37,25 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <amg|lulesh|streamcluster|nw|sweep3d> <out-dir> "
-               "[--event ibs|rmem] [--period N] [--threads N]\n",
+               "[--event ibs|rmem] [--period N] [--threads N] "
+               "[--metrics-json <file>] [--trace-out <file>]\n",
                argv0);
   return 2;
+}
+
+/// Matches `--name value` (consuming the next argv) or `--name=value`.
+bool flag_value(const std::string& arg, const std::string& name, int argc,
+                char** argv, int& i, std::string& out) {
+  if (arg == name && i + 1 < argc) {
+    out = argv[++i];
+    return true;
+  }
+  if (arg.size() > name.size() + 1 && arg.compare(0, name.size(), name) == 0 &&
+      arg[name.size()] == '=') {
+    out = arg.substr(name.size() + 1);
+    return true;
+  }
+  return false;
 }
 
 double pct(std::uint64_t hits, std::uint64_t misses) {
@@ -63,6 +90,8 @@ int main(int argc, char** argv) {
   std::string event = "ibs";
   std::uint64_t period = 0;
   int threads = 16;
+  std::string metrics_json;
+  std::string trace_out;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--event" && i + 1 < argc) {
@@ -71,10 +100,49 @@ int main(int argc, char** argv) {
       period = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (flag_value(arg, "--metrics-json", argc, argv, i,
+                          metrics_json) ||
+               flag_value(arg, "--trace-out", argc, argv, i, trace_out)) {
+      continue;
     } else {
       return usage(argv[0]);
     }
   }
+  if (!metrics_json.empty()) obs::set_metrics_enabled(true);
+  if (!trace_out.empty()) obs::Tracer::set_enabled(true);
+  const auto t_run0 = std::chrono::steady_clock::now();
+  // Dumps metrics / overhead report / trace after the measured section.
+  const auto dump_telemetry = [&](const std::string& name) {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t_run0)
+            .count();
+    if (!metrics_json.empty()) {
+      const obs::Snapshot snap = obs::Registry::global().snapshot();
+      std::ofstream out(metrics_json);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     metrics_json.c_str());
+        return 1;
+      }
+      out << obs::to_json(snap);
+      std::printf("wrote metrics snapshot to %s\n", metrics_json.c_str());
+      std::printf("%s", obs::account_overhead(snap, wall_ms)
+                            .to_table(name)
+                            .c_str());
+    }
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+        return 1;
+      }
+      obs::Tracer::global().write_json(out);
+      std::printf("wrote event trace to %s (open in Perfetto)\n",
+                  trace_out.c_str());
+    }
+    return 0;
+  };
   std::vector<pmu::PmuConfig> pmu_cfg;
   if (event == "ibs") {
     pmu_cfg = wl::ibs_config(period != 0 ? period : 1024);
@@ -127,7 +195,7 @@ int main(int argc, char** argv) {
                     cluster_var_stats.mru_misses));
     std::printf("analyze with: dcprof_analyze %s --metric %s\n",
                 dir.c_str(), event == "ibs" ? "latency" : "rdram");
-    return 0;
+    return dump_telemetry("sweep3d");
   }
 
   wl::ProcessCtx proc(wl::node_config(), threads, workload);
@@ -162,5 +230,5 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(bytes), dir.c_str());
   std::printf("analyze with: dcprof_analyze %s --metric %s --advice\n",
               dir.c_str(), event == "ibs" ? "latency" : "rdram");
-  return 0;
+  return dump_telemetry(workload);
 }

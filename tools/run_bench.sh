@@ -12,7 +12,7 @@ set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="$repo/build-release"
-filter="${1-BM_Attribute|BM_Cct|BM_HeapMap}"
+filter="${1-BM_Attribute|BM_Cct|BM_HeapMap|BM_SampleHandler}"
 out="$repo/BENCH_hotpath.json"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
@@ -26,3 +26,32 @@ cmake --build "$build" -j --target micro_profiler
 echo
 echo "wrote $out"
 echo "baseline (pre-optimization) numbers: bench/BENCH_hotpath_baseline.json"
+
+# Telemetry-cost guard: with telemetry disabled (the default), the sample
+# handler must stay within 1% (plus a 1 ns clock-granularity floor) of
+# the equivalent pre-telemetry hot path measured in the same run —
+# BM_AttributeHotRepeated/fast:1/depth:32 is the identical workload with
+# no OBS sites attributed to it historically (see the committed PR
+# baselines in git history of BENCH_hotpath.json).
+python3 - "$out" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+times = {b["name"]: b["real_time"] for b in doc.get("benchmarks", [])}
+off = times.get("BM_SampleHandler/telemetry:0")
+ref = times.get("BM_AttributeHotRepeated/fast:1/depth:32")
+if off is None or ref is None:
+    print("telemetry-cost check: benchmarks not in this run; skipped")
+    sys.exit(0)
+limit = ref * 1.01 + 1.0
+verdict = "OK" if off <= limit else "REGRESSION"
+print(f"telemetry-cost check: disabled-telemetry sample handler "
+      f"{off:.1f} ns vs hot-path reference {ref:.1f} ns "
+      f"(limit {limit:.1f} ns) -> {verdict}")
+for mode in (1, 2):
+    t = times.get(f"BM_SampleHandler/telemetry:{mode}")
+    if t is not None:
+        print(f"  telemetry:{mode} = {t:.1f} ns "
+              f"({100.0 * (t - ref) / ref:+.1f}% vs reference)")
+sys.exit(0 if verdict == "OK" else 1)
+EOF
