@@ -44,6 +44,7 @@ std::string read_file_bytes(const fs::path& path) {
 /// partial) plus the header and metric totals for the thread table.
 class ValidatingVisitor final : public core::ProfileVisitor {
  public:
+  void on_framing(const core::ProfileFraming& f) override { framing_ = f; }
   void on_header(std::int32_t rank, std::int32_t tid) override {
     rank_ = rank;
     tid_ = tid;
@@ -61,11 +62,31 @@ class ValidatingVisitor final : public core::ProfileVisitor {
     return r;
   }
 
+  const core::ProfileFraming& framing() const { return framing_; }
+
  private:
+  core::ProfileFraming framing_;
   std::int32_t rank_ = 0;
   std::int32_t tid_ = 0;
   core::MetricVec total_;
 };
+
+/// Scans `bytes` with full format validation (header, records, footer
+/// CRC). Returns the empty string on success, the failure reason
+/// otherwise.
+std::string validate_profile_bytes(const std::string& bytes,
+                                   ValidatingVisitor& v) {
+  std::istringstream in(bytes);
+  try {
+    core::ThreadProfile::scan(in, v);
+    if (in.peek() != std::istringstream::traits_type::eof()) {
+      throw std::runtime_error("trailing bytes after profile data");
+    }
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return {};
+}
 
 /// Everything one worker produces from its contiguous shard of the
 /// sorted file list.
@@ -73,8 +94,15 @@ struct WorkerOutput {
   std::optional<core::ThreadProfile> partial;
   std::vector<ThreadRow> threads;
   std::vector<std::string> skipped;
+  std::vector<std::string> quarantined;
+  std::vector<std::string> salvaged;
+  std::vector<std::string> throttled;
   std::uint64_t bytes = 0;
   std::size_t files_read = 0;
+  std::size_t files_salvaged = 0;
+  std::size_t records_salvaged = 0;
+  std::size_t records_dropped = 0;
+  std::size_t transient_retries = 0;
   double merge_ms = 0;
   std::exception_ptr error;
 };
@@ -153,7 +181,9 @@ AnalysisResult Analyzer::run(const fs::path& dir) const {
       obs::Tracer::enabled() ? obs::Tracer::global().now_ns() : 0;
   const int workers = std::clamp<int>(
       options_.workers, 1, static_cast<int>(files.size()));
-  const bool skip_corrupt = options_.skip_corrupt;
+  const CorruptPolicy policy = options_.corrupt_policy;
+  const bool salvage =
+      options_.salvage && policy != CorruptPolicy::kStrict;
   const bool want_threads = (options_.views & kViewThreads) != 0;
   std::vector<WorkerOutput> outs(static_cast<std::size_t>(workers));
   obs::Gauge gauge = reg.gauge("analyze.resident_profiles");
@@ -172,31 +202,80 @@ AnalysisResult Analyzer::run(const fs::path& dir) const {
     try {
       for (std::size_t i = begin; i < end; ++i) {
         OBS_SPAN_V("analyze.file", "index", i);
-        std::istringstream in(read_file_bytes(files[i]));
+        std::string bytes = read_file_bytes(files[i]);
         ValidatingVisitor validator;
-        try {
-          core::ThreadProfile::scan(in, validator);
-          if (in.peek() != std::istringstream::traits_type::eof()) {
-            throw std::runtime_error("trailing bytes after profile data");
+        std::string err = validate_profile_bytes(bytes, validator);
+        if (!err.empty()) {
+          // One fresh re-read: a transient I/O error (torn read, racing
+          // writer) passes the second time; real corruption fails again.
+          std::string retry_bytes = read_file_bytes(files[i]);
+          ValidatingVisitor retry_validator;
+          const std::string retry_err =
+              validate_profile_bytes(retry_bytes, retry_validator);
+          if (retry_err.empty()) {
+            bytes = std::move(retry_bytes);
+            validator = retry_validator;
+            err.clear();
+            ++out.transient_retries;
+          } else {
+            err = retry_err;
           }
-        } catch (const std::exception& e) {
-          if (!skip_corrupt) {
-            throw std::runtime_error(files[i].string() + ": " + e.what());
+        }
+        if (!err.empty()) {
+          if (policy == CorruptPolicy::kStrict) {
+            throw std::runtime_error(files[i].string() + ": " + err);
           }
-          out.skipped.push_back(files[i].string() + ": " + e.what());
+          if (salvage) {
+            // Recovery mode: fold the valid record prefix. The salvaged
+            // profile went through the same scan machinery, so merging
+            // it cannot fail half-way.
+            std::istringstream in(bytes);
+            core::SalvageResult sr;
+            core::ThreadProfile prefix =
+                core::ThreadProfile::read_salvage(in, sr);
+            if (sr.records_kept > 0) {
+              if (!out.partial) {
+                out.partial = std::move(prefix);
+                gauge.add(1);
+              } else {
+                merge_into(*out.partial, prefix);
+              }
+            }
+            ++out.files_salvaged;
+            out.records_salvaged += sr.records_kept;
+            out.records_dropped += sr.records_dropped;
+            out.salvaged.push_back(
+                files[i].string() + ": kept " +
+                std::to_string(sr.records_kept) + ", dropped " +
+                std::to_string(sr.records_dropped));
+          }
+          if (policy == CorruptPolicy::kQuarantine) {
+            const fs::path dest =
+                core::quarantine_profile_file(dir, files[i]);
+            out.quarantined.push_back(files[i].string() + " -> " +
+                                      dest.string());
+          }
+          out.skipped.push_back(files[i].string() + ": " + err);
           if (progress) progress(++files_done, files.size());
           continue;
         }
-        in.clear();
-        in.seekg(0);
+        std::istringstream in(bytes);
         if (!out.partial) {
           out.partial = core::ThreadProfile::read(in);
           gauge.add(1);
         } else {
           merge_serialized(*out.partial, in);
         }
+        const core::ProfileFraming& fr = validator.framing();
+        if (fr.sampling_period != 0 && fr.effective_period != 0 &&
+            fr.effective_period != fr.sampling_period) {
+          out.throttled.push_back(
+              files[i].string() + ": period " +
+              std::to_string(fr.sampling_period) + " -> " +
+              std::to_string(fr.effective_period));
+        }
         if (want_threads) out.threads.push_back(validator.row());
-        out.bytes += static_cast<std::uint64_t>(in.view().size());
+        out.bytes += static_cast<std::uint64_t>(bytes.size());
         ++out.files_read;
         if (progress) progress(++files_done, files.size());
       }
@@ -232,12 +311,22 @@ AnalysisResult Analyzer::run(const fs::path& dir) const {
     auto& out = outs[static_cast<std::size_t>(w)];
     result.files_read += out.files_read;
     result.bytes_streamed += out.bytes;
+    result.files_salvaged += out.files_salvaged;
+    result.records_salvaged += out.records_salvaged;
+    result.records_dropped += out.records_dropped;
+    result.transient_retries += out.transient_retries;
     for (auto& row : out.threads) result.threads.push_back(row);
     for (auto& s : out.skipped) result.skipped.push_back(std::move(s));
+    for (auto& s : out.quarantined) {
+      result.quarantined.push_back(std::move(s));
+    }
+    for (auto& s : out.salvaged) result.salvaged.push_back(std::move(s));
+    for (auto& s : out.throttled) result.throttled.push_back(std::move(s));
     result.shards.push_back(
         ShardStat{w, out.files_read, out.bytes, out.merge_ms});
   }
   result.files_skipped = result.skipped.size();
+  result.files_quarantined = result.quarantined.size();
   result.workers_used = workers;
   result.timings.stream_ms = ms_since(t_stream);
   stage_stream_us.add(us_of(result.timings.stream_ms));

@@ -45,6 +45,16 @@ enum View : unsigned {
   kViewAll = (1u << 8) - 1,
 };
 
+/// What the stream stage does with a profile file that fails validation.
+/// Every failing file is first re-read once, so a transient I/O error
+/// (NFS hiccup, racing writer) is distinguished from real corruption:
+/// only a file that fails twice is treated as corrupt.
+enum class CorruptPolicy {
+  kStrict,      ///< throw, naming the file at fault
+  kSkip,        ///< skip and count; reported in AnalysisResult::skipped
+  kQuarantine,  ///< skip, and move the file to <dir>/quarantine/
+};
+
 /// Wall time per pipeline stage, in milliseconds. A view over the same
 /// measurements that feed the registry's `analyze.stage_us{stage=...}`
 /// counters (which accumulate across runs).
@@ -70,9 +80,21 @@ struct AnalysisResult {
 
   // Pipeline statistics.
   std::size_t files_discovered = 0;
-  std::size_t files_read = 0;
-  std::size_t files_skipped = 0;           ///< corrupt (skip_corrupt mode)
-  std::vector<std::string> skipped;        ///< "path: reason" per skip
+  std::size_t files_read = 0;               ///< fully validated + merged
+  std::size_t files_skipped = 0;            ///< failed validation twice
+  std::vector<std::string> skipped;         ///< "path: reason" per skip
+  std::size_t files_quarantined = 0;        ///< moved (kQuarantine policy)
+  std::vector<std::string> quarantined;     ///< "src -> dest" per move
+  std::size_t transient_retries = 0;        ///< re-reads that then passed
+  // Recovery-mode accounting (Options::salvage): corrupt files whose
+  // valid record prefix was folded into the merge anyway.
+  std::size_t files_salvaged = 0;
+  std::size_t records_salvaged = 0;         ///< records kept across files
+  std::size_t records_dropped = 0;          ///< declared but unreadable
+  std::vector<std::string> salvaged;        ///< "path: kept K, dropped D"
+  /// Profiles written under overload degradation ("path: period P -> Q");
+  /// their sample-derived metrics are scaled by Q/P relative to the rest.
+  std::vector<std::string> throttled;
   std::uint64_t bytes_streamed = 0;        ///< profile + structure bytes
   std::size_t peak_resident_profiles = 0;  ///< high-water; <= workers + 1
   int workers_used = 0;
@@ -108,9 +130,16 @@ class Analyzer {
     /// Which tables to compute after the merge.
     unsigned views = kViewSummary | kViewVariables | kViewHotAccesses |
                      kViewFunctions | kViewThreads;
-    /// Skip-and-count corrupt profile files (reported in the result)
-    /// instead of failing the whole analysis.
-    bool skip_corrupt = true;
+    /// What to do with files that fail validation (after one re-read to
+    /// rule out transient I/O errors). The merged output is unaffected
+    /// by the choice between kSkip and kQuarantine: both fold exactly
+    /// the readable files.
+    CorruptPolicy corrupt_policy = CorruptPolicy::kSkip;
+    /// Recovery mode: fold the valid record prefix of corrupt files
+    /// into the merge (reported per file), instead of dropping the file
+    /// entirely. Off by default so a corrupt shard cannot silently
+    /// perturb the aggregate. Ignored under kStrict.
+    bool salvage = false;
     /// Thresholds for the advice view (kViewAdvice).
     AdvisorOptions advisor;
     /// Called after each profile file is folded during the stream stage.
@@ -126,8 +155,8 @@ class Analyzer {
   /// Runs the full pipeline on one measurement directory. Throws
   /// std::runtime_error if the directory is missing, has no structure
   /// file, or yields no readable profile (errors name the file at
-  /// fault). Corrupt profiles are skipped and counted unless
-  /// Options::skip_corrupt is false.
+  /// fault). Corrupt profiles are handled per Options::corrupt_policy
+  /// (skipped and counted by default).
   AnalysisResult run(const std::filesystem::path& dir) const;
 
  private:

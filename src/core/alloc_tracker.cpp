@@ -86,8 +86,16 @@ void AllocTracker::on_alloc(rt::ThreadCtx& ctx, sim::Addr base,
     // Optionally sample sub-threshold allocations at a fixed period
     // (the paper's future-work extension for small-block data
     // structures) instead of dropping them all.
-    if (cfg_.small_sample_period == 0 ||
-        ++cache_[ctx.tid()].small_countdown % cfg_.small_sample_period != 0) {
+    if (cfg_.small_sample_period == 0) {
+      tm_.skipped.inc();
+      return;
+    }
+    // The countdown moves only on sub-threshold events: every thread
+    // samples exactly its Nth, 2Nth, ... small allocation no matter how
+    // many large allocations (or other threads' allocations) interleave.
+    auto& countdown = cache_[ctx.tid()].small_countdown;
+    if (countdown == 0) countdown = cfg_.small_sample_period;  // re-arm
+    if (--countdown != 0) {
       tm_.skipped.inc();
       return;
     }

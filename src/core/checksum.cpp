@@ -1,0 +1,67 @@
+#include "core/checksum.h"
+
+#include <array>
+
+namespace dcprof::core {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82f63b78u;  // reflected 0x1EDC6F41
+
+/// tables[0] is the classic byte-at-a-time table; tables[k] advances a
+/// byte through k additional zero bytes, which is what lets slice-by-8
+/// fold eight input bytes per iteration.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    for (std::size_t k = 1; k < 8; ++k) {
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xff];
+    }
+  }
+  return t;
+}
+
+constexpr auto kTables = make_tables();
+
+std::uint32_t load_le32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+void Crc32c::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = state_;
+  while (len >= 8) {
+    const std::uint32_t lo = load_le32(p) ^ crc;
+    const std::uint32_t hi = load_le32(p + 4);
+    crc = kTables[7][lo & 0xff] ^ kTables[6][(lo >> 8) & 0xff] ^
+          kTables[5][(lo >> 16) & 0xff] ^ kTables[4][lo >> 24] ^
+          kTables[3][hi & 0xff] ^ kTables[2][(hi >> 8) & 0xff] ^
+          kTables[1][(hi >> 16) & 0xff] ^ kTables[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = (crc >> 8) ^ kTables[0][(crc ^ *p++) & 0xff];
+  }
+  state_ = crc;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t len) {
+  Crc32c c;
+  c.update(data, len);
+  return c.value();
+}
+
+}  // namespace dcprof::core

@@ -1,0 +1,36 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) over byte buffers — the
+// integrity check framing every `.dcpf` profile file. Pure software
+// slice-by-8 implementation: no SSE4.2/ARM CRC instructions, so the
+// bytes a file carries are identical on every host. Used only at profile
+// write-out and analysis read-in (never on the per-sample hot path).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dcprof::core {
+
+/// Streaming CRC32C: feed chunks with `update`, read `value` at any
+/// point. Equivalent to one `crc32c` call over the concatenated bytes.
+class Crc32c {
+ public:
+  void update(const void* data, std::size_t len);
+  void update(std::string_view bytes) { update(bytes.data(), bytes.size()); }
+
+  /// Finalized CRC of everything fed so far (does not reset state).
+  std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+  void reset() { state_ = 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// One-shot convenience over a whole buffer.
+std::uint32_t crc32c(const void* data, std::size_t len);
+inline std::uint32_t crc32c(std::string_view bytes) {
+  return crc32c(bytes.data(), bytes.size());
+}
+
+}  // namespace dcprof::core

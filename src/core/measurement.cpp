@@ -1,6 +1,11 @@
 #include "core/measurement.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -11,6 +16,61 @@
 namespace dcprof::core {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const fs::path& path) {
+  throw std::runtime_error(what + " " + path.string() + ": " +
+                           std::strerror(errno));
+}
+
+/// True for names a measurement directory accumulates that are not
+/// profiles: atomic-writer leftovers and editor backup/lock files.
+bool is_non_profile_name(const std::string& name) {
+  if (name.empty()) return true;
+  if (name.front() == '.' || name.front() == '#') return true;  // .#lock, .swp
+  if (name.back() == '~' || name.back() == '#') return true;    // backups
+  return false;
+}
+
+}  // namespace
+
+void write_file_atomic(const fs::path& path, std::string_view bytes) {
+  const fs::path tmp = path.string() + ".tmp";
+  // POSIX fd I/O: std::ofstream cannot fsync, and without the fsync a
+  // crash after rename could still surface an empty file.
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("cannot create", tmp);
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw_errno("cannot write", tmp);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw_errno("cannot fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("cannot close", tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp.string() + " to " +
+                             path.string() + ": " + ec.message());
+  }
+}
 
 std::uint64_t write_measurement_dir(const fs::path& dir,
                                     const std::vector<ThreadProfile>& profiles,
@@ -23,18 +83,25 @@ std::uint64_t write_measurement_dir(const fs::path& dir,
   fs::create_directories(dir);
   std::uint64_t bytes = 0;
   {
-    std::ofstream out(dir / "structure.dcst", std::ios::binary);
-    if (!out) throw std::runtime_error("cannot write structure file");
-    structure.write(out);
-    bytes += static_cast<std::uint64_t>(out.tellp());
+    std::ostringstream buf;
+    structure.write(buf);
+    const std::string data = std::move(buf).str();
+    write_file_atomic(dir / "structure.dcst", data);
+    bytes += data.size();
   }
   for (const auto& p : profiles) {
     std::ostringstream name;
     name << "profile-" << p.rank << "-" << p.tid << ".dcpf";
-    std::ofstream out(dir / name.str(), std::ios::binary);
-    if (!out) throw std::runtime_error("cannot write " + name.str());
-    p.write(out);
-    bytes += static_cast<std::uint64_t>(out.tellp());
+    std::ostringstream buf;
+    p.write(buf);
+    const std::string data = std::move(buf).str();
+    write_file_atomic(dir / name.str(), data);
+    bytes += data.size();
+  }
+  // Make the renames themselves durable before reporting success.
+  if (const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY); dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
   profile_bytes.add(bytes);
   return bytes;
@@ -47,9 +114,14 @@ std::vector<fs::path> list_profile_files(const fs::path& dir) {
   }
   std::vector<fs::path> profile_paths;
   for (const auto& entry : fs::directory_iterator(dir)) {
-    if (entry.path().extension() == ".dcpf") {
-      profile_paths.push_back(entry.path());
-    }
+    // Subdirectories (quarantine/) and special files are never profiles;
+    // the extension check drops `*.dcpf.tmp` (extension ".tmp") and other
+    // strays, and the name check drops editor lock files like
+    // `.#profile-0-0.dcpf`, whose extension alone looks plausible.
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().extension() != ".dcpf") continue;
+    if (is_non_profile_name(entry.path().filename().string())) continue;
+    profile_paths.push_back(entry.path());
   }
   std::sort(profile_paths.begin(), profile_paths.end());
   return profile_paths;
@@ -69,6 +141,32 @@ ThreadProfile read_profile_file(const fs::path& path) {
                              ": trailing bytes after profile data");
   }
   return p;
+}
+
+ThreadProfile read_profile_file_salvage(const fs::path& path,
+                                        SalvageResult& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  ThreadProfile p = ThreadProfile::read_salvage(in, out);
+  if (out.clean && in.peek() != std::ifstream::traits_type::eof()) {
+    out.clean = false;
+    out.error = "trailing bytes after profile data";
+  }
+  if (!out.error.empty()) out.error = path.string() + ": " + out.error;
+  return p;
+}
+
+fs::path quarantine_profile_file(const fs::path& dir, const fs::path& file) {
+  const fs::path qdir = dir / kQuarantineDirName;
+  std::error_code ec;
+  fs::create_directories(qdir, ec);
+  const fs::path dest = qdir / file.filename();
+  fs::rename(file, dest, ec);
+  if (ec) {
+    throw std::runtime_error("cannot quarantine " + file.string() + ": " +
+                             ec.message());
+  }
+  return dest;
 }
 
 binfmt::StructureData read_structure_file(const fs::path& dir) {

@@ -5,9 +5,16 @@
 //
 //   <dir>/structure.dcst
 //   <dir>/profile-<rank>-<tid>.dcpf
+//   <dir>/quarantine/            (corrupt profiles moved by the analyzer)
+//
+// Every file is written crash-safely: serialize to `<name>.tmp`, fsync,
+// then atomically rename over the final name. A measurement process
+// killed mid-write-out leaves at most a stale `.tmp` (which readers
+// ignore), never a truncated file under a final `.dcpf` name.
 #pragma once
 
 #include <filesystem>
+#include <string>
 #include <vector>
 
 #include "binfmt/structure.h"
@@ -23,8 +30,18 @@ struct Measurement {
   std::uint64_t total_bytes = 0;  ///< on-disk size (set when read/written)
 };
 
-/// Writes profiles + structure into `dir` (created if absent). Returns
-/// the total bytes written.
+/// Name of the subdirectory the analyzer moves corrupt profiles into.
+inline constexpr const char* kQuarantineDirName = "quarantine";
+
+/// Writes `bytes` to `path` crash-safely: the data lands in
+/// `<path>.tmp` first, is fsync'd, and is atomically renamed onto
+/// `path`. Throws std::runtime_error naming the file on any failure
+/// (the stale `.tmp` is removed on a write/fsync error).
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view bytes);
+
+/// Writes profiles + structure into `dir` (created if absent), each file
+/// via `write_file_atomic`. Returns the total bytes written.
 std::uint64_t write_measurement_dir(const std::filesystem::path& dir,
                                     const std::vector<ThreadProfile>& profiles,
                                     const binfmt::StructureData& structure);
@@ -35,15 +52,31 @@ std::uint64_t write_measurement_dir(const std::filesystem::path& dir,
 // below is a convenience wrapper over these.
 
 /// The `.dcpf` profile files in `dir`, sorted by path so every consumer
-/// sees the same deterministic order. Throws std::runtime_error if the
-/// directory does not exist.
+/// sees the same deterministic order. Skips anything that is not a
+/// plausible profile: subdirectories (including `quarantine/`), the
+/// atomic writer's `*.tmp` leftovers, and editor backup/lock droppings
+/// (`.#file.dcpf`, `#file.dcpf#`, `file.dcpf~`). Throws
+/// std::runtime_error if the directory does not exist.
 std::vector<std::filesystem::path> list_profile_files(
     const std::filesystem::path& dir);
 
 /// Reads one profile file. Throws std::runtime_error naming the file on
-/// open failure, truncation, corruption, or trailing bytes after the
-/// serialized profile.
+/// open failure, truncation, checksum mismatch, or trailing bytes after
+/// the serialized profile.
 ThreadProfile read_profile_file(const std::filesystem::path& path);
+
+/// Recovery-mode read: salvages the valid record prefix of a truncated
+/// or corrupt profile file instead of throwing (see
+/// ThreadProfile::read_salvage). Only an unopenable file still throws.
+/// `out` reports kept/dropped records and the failure, if any.
+ThreadProfile read_profile_file_salvage(const std::filesystem::path& path,
+                                        SalvageResult& out);
+
+/// Moves `file` into `dir`'s quarantine subdirectory (created on first
+/// use) and returns its new path. Throws std::runtime_error naming the
+/// file if the move fails.
+std::filesystem::path quarantine_profile_file(
+    const std::filesystem::path& dir, const std::filesystem::path& file);
 
 /// Reads `dir`'s structure file. Throws std::runtime_error naming the
 /// directory if the file is missing or unreadable.

@@ -6,12 +6,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/checksum.h"
+
 namespace dcprof::core {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x64637066;  // "dcpf"
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMagic = 0x64637066;        // "dcpf"
+constexpr std::uint32_t kFooterMagic = 0x64637074;  // "dcpt"
 
 void put_u8(std::ostream& o, std::uint8_t v) {
   o.put(static_cast<char>(v));
@@ -22,10 +24,10 @@ void put_u32(std::ostream& o, std::uint32_t v) {
 void put_u64(std::ostream& o, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) o.put(static_cast<char>((v >> (8 * i)) & 0xff));
 }
-std::uint8_t get_u8(std::istream& in) {
-  return static_cast<std::uint8_t>(in.get());
-}
-std::uint32_t get_u32(std::istream& in) {
+
+// Raw (unhashed) reads, used for the footer — which checksums the bytes
+// before it, not itself.
+std::uint32_t get_u32_raw(std::istream& in) {
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
     v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in.get()))
@@ -33,7 +35,7 @@ std::uint32_t get_u32(std::istream& in) {
   }
   return v;
 }
-std::uint64_t get_u64(std::istream& in) {
+std::uint64_t get_u64_raw(std::istream& in) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in.get()))
@@ -42,9 +44,54 @@ std::uint64_t get_u64(std::istream& in) {
   return v;
 }
 
-void require(std::istream& in, const char* what) {
-  if (!in) throw std::runtime_error(std::string("truncated profile: ") + what);
-}
+/// All payload reads go through this wrapper so the running CRC32C and
+/// byte count match exactly what the writer checksummed.
+class HashingReader {
+ public:
+  explicit HashingReader(std::istream& in) : in_(in) {}
+
+  std::uint8_t u8() {
+    unsigned char b = 0;
+    read(reinterpret_cast<char*>(&b), 1);
+    return b;
+  }
+  std::uint32_t u32() {
+    unsigned char b[4] = {};
+    read(reinterpret_cast<char*>(b), 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    unsigned char b[8] = {};
+    read(reinterpret_cast<char*>(b), 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+  void read(char* dst, std::size_t n) {
+    in_.read(dst, static_cast<std::streamsize>(n));
+    if (in_) {
+      crc_.update(dst, n);
+      count_ += n;
+    }
+  }
+
+  void require(const char* what) const {
+    if (!in_) {
+      throw std::runtime_error(std::string("truncated profile: ") + what);
+    }
+  }
+
+  std::uint32_t crc() const { return crc_.value(); }
+  std::uint64_t count() const { return count_; }
+  std::istream& stream() { return in_; }
+
+ private:
+  std::istream& in_;
+  Crc32c crc_;
+  std::uint64_t count_ = 0;
+};
 
 /// Caps for length fields read from disk: a corrupt file must fail with
 /// a clear error instead of a multi-gigabyte allocation attempt.
@@ -80,55 +127,84 @@ std::uint64_t ThreadProfile::total_samples() const {
 }
 
 void ThreadProfile::write(std::ostream& out) const {
-  put_u32(out, kMagic);
-  put_u32(out, kVersion);
-  put_u32(out, static_cast<std::uint32_t>(rank));
-  put_u32(out, static_cast<std::uint32_t>(tid));
-  put_u32(out, static_cast<std::uint32_t>(strings.size()));
+  // Header + body are serialized to a buffer first: the footer carries a
+  // CRC32C over those exact bytes. Write-out is cold (once per thread per
+  // run), so the extra copy never touches the sample hot path.
+  std::ostringstream payload;
+  put_u32(payload, kMagic);
+  put_u32(payload, kProfileFormatVersion);
+  put_u32(payload, throttled() ? kProfileFlagThrottled : 0u);
+  put_u64(payload, sampling_period);
+  put_u64(payload, effective_period);
+  put_u32(payload, static_cast<std::uint32_t>(rank));
+  put_u32(payload, static_cast<std::uint32_t>(tid));
+  put_u32(payload, static_cast<std::uint32_t>(strings.size()));
   for (std::size_t i = 0; i < strings.size(); ++i) {
     const std::string& s = strings.str(i);
-    put_u32(out, static_cast<std::uint32_t>(s.size()));
-    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+    put_u32(payload, static_cast<std::uint32_t>(s.size()));
+    payload.write(s.data(), static_cast<std::streamsize>(s.size()));
   }
-  for (const auto& c : ccts) write_cct(out, c);
+  for (const auto& c : ccts) write_cct(payload, c);
+
+  const std::string bytes = std::move(payload).str();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  put_u32(out, kFooterMagic);
+  put_u64(out, static_cast<std::uint64_t>(bytes.size()));
+  put_u32(out, crc32c(bytes));
 }
 
 void ThreadProfile::scan(std::istream& in, ProfileVisitor& visitor) {
-  const std::uint32_t magic = get_u32(in);
-  require(in, "header");
+  HashingReader r(in);
+  const std::uint32_t magic = r.u32();
+  r.require("header");
   if (magic != kMagic) throw std::runtime_error("bad profile magic");
-  if (get_u32(in) != kVersion) throw std::runtime_error("bad profile version");
-  const auto rank = static_cast<std::int32_t>(get_u32(in));
-  const auto tid = static_cast<std::int32_t>(get_u32(in));
-  const std::uint32_t nstrings = get_u32(in);
-  require(in, "string count");
+  const std::uint32_t version = r.u32();
+  r.require("header");
+  if (version != kProfileFormatVersion &&
+      version != kProfileFormatLegacyVersion) {
+    throw std::runtime_error("bad profile version");
+  }
+  ProfileFraming framing;
+  framing.version = version;
+  if (version >= 3) {
+    framing.flags = r.u32();
+    framing.sampling_period = r.u64();
+    framing.effective_period = r.u64();
+    r.require("header flags");
+  }
+  const auto rank = static_cast<std::int32_t>(r.u32());
+  const auto tid = static_cast<std::int32_t>(r.u32());
+  const std::uint32_t nstrings = r.u32();
+  r.require("string count");
+  visitor.on_framing(framing);
   visitor.on_header(rank, tid);
+  visitor.on_string_table(nstrings);
   std::string s;
   for (std::uint32_t i = 0; i < nstrings; ++i) {
-    const std::uint32_t len = get_u32(in);
-    require(in, "string length");
+    const std::uint32_t len = r.u32();
+    r.require("string length");
     if (len > kMaxStringBytes) {
       throw std::runtime_error("corrupt profile: implausible string length");
     }
     s.assign(len, '\0');
-    in.read(s.data(), static_cast<std::streamsize>(len));
-    require(in, "string data");
+    r.read(s.data(), len);
+    r.require("string data");
     visitor.on_string(s);
   }
   for (std::size_t c = 0; c < kNumStorageClasses; ++c) {
-    const std::uint32_t count = get_u32(in);
-    require(in, "cct node count");
+    const std::uint32_t count = r.u32();
+    r.require("cct node count");
     if (count == 0) {
       throw std::runtime_error("corrupt profile: CCT without a root node");
     }
     visitor.on_cct_begin(c, count);
     for (std::uint32_t i = 0; i < count; ++i) {
-      const std::uint8_t kind_raw = get_u8(in);
-      const std::uint64_t sym = get_u64(in);
-      const std::uint32_t parent = get_u32(in);
+      const std::uint8_t kind_raw = r.u8();
+      const std::uint64_t sym = r.u64();
+      const std::uint32_t parent = r.u32();
       MetricVec m;
-      for (auto& x : m.v) x = get_u64(in);
-      require(in, "cct node");
+      for (auto& x : m.v) x = r.u64();
+      r.require("cct node");
       if (kind_raw > static_cast<std::uint8_t>(NodeKind::kVarStatic)) {
         throw std::runtime_error("corrupt profile: unknown CCT node kind");
       }
@@ -149,14 +225,34 @@ void ThreadProfile::scan(std::istream& in, ProfileVisitor& visitor) {
       visitor.on_node(c, kind, sym, parent, m);
     }
   }
+  if (version >= 3) {
+    // Footer: not part of the checksummed payload, read raw.
+    const std::uint32_t footer_magic = get_u32_raw(in);
+    const std::uint64_t payload_bytes = get_u64_raw(in);
+    const std::uint32_t crc = get_u32_raw(in);
+    if (!in) throw std::runtime_error("truncated profile: footer");
+    if (footer_magic != kFooterMagic) {
+      throw std::runtime_error("corrupt profile: bad footer magic");
+    }
+    if (payload_bytes != r.count()) {
+      throw std::runtime_error("corrupt profile: payload length mismatch");
+    }
+    if (crc != r.crc()) {
+      throw std::runtime_error("corrupt profile: checksum mismatch");
+    }
+  }
 }
 
 namespace {
 
 /// ProfileVisitor that materializes a full ThreadProfile (the classic
 /// deserializer, now layered on the streaming scan).
-class ProfileBuilder final : public ProfileVisitor {
+class ProfileBuilder : public ProfileVisitor {
  public:
+  void on_framing(const ProfileFraming& f) override {
+    profile.sampling_period = f.sampling_period;
+    profile.effective_period = f.effective_period;
+  }
   void on_header(std::int32_t rank, std::int32_t tid) override {
     profile.rank = rank;
     profile.tid = tid;
@@ -177,7 +273,9 @@ class ProfileBuilder final : public ProfileVisitor {
   }
   void flush() {
     if (!pending_) return;
-    profile.ccts[class_].load_nodes(std::move(nodes_));
+    if (!nodes_.empty()) {
+      profile.ccts[class_].load_nodes(std::move(nodes_));
+    }
     nodes_ = {};
     pending_ = false;
   }
@@ -190,12 +288,62 @@ class ProfileBuilder final : public ProfileVisitor {
   bool pending_ = false;
 };
 
+/// ProfileBuilder that additionally counts declared vs delivered records,
+/// so a recovery-mode read can report exactly what it kept and lost.
+class SalvagingBuilder final : public ProfileBuilder {
+ public:
+  void on_string_table(std::uint32_t count) override { declared_ += count; }
+  void on_string(const std::string& s) override {
+    ProfileBuilder::on_string(s);
+    ++kept_;
+  }
+  void on_cct_begin(std::size_t class_index,
+                    std::uint32_t node_count) override {
+    ProfileBuilder::on_cct_begin(class_index, node_count);
+    declared_ += node_count;
+  }
+  void on_node(std::size_t c, NodeKind kind, std::uint64_t sym,
+               std::uint32_t parent, const MetricVec& metrics) override {
+    ProfileBuilder::on_node(c, kind, sym, parent, metrics);
+    ++kept_;
+  }
+
+  std::size_t kept() const { return kept_; }
+  /// Records whose declaration was read but whose bytes never arrived
+  /// (sections not yet declared at the failure point are unknowable and
+  /// not counted).
+  std::size_t dropped() const { return declared_ - std::min(declared_, kept_); }
+
+ private:
+  std::size_t declared_ = 0;
+  std::size_t kept_ = 0;
+};
+
 }  // namespace
 
 ThreadProfile ThreadProfile::read(std::istream& in) {
   ProfileBuilder builder;
   scan(in, builder);
   builder.flush();
+  return std::move(builder.profile);
+}
+
+ThreadProfile ThreadProfile::read_salvage(std::istream& in,
+                                          SalvageResult& out) {
+  SalvagingBuilder builder;
+  out = SalvageResult{};
+  try {
+    scan(in, builder);
+  } catch (const std::exception& e) {
+    out.clean = false;
+    out.error = e.what();
+  }
+  // Keep the valid prefix of the class that was being parsed when the
+  // error (if any) hit: parents precede children, so any node prefix is
+  // a well-formed tree.
+  builder.flush();
+  out.records_kept = builder.kept();
+  out.records_dropped = builder.dropped();
   return std::move(builder.profile);
 }
 

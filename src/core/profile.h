@@ -1,5 +1,16 @@
 // A per-thread data-centric profile: one CCT per storage class, plus the
 // compact binary serialization used for post-mortem analysis.
+//
+// On-disk `.dcpf` framing (format version 3):
+//
+//   header   magic, version, flags, sampling_period, effective_period
+//   body     rank, tid, string table, one CCT per storage class
+//   footer   footer magic, payload byte count, CRC32C over header+body
+//
+// The footer is what makes the measurement->analysis handoff crash-safe:
+// a torn or bit-flipped file fails the checksum instead of silently
+// poisoning the merged profile. Version-2 files (no flags/periods, no
+// footer) are still accepted for one release; see ThreadProfile::scan.
 #pragma once
 
 #include <cstdint>
@@ -26,16 +37,40 @@ inline constexpr std::size_t kNumStorageClasses = 5;
 
 const char* to_string(StorageClass c);
 
+/// Current and still-readable previous `.dcpf` format versions.
+inline constexpr std::uint32_t kProfileFormatVersion = 3;
+inline constexpr std::uint32_t kProfileFormatLegacyVersion = 2;
+
+/// Header flag bits (version >= 3).
+enum ProfileFlags : std::uint32_t {
+  /// The sampling period was raised mid-run because the sample handler
+  /// fell behind its latency budget; effective_period records the final
+  /// period so the analyzer can rescale sample-count-derived metrics.
+  kProfileFlagThrottled = 1u << 0,
+};
+
+/// The framing fields of one serialized profile (header + what version
+/// it was read as). Periods are 0 when unknown (synthetic profiles,
+/// legacy files).
+struct ProfileFraming {
+  std::uint32_t version = kProfileFormatVersion;
+  std::uint32_t flags = 0;
+  std::uint64_t sampling_period = 0;   ///< configured PMU period
+  std::uint64_t effective_period = 0;  ///< period after any throttling
+};
+
 /// Callbacks for ThreadProfile::scan — a pull-free streaming parse of the
-/// serialized profile format. Events arrive in on-disk order: header,
-/// every string-table entry, then for each storage class a cct-begin
-/// followed by its nodes in id order (parents before children; node 0 is
-/// the root). Lets consumers (validation, streaming merge) process a
-/// profile without materializing it.
+/// serialized profile format. Events arrive in on-disk order: framing,
+/// header, the string-table declaration and every entry, then for each
+/// storage class a cct-begin followed by its nodes in id order (parents
+/// before children; node 0 is the root). Lets consumers (validation,
+/// streaming merge) process a profile without materializing it.
 class ProfileVisitor {
  public:
   virtual ~ProfileVisitor() = default;
+  virtual void on_framing(const ProfileFraming& /*framing*/) {}
   virtual void on_header(std::int32_t /*rank*/, std::int32_t /*tid*/) {}
+  virtual void on_string_table(std::uint32_t /*count*/) {}
   virtual void on_string(const std::string& /*s*/) {}
   virtual void on_cct_begin(std::size_t /*class_index*/,
                             std::uint32_t /*node_count*/) {}
@@ -44,15 +79,34 @@ class ProfileVisitor {
                        const MetricVec& /*metrics*/) {}
 };
 
+/// Outcome of a recovery-mode (salvaging) read: how much of the file's
+/// record stream survived. A "record" is one string-table entry or one
+/// CCT node.
+struct SalvageResult {
+  std::size_t records_kept = 0;     ///< records parsed and retained
+  std::size_t records_dropped = 0;  ///< declared records lost to the error
+  bool clean = true;                ///< file was fully intact (no error)
+  std::string error;                ///< first failure, when !clean
+};
+
 struct ThreadProfile {
   std::int32_t rank = 0;
   std::int32_t tid = 0;
+  /// Configured / post-throttling PMU sampling period, written into the
+  /// file header (0 = unknown; see ProfileFraming).
+  std::uint64_t sampling_period = 0;
+  std::uint64_t effective_period = 0;
   StringTable strings;
   Cct ccts[kNumStorageClasses];
 
   Cct& cct(StorageClass c) { return ccts[static_cast<std::size_t>(c)]; }
   const Cct& cct(StorageClass c) const {
     return ccts[static_cast<std::size_t>(c)];
+  }
+
+  bool throttled() const {
+    return effective_period != 0 && sampling_period != 0 &&
+           effective_period != sampling_period;
   }
 
   /// Sum of kSamples over every CCT.
@@ -63,11 +117,20 @@ struct ThreadProfile {
 
   /// Streaming parse: walks one serialized profile and feeds `visitor`
   /// without building a ThreadProfile. Validates the format as it goes
-  /// (magic/version, truncation, node ordering, string references) and
-  /// throws std::runtime_error on the first inconsistency, leaving the
-  /// stream wherever the error was detected. `read` and the analyzer's
-  /// streaming merge are both built on this.
+  /// (magic/version, truncation, node ordering, string references, and —
+  /// for version >= 3 — the footer CRC32C) and throws std::runtime_error
+  /// on the first inconsistency, leaving the stream wherever the error
+  /// was detected. Legacy version-2 streams are accepted (no footer to
+  /// verify). `read` and the analyzer's streaming merge are both built
+  /// on this.
   static void scan(std::istream& in, ProfileVisitor& visitor);
+
+  /// Recovery-mode read: like `read`, but on a framing/truncation/
+  /// checksum failure it returns the profile built from the valid record
+  /// prefix instead of throwing, reporting kept/dropped record counts in
+  /// `out`. Only a bad magic (not a profile at all) yields an empty
+  /// profile with zero records kept.
+  static ThreadProfile read_salvage(std::istream& in, SalvageResult& out);
 
   /// Size of the serialized form, in bytes (the paper's space overhead).
   std::uint64_t serialized_bytes() const;

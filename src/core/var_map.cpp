@@ -22,8 +22,14 @@ void HeapVarMap::insert(sim::Addr base, std::uint64_t size,
 std::optional<HeapBlock> HeapVarMap::erase(sim::Addr base) {
   auto it = blocks_.find(base);
   if (it == blocks_.end()) return std::nullopt;
+  // Invalidate every cached way that could resolve into the dead block:
+  // match by identity and, defensively, by base. A free + realloc of the
+  // same base from a different call path must never return the dead
+  // variable's AllocPath through a stale cached interval.
   for (auto& slot : mru_) {
-    if (slot == &it->second) slot = nullptr;
+    if (slot != nullptr && (slot == &it->second || slot->base == base)) {
+      slot = nullptr;
+    }
   }
   HeapBlock block = std::move(it->second);
   blocks_.erase(it);

@@ -43,6 +43,15 @@ std::uint64_t PmuSet::events_counted(std::size_t cfg_index) const {
   return event_counts_.at(cfg_index).value();
 }
 
+void PmuSet::set_period_scale(std::uint64_t scale) {
+  if (scale == 0) throw std::invalid_argument("PMU period scale must be > 0");
+  period_scale_ = scale;
+}
+
+std::uint64_t PmuSet::effective_period(std::size_t cfg_index) const {
+  return configs_.at(cfg_index).period * period_scale_;
+}
+
 bool PmuSet::event_matches(const PmuConfig& cfg,
                            const sim::MemAccess& a) const {
   switch (cfg.event) {
@@ -68,14 +77,16 @@ void PmuSet::emit(const PmuConfig& cfg, const Sample& sample) {
 
 std::uint64_t PmuSet::next_period(std::size_t cfg_index, sim::CoreId core) {
   const PmuConfig& cfg = configs_[cfg_index];
-  if (cfg.jitter == 0) return cfg.period;
-  // xorshift64*: deterministic, per-core stream.
+  if (cfg.jitter == 0) return cfg.period * period_scale_;
+  // xorshift64*: deterministic, per-core stream. The throttle scale
+  // multiplies the jittered value, so the relative randomization window
+  // is preserved while the mean period grows.
   auto& s = rng_state_[cfg_index * cores_ + static_cast<std::size_t>(core)];
   s ^= s >> 12;
   s ^= s << 25;
   s ^= s >> 27;
   const std::uint64_t r = s * 0x2545f4914f6cdd1dull;
-  return cfg.period - cfg.jitter + r % (2 * cfg.jitter + 1);
+  return (cfg.period - cfg.jitter + r % (2 * cfg.jitter + 1)) * period_scale_;
 }
 
 void PmuSet::on_access(const sim::MemAccess& a) {

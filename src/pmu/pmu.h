@@ -73,6 +73,17 @@ class PmuSet : public sim::AccessObserver {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  /// Graceful-degradation hook: multiplies every configured period by
+  /// `scale` (>= 1) the next time a countdown is re-armed. The sample
+  /// handler raises this when it falls behind its latency budget, so an
+  /// overloaded run degrades resolution instead of growing CCTs without
+  /// bound. Recorded in the profile header for post-mortem rescaling.
+  void set_period_scale(std::uint64_t scale);
+  std::uint64_t period_scale() const { return period_scale_; }
+  /// `configs()[cfg_index].period * period_scale()` — the period new
+  /// samples are actually taken at.
+  std::uint64_t effective_period(std::size_t cfg_index) const;
+
   // sim::AccessObserver:
   void on_access(const sim::MemAccess& access) override;
   void on_compute(sim::ThreadId tid, sim::CoreId core, std::uint64_t instrs,
@@ -100,6 +111,7 @@ class PmuSet : public sim::AccessObserver {
   std::vector<obs::Counter> event_counts_;  // per cfg
   SampleHandler handler_;
   bool enabled_ = true;
+  std::uint64_t period_scale_ = 1;
   obs::Counter samples_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "rt/team.h"
 
 namespace dcprof::core {
@@ -197,6 +199,32 @@ TEST(AllocTracker, SmallSamplingPeriodIsPerThread) {
   EXPECT_EQ(tracked0, 3);  // every 4th of thread 0's 12
   EXPECT_EQ(tracked1, 6);  // every 4th of thread 1's 24
   EXPECT_EQ(f.tracker.stats().small_sampled, 9u);
+}
+
+TEST(AllocTracker, LargeAllocationsDoNotPerturbSmallSampling) {
+  // Regression: the sub-threshold countdown must move only on
+  // sub-threshold events. Bursts of large allocations between small ones
+  // must not change which small allocations are sampled.
+  TrackerConfig cfg;
+  cfg.small_sample_period = 4;
+  Fixture f(cfg);
+  rt::ThreadCtx& t = f.team.master();
+  std::vector<int> sampled;
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 3; ++j) {  // interleaved large-allocation burst
+      const auto big =
+          0x400000 + static_cast<sim::Addr>(i * 3 + j) * 0x10000;
+      f.tracker.on_alloc(t, big, 8192, 0x77);
+    }
+    const sim::Addr base = 0x1000 + static_cast<sim::Addr>(i) * 0x100;
+    f.tracker.on_alloc(t, base, 64, 0x99);
+    if (f.map.find(base) != nullptr) sampled.push_back(i);
+  }
+  // Exactly the 4th, 8th, 12th, 16th small allocation — the same set an
+  // interleaving-free run samples.
+  EXPECT_EQ(sampled, (std::vector<int>{3, 7, 11, 15}));
+  EXPECT_EQ(f.tracker.stats().small_sampled, 4u);
+  EXPECT_EQ(f.tracker.stats().allocations_tracked, 48u + 4u);
 }
 
 TEST(AllocTracker, SmallSamplingDoesNotAffectLargeBlocks) {

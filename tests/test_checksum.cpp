@@ -1,0 +1,84 @@
+// CRC32C: known-answer vectors, streaming/one-shot equivalence, and the
+// error-detection properties the .dcpf footer relies on.
+#include "core/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dcprof::core {
+namespace {
+
+TEST(Crc32c, KnownAnswerVectors) {
+  // The canonical CRC32C check value (RFC 3720 appendix / Castagnoli).
+  EXPECT_EQ(crc32c("123456789"), 0xe3069283u);
+  // Empty input: initial state xor final xor.
+  EXPECT_EQ(crc32c("", 0), 0x00000000u);
+  // iSCSI test vectors (RFC 3720 B.4): 32 bytes of zeros / ones /
+  // ascending bytes.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c(zeros), 0x8a9136aau);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(crc32c(ones), 0x62a8ab43u);
+  std::string ascending;
+  for (int i = 0; i < 32; ++i) ascending.push_back(static_cast<char>(i));
+  EXPECT_EQ(crc32c(ascending), 0x46dd794eu);
+}
+
+TEST(Crc32c, StreamingMatchesOneShotAtEverySplit) {
+  std::string data;
+  for (int i = 0; i < 300; ++i) {
+    data.push_back(static_cast<char>((i * 31 + 7) & 0xff));
+  }
+  const std::uint32_t expected = crc32c(data);
+  for (std::size_t split = 0; split <= data.size(); split += 13) {
+    Crc32c crc;
+    crc.update(data.data(), split);
+    crc.update(data.data() + split, data.size() - split);
+    EXPECT_EQ(crc.value(), expected) << "split at " << split;
+  }
+  // Byte-at-a-time (exercises the tail loop exclusively).
+  Crc32c crc;
+  for (const char c : data) crc.update(&c, 1);
+  EXPECT_EQ(crc.value(), expected);
+}
+
+TEST(Crc32c, ValueIsNonDestructiveAndResetRestarts) {
+  Crc32c crc;
+  crc.update("123456789");
+  EXPECT_EQ(crc.value(), 0xe3069283u);
+  EXPECT_EQ(crc.value(), 0xe3069283u);  // reading twice is idempotent
+  crc.reset();
+  crc.update("123456789");
+  EXPECT_EQ(crc.value(), 0xe3069283u);
+}
+
+TEST(Crc32c, DetectsSingleBitFlipsAnywhere) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t good = crc32c(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(crc32c(data), good) << "byte " << i << " bit " << bit;
+      data[i] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+TEST(Crc32c, DistinguishesLengthExtension) {
+  // A truncated payload plus matching length field must not collide:
+  // the footer stores both the byte count and the CRC, but the CRC
+  // itself already separates prefixes.
+  const std::string data = "abcdefgh";
+  std::uint32_t prev = crc32c("", 0);
+  for (std::size_t len = 1; len <= data.size(); ++len) {
+    const std::uint32_t cur = crc32c(data.data(), len);
+    EXPECT_NE(cur, prev) << len;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace dcprof::core

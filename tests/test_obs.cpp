@@ -227,6 +227,54 @@ TEST(Registry, HistogramUsesPowerOfTwoBuckets) {
   EXPECT_EQ(e->buckets, expected);
 }
 
+TEST(Registry, HistogramExtremeValuesLandInDefinedBuckets) {
+  // Edge cases of the power-of-two bucketing: 0, the largest value of
+  // the last finite bucket, and values beyond the top power-of-2 bucket
+  // (up to ~0) must land in well-defined buckets, never be dropped, and
+  // never overflow a shift.
+  const std::size_t last = obs::detail::kHistBuckets - 1;
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_limit(0), 1u);  // 0 is the only value
+  const std::uint64_t top = 1ull << (last - 1);    // first clamped value
+  EXPECT_EQ(obs::Histogram::bucket_of(top - 1), last - 1);
+  EXPECT_EQ(obs::Histogram::bucket_of(top), last);
+  EXPECT_EQ(obs::Histogram::bucket_of(~0ull), last);
+  EXPECT_EQ(obs::Histogram::bucket_limit(last), ~0ull);
+
+  obs::Registry reg;
+  obs::Histogram h = reg.histogram("m.edge");
+  h.record(0);
+  h.record(top);
+  h.record(~0ull);
+  EXPECT_EQ(h.count(), 3u);
+  const obs::Snapshot snap = reg.snapshot();
+  const obs::SnapshotEntry* e = snap.find("m.edge");
+  ASSERT_NE(e, nullptr);
+  std::uint64_t bucketed = 0;
+  for (const auto& [le, n] : e->buckets) bucketed += n;
+  EXPECT_EQ(bucketed, 3u);  // nothing silently dropped
+  ASSERT_EQ(e->buckets.size(), 2u);
+  EXPECT_EQ(e->buckets.front(), (std::pair<std::uint64_t, std::uint64_t>{
+                                    1, 1}));  // the 0
+  EXPECT_EQ(e->buckets.back(), (std::pair<std::uint64_t, std::uint64_t>{
+                                   ~0ull, 2}));  // both clamped values
+}
+
+TEST(Registry, ToJsonNeverEmitsInfOrNan) {
+  obs::Registry reg;
+  obs::Histogram h = reg.histogram("m.extreme");
+  h.record(0);
+  h.record(~0ull);  // sum wraps modulo 2^64 — still an integer
+  h.record(~0ull);
+  obs::Gauge g = reg.gauge("m.peak");
+  g.set(~0ull);
+  const std::string json = obs::to_json(reg.snapshot());
+  EXPECT_TRUE(JsonParser(json).parse()) << json;
+  for (const char* bad : {"inf", "Inf", "nan", "NaN", "e+", "E+"}) {
+    EXPECT_EQ(json.find(bad), std::string::npos) << bad << " in " << json;
+  }
+}
+
 TEST(Registry, ScopedNsIsGatedOnMetricsEnabled) {
   TelemetryOff restore;
   obs::Registry reg;

@@ -204,7 +204,7 @@ TEST(Pipeline, StrictModeThrowsNamingTheCorruptFile) {
   const auto files = core::list_profile_files(dir.path);
   truncate_file(files[1]);
   Analyzer::Options opts;
-  opts.skip_corrupt = false;
+  opts.corrupt_policy = CorruptPolicy::kStrict;
   try {
     Analyzer(opts).run(dir.path);
     FAIL() << "expected std::runtime_error";
@@ -279,12 +279,24 @@ TEST(MeasurementStreaming, ListProfileFilesIsSortedAndFiltered) {
   TempDir dir;
   write_synthetic_dir(dir.path, 5);
   std::ofstream(dir.path / "notes.txt") << "not a profile";
+  // Strays a measurement directory accumulates in practice: interrupted
+  // atomic-writer temporaries, editor backups, and emacs lock files
+  // (whose *extension* is still ".dcpf"), plus the quarantine subdir.
+  std::ofstream(dir.path / "profile-9-9.dcpf.tmp") << "partial write";
+  std::ofstream(dir.path / "profile-0-0.dcpf~") << "backup";
+  std::ofstream(dir.path / ".#profile-0-0.dcpf") << "lock";
+  fs::create_directories(dir.path / core::kQuarantineDirName);
+  std::ofstream(dir.path / core::kQuarantineDirName / "profile-8-8.dcpf")
+      << "quarantined";
   const auto files = core::list_profile_files(dir.path);
   ASSERT_EQ(files.size(), 5u);
   for (std::size_t i = 1; i < files.size(); ++i) {
     EXPECT_LT(files[i - 1], files[i]);
   }
-  for (const auto& f : files) EXPECT_EQ(f.extension(), ".dcpf");
+  for (const auto& f : files) {
+    EXPECT_EQ(f.extension(), ".dcpf");
+    EXPECT_NE(f.filename().string().front(), '.');
+  }
   EXPECT_THROW(core::list_profile_files("/nonexistent/dcprof-dir"),
                std::runtime_error);
 }

@@ -76,6 +76,38 @@ TEST(HeapVarMap, ReusedRangeGetsNewIdentity) {
   EXPECT_EQ(map.find(0x1080), nullptr);
 }
 
+TEST(HeapVarMap, MruNeverReturnsDeadVariableAfterSameBaseRealloc) {
+  // Regression: free + realloc of the same base from a *different* call
+  // path. A stale MRU interval surviving the erase would attribute new
+  // samples to the dead variable's AllocPath.
+  AllocPathSet set;
+  HeapVarMap map;
+  ASSERT_TRUE(map.mru_enabled());
+  map.insert(0x1000, 512, make_path(set, {0x1}, 0xa));
+  ASSERT_EQ(map.find(0x1010)->path->alloc_ip, 0xau);  // warm the cache
+  map.erase(0x1000);                                  // free
+  map.insert(0x1000, 512, make_path(set, {0x7, 0x8}, 0xb));  // realloc
+  const HeapBlock* block = map.find(0x1010);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->path->alloc_ip, 0xbu);
+  ASSERT_EQ(block->path->frames.size(), 2u);
+  // A warm cache must also miss outright once the block is gone.
+  map.erase(0x1000);
+  EXPECT_EQ(map.find(0x1010), nullptr);
+}
+
+TEST(HeapVarMap, MruDisabledStillInvalidatesOnErase) {
+  AllocPathSet set;
+  HeapVarMap map;
+  map.set_mru_enabled(false);
+  map.insert(0x1000, 256, make_path(set, {0x1}, 0xa));
+  ASSERT_NE(map.find(0x1010), nullptr);
+  map.erase(0x1000);
+  EXPECT_EQ(map.find(0x1010), nullptr);
+  map.insert(0x1000, 256, make_path(set, {0x2}, 0xb));
+  EXPECT_EQ(map.find(0x1010)->path->alloc_ip, 0xbu);
+}
+
 TEST(HeapVarMap, AdjacentBlocksDoNotBleed) {
   AllocPathSet set;
   HeapVarMap map;

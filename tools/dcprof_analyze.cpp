@@ -4,7 +4,7 @@
 //   dcprof_analyze <measurement-dir> [--metric samples|latency|rdram]
 //                  [--workers N] [--top N]
 //                  [--top-down heap|static|stack|unknown] [--advice]
-//                  [--html <file>] [--strict]
+//                  [--html <file>] [--strict] [--quarantine] [--salvage]
 //                  [--metrics-json <file>] [--trace-out <file>]
 //                  [--progress] [--overhead]
 //
@@ -20,7 +20,9 @@
 // and prints the storage-class summary, the data-centric variable view,
 // the hot-access view, the code-centric flat view, and (with --advice)
 // optimization guidance. Corrupt profile files are skipped and counted
-// unless --strict is given.
+// by default; --strict aborts on the first one, --quarantine also moves
+// them into <dir>/quarantine/, and --salvage folds each corrupt file's
+// valid record prefix into the merge (recovery mode).
 
 #include <algorithm>
 #include <cstdio>
@@ -46,7 +48,8 @@ int usage(const char* argv0) {
                "usage: %s <measurement-dir> [--metric "
                "samples|latency|rdram] [--workers N] [--top N] [--top-down "
                "heap|static|stack|unknown] [--advice] [--html <file>] "
-               "[--strict] [--metrics-json <file>] [--trace-out <file>] "
+               "[--strict] [--quarantine] [--salvage] "
+               "[--metrics-json <file>] [--trace-out <file>] "
                "[--progress] [--overhead]\n",
                argv0);
   return 2;
@@ -103,7 +106,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--html" && i + 1 < argc) {
       html_path = argv[++i];
     } else if (arg == "--strict") {
-      opts.skip_corrupt = false;
+      opts.corrupt_policy = analysis::CorruptPolicy::kStrict;
+    } else if (arg == "--quarantine") {
+      opts.corrupt_policy = analysis::CorruptPolicy::kQuarantine;
+    } else if (arg == "--salvage") {
+      opts.salvage = true;
     } else if (arg == "--progress") {
       opts.progress = [](std::size_t done, std::size_t total) {
         std::fprintf(stderr, "progress: %zu/%zu profiles folded\n", done,
@@ -140,9 +147,28 @@ int main(int argc, char** argv) {
       analysis::format_count(r.merged.total_samples()).c_str(),
       r.peak_resident_profiles, r.timings.discover_ms, r.timings.stream_ms,
       r.timings.combine_ms);
+  if (r.transient_retries > 0) {
+    std::printf("recovered %zu file(s) on re-read (transient I/O)\n",
+                r.transient_retries);
+  }
   if (r.files_skipped > 0) {
     std::printf("skipped %zu corrupt profile file(s):\n", r.files_skipped);
     for (const auto& s : r.skipped) std::printf("  %s\n", s.c_str());
+  }
+  if (r.files_salvaged > 0) {
+    std::printf("salvaged %zu record(s) from %zu corrupt file(s), "
+                "%zu dropped:\n",
+                r.records_salvaged, r.files_salvaged, r.records_dropped);
+    for (const auto& s : r.salvaged) std::printf("  %s\n", s.c_str());
+  }
+  if (r.files_quarantined > 0) {
+    std::printf("quarantined %zu file(s):\n", r.files_quarantined);
+    for (const auto& s : r.quarantined) std::printf("  %s\n", s.c_str());
+  }
+  if (!r.throttled.empty()) {
+    std::printf("%zu profile(s) recorded under overload degradation:\n",
+                r.throttled.size());
+    for (const auto& s : r.throttled) std::printf("  %s\n", s.c_str());
   }
   std::printf("\n");
 

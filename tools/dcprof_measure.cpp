@@ -5,12 +5,16 @@
 // Usage:
 //   dcprof_measure <amg|lulesh|streamcluster|nw|sweep3d> <out-dir>
 //                  [--event ibs|rmem] [--period N] [--threads N]
+//                  [--throttle-budget N]
 //                  [--metrics-json <file>] [--trace-out <file>]
 //
 // --metrics-json enables the self-telemetry registry, dumps its snapshot
 // as JSON, and prints the Table-1-style overhead report; --trace-out
 // enables the runtime event tracer and writes Chrome trace_event JSON
-// (loadable in Perfetto / chrome://tracing).
+// (loadable in Perfetto / chrome://tracing); --throttle-budget enables
+// graceful degradation under overload: when mean sample-handling latency
+// exceeds N ns, the sampling period is raised (recorded in the profiles
+// so the analyzer can rescale).
 
 #include <chrono>
 #include <cstdio>
@@ -38,6 +42,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <amg|lulesh|streamcluster|nw|sweep3d> <out-dir> "
                "[--event ibs|rmem] [--period N] [--threads N] "
+               "[--throttle-budget N] "
                "[--metrics-json <file>] [--trace-out <file>]\n",
                argv0);
   return 2;
@@ -68,6 +73,13 @@ double pct(std::uint64_t hits, std::uint64_t misses) {
 /// before write_measurements ends the profiling session).
 void print_cache_stats(core::Profiler& prof) {
   const core::ProfilerStats& s = prof.stats();
+  if (s.throttle_events > 0) {
+    std::printf("overload degradation: period raised %llux "
+                "(%llu throttle event%s)\n",
+                static_cast<unsigned long long>(s.period_scale),
+                static_cast<unsigned long long>(s.throttle_events),
+                s.throttle_events == 1 ? "" : "s");
+  }
   const core::VarMapStats& v = prof.heap_map().stats();
   std::printf("attribution memo: %llu frames reused, %llu walked "
               "(%.1f%% hit rate)\n",
@@ -90,6 +102,7 @@ int main(int argc, char** argv) {
   std::string event = "ibs";
   std::uint64_t period = 0;
   int threads = 16;
+  core::ProfilerConfig prof_cfg;
   std::string metrics_json;
   std::string trace_out;
   for (int i = 3; i < argc; ++i) {
@@ -100,6 +113,9 @@ int main(int argc, char** argv) {
       period = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (arg == "--throttle-budget" && i + 1 < argc) {
+      prof_cfg.throttle.budget_ns =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (flag_value(arg, "--metrics-json", argc, argv, i,
                           metrics_json) ||
                flag_value(arg, "--trace-out", argc, argv, i, trace_out)) {
@@ -163,13 +179,16 @@ int main(int argc, char** argv) {
     core::VarMapStats cluster_var_stats;
     cluster.run([&](rt::Rank& rank) {
       wl::ProcessCtx proc(rank, "sweep3d");
-      proc.enable_profiling(pmu_cfg, {}, rank.id());
+      proc.enable_profiling(pmu_cfg, prof_cfg, rank.id());
       wl::Sweep3dRank w(proc, prm, &rank);
       w.run();
       std::lock_guard lock(mu);
       const core::ProfilerStats& s = proc.profiler()->stats();
       cluster_stats.memo_frames_reused += s.memo_frames_reused;
       cluster_stats.memo_frames_walked += s.memo_frames_walked;
+      cluster_stats.throttle_events += s.throttle_events;
+      cluster_stats.period_scale =
+          std::max(cluster_stats.period_scale, s.period_scale);
       const core::VarMapStats& v = proc.profiler()->heap_map().stats();
       cluster_var_stats.mru_hits += v.mru_hits;
       cluster_var_stats.mru_misses += v.mru_misses;
@@ -178,6 +197,13 @@ int main(int argc, char** argv) {
     std::printf("sweep3d: wrote %llu bytes of measurement data (8 ranks) "
                 "to %s\n",
                 static_cast<unsigned long long>(bytes), dir.c_str());
+    if (cluster_stats.throttle_events > 0) {
+      std::printf("overload degradation: period raised up to %llux "
+                  "(%llu throttle events, all ranks)\n",
+                  static_cast<unsigned long long>(cluster_stats.period_scale),
+                  static_cast<unsigned long long>(
+                      cluster_stats.throttle_events));
+    }
     std::printf("attribution memo: %llu frames reused, %llu walked "
                 "(%.1f%% hit rate, all ranks)\n",
                 static_cast<unsigned long long>(
@@ -202,19 +228,19 @@ int main(int argc, char** argv) {
   wl::RunResult result;
   if (workload == "amg") {
     wl::Amg w(proc, wl::AmgParams{});
-    proc.enable_profiling(pmu_cfg);
+    proc.enable_profiling(pmu_cfg, prof_cfg);
     result = w.run();
   } else if (workload == "lulesh") {
     wl::Lulesh w(proc, wl::LuleshParams{});
-    proc.enable_profiling(pmu_cfg);
+    proc.enable_profiling(pmu_cfg, prof_cfg);
     result = w.run();
   } else if (workload == "streamcluster") {
     wl::Streamcluster w(proc, wl::StreamclusterParams{});
-    proc.enable_profiling(pmu_cfg);
+    proc.enable_profiling(pmu_cfg, prof_cfg);
     result = w.run();
   } else if (workload == "nw") {
     wl::Nw w(proc, wl::NwParams{});
-    proc.enable_profiling(pmu_cfg);
+    proc.enable_profiling(pmu_cfg, prof_cfg);
     result = w.run();
   } else {
     return usage(argv[0]);
