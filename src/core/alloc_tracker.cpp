@@ -1,6 +1,7 @@
 #include "core/alloc_tracker.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "obs/tracer.h"
 
@@ -16,7 +17,9 @@ std::uint64_t frame_work(sim::Addr a) {
   }
   return h;
 }
-volatile std::uint64_t g_unwind_sink = 0;
+// Written from every profiled thread; atomic (not volatile) so the
+// optimizer-defeating store is also race-free.
+std::atomic<std::uint64_t> g_unwind_sink{0};
 }  // namespace
 
 AllocTracker::AllocTracker(HeapVarMap& var_map, AllocPathSet& paths,
@@ -67,7 +70,7 @@ std::shared_ptr<const AllocPath> AllocTracker::unwind(rt::ThreadCtx& ctx,
   for (std::size_t i = reuse; i < stack.size(); ++i) {
     sink ^= frame_work(stack[i]);
   }
-  g_unwind_sink = sink;
+  g_unwind_sink.store(sink, std::memory_order_relaxed);
   tm_.frames_unwound.add(stack.size() - reuse);
   tm_.frames_reused.add(reuse);
 

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "core/checksum.h"
 
@@ -180,6 +181,10 @@ void ThreadProfile::scan(std::istream& in, ProfileVisitor& visitor) {
   visitor.on_header(rank, tid);
   visitor.on_string_table(nstrings);
   std::string s;
+  // No legitimate writer emits the same string twice (tables are built by
+  // interning); a crafted duplicate would collapse under the reader's
+  // intern and leave later static-variable name ids dangling.
+  std::unordered_set<std::string> seen_strings;
   for (std::uint32_t i = 0; i < nstrings; ++i) {
     const std::uint32_t len = r.u32();
     r.require("string length");
@@ -189,6 +194,9 @@ void ThreadProfile::scan(std::istream& in, ProfileVisitor& visitor) {
     s.assign(len, '\0');
     r.read(s.data(), len);
     r.require("string data");
+    if (!seen_strings.insert(s).second) {
+      throw std::runtime_error("corrupt profile: duplicate string-table entry");
+    }
     visitor.on_string(s);
   }
   for (std::size_t c = 0; c < kNumStorageClasses; ++c) {
@@ -214,6 +222,11 @@ void ThreadProfile::scan(std::istream& in, ProfileVisitor& visitor) {
           throw std::runtime_error(
               "corrupt profile: CCT must start with a root node");
         }
+      } else if (kind == NodeKind::kRoot) {
+        // A non-zero root-kind node would collide with the child index's
+        // empty-slot encoding ((parent << 8) | kind == 0).
+        throw std::runtime_error(
+            "corrupt profile: root-kind node below the root");
       } else if (parent >= i) {
         throw std::runtime_error(
             "corrupt profile: CCT node precedes its parent");

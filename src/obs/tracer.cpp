@@ -100,7 +100,9 @@ std::uint64_t Tracer::dropped() const {
   std::lock_guard lock(mu_);
   std::uint64_t dropped = 0;
   for (const auto& t : threads_) {
-    if (t->appended > t->ring.size()) dropped += t->appended - t->ring.size();
+    const std::uint64_t appended =
+        t->appended.load(std::memory_order_acquire);
+    if (appended > t->ring.size()) dropped += appended - t->ring.size();
   }
   return dropped;
 }
@@ -109,8 +111,8 @@ std::size_t Tracer::size() const {
   std::lock_guard lock(mu_);
   std::size_t n = 0;
   for (const auto& t : threads_) {
-    n += static_cast<std::size_t>(
-        std::min<std::uint64_t>(t->appended, t->ring.size()));
+    n += static_cast<std::size_t>(std::min<std::uint64_t>(
+        t->appended.load(std::memory_order_acquire), t->ring.size()));
   }
   return n;
 }
@@ -133,13 +135,15 @@ void Tracer::write_json(std::ostream& out) const {
       m += "\"}}";
       emit(m);
     }
+    const std::uint64_t appended =
+        t->appended.load(std::memory_order_acquire);
     const std::uint64_t kept =
-        std::min<std::uint64_t>(t->appended, t->ring.size());
+        std::min<std::uint64_t>(appended, t->ring.size());
     for (std::uint64_t i = 0; i < kept; ++i) {
       // Oldest-first: the ring holds the newest `kept` events ending at
       // slot (appended - 1) % size.
       const Event& e =
-          t->ring[static_cast<std::size_t>((t->appended - kept + i) %
+          t->ring[static_cast<std::size_t>((appended - kept + i) %
                                            t->ring.size())];
       std::string ev = "{\"ph\":\"";
       ev += e.instant ? 'i' : 'X';
@@ -168,7 +172,7 @@ void Tracer::write_json(std::ostream& out) const {
 void Tracer::reset() {
   std::lock_guard lock(mu_);
   for (auto& t : threads_) {
-    t->appended = 0;
+    t->appended.store(0, std::memory_order_release);
     if (t->ring.size() != capacity_) {
       t->ring.assign(capacity_, Event{});
     }

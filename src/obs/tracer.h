@@ -89,12 +89,17 @@ class Tracer {
 
   struct ThreadBuf {
     std::vector<Event> ring;
-    std::uint64_t appended = 0;  ///< total ever; ring keeps the newest
+    /// Total ever appended; the ring keeps the newest. Written lock-free
+    /// by the owning thread, read under mu_ by dropped()/size()/
+    /// write_json — atomic so cross-thread reads of the counter are
+    /// well-defined (the release store publishes the slot write).
+    std::atomic<std::uint64_t> appended{0};
     std::uint32_t track = 0;
     std::string name;
     void push(const Event& e) {
-      ring[static_cast<std::size_t>(appended % ring.size())] = e;
-      ++appended;
+      const std::uint64_t n = appended.load(std::memory_order_relaxed);
+      ring[static_cast<std::size_t>(n % ring.size())] = e;
+      appended.store(n + 1, std::memory_order_release);
     }
   };
 

@@ -45,11 +45,11 @@ std::uint64_t PmuSet::events_counted(std::size_t cfg_index) const {
 
 void PmuSet::set_period_scale(std::uint64_t scale) {
   if (scale == 0) throw std::invalid_argument("PMU period scale must be > 0");
-  period_scale_ = scale;
+  period_scale_.store(scale, std::memory_order_relaxed);
 }
 
 std::uint64_t PmuSet::effective_period(std::size_t cfg_index) const {
-  return configs_.at(cfg_index).period * period_scale_;
+  return configs_.at(cfg_index).period * period_scale();
 }
 
 bool PmuSet::event_matches(const PmuConfig& cfg,
@@ -77,7 +77,7 @@ void PmuSet::emit(const PmuConfig& cfg, const Sample& sample) {
 
 std::uint64_t PmuSet::next_period(std::size_t cfg_index, sim::CoreId core) {
   const PmuConfig& cfg = configs_[cfg_index];
-  if (cfg.jitter == 0) return cfg.period * period_scale_;
+  if (cfg.jitter == 0) return cfg.period * period_scale();
   // xorshift64*: deterministic, per-core stream. The throttle scale
   // multiplies the jittered value, so the relative randomization window
   // is preserved while the mean period grows.
@@ -86,7 +86,7 @@ std::uint64_t PmuSet::next_period(std::size_t cfg_index, sim::CoreId core) {
   s ^= s << 25;
   s ^= s >> 27;
   const std::uint64_t r = s * 0x2545f4914f6cdd1dull;
-  return (cfg.period - cfg.jitter + r % (2 * cfg.jitter + 1)) * period_scale_;
+  return (cfg.period - cfg.jitter + r % (2 * cfg.jitter + 1)) * period_scale();
 }
 
 void PmuSet::on_access(const sim::MemAccess& a) {

@@ -5,6 +5,7 @@
 // handler, exactly the tuple the paper's hardware provides.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -79,7 +80,9 @@ class PmuSet : public sim::AccessObserver {
   /// overloaded run degrades resolution instead of growing CCTs without
   /// bound. Recorded in the profile header for post-mortem rescaling.
   void set_period_scale(std::uint64_t scale);
-  std::uint64_t period_scale() const { return period_scale_; }
+  std::uint64_t period_scale() const {
+    return period_scale_.load(std::memory_order_relaxed);
+  }
   /// `configs()[cfg_index].period * period_scale()` — the period new
   /// samples are actually taken at.
   std::uint64_t effective_period(std::size_t cfg_index) const;
@@ -111,7 +114,10 @@ class PmuSet : public sim::AccessObserver {
   std::vector<obs::Counter> event_counts_;  // per cfg
   SampleHandler handler_;
   bool enabled_ = true;
-  std::uint64_t period_scale_ = 1;
+  // Written by the overload-throttle path, read by stats readers on
+  // other threads — atomic (relaxed: the value is advisory, no ordering
+  // with other state is implied).
+  std::atomic<std::uint64_t> period_scale_{1};
   obs::Counter samples_;
 };
 

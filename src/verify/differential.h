@@ -1,0 +1,34 @@
+// Oracle differential over the five case-study workloads: each workload
+// runs twice on identical deterministic inputs — once under the
+// production profiler, once with only the PMU attached and every sample
+// and allocation event routed to the reference oracle — and the two runs
+// must produce byte-identical serialized profiles. The production
+// profiles additionally pass the invariant checker, the merge-algebra
+// checker, and a reduce-vs-oracle-reduce byte comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcprof::verify {
+
+struct WorkloadReport {
+  std::string name;
+  std::vector<std::string> failures;  ///< empty == oracle agreed
+  std::size_t profiles = 0;           ///< per-thread/per-rank profiles
+  std::uint64_t samples = 0;          ///< total attributed samples
+
+  bool ok() const { return failures.empty(); }
+  std::string summary() const;
+};
+
+/// The workload names workload_differential accepts, in canonical order:
+/// amg, sweep3d, lulesh, streamcluster, nw.
+const std::vector<std::string>& workload_names();
+
+/// Runs the differential for one workload (scaled-down inputs; a few
+/// hundred ms each). Throws std::invalid_argument for an unknown name.
+WorkloadReport workload_differential(const std::string& name);
+
+}  // namespace dcprof::verify

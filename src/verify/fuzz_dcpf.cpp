@@ -1,0 +1,366 @@
+#include "verify/fuzz_dcpf.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/merge.h"
+#include "core/profile.h"
+#include "verify/invariants.h"
+#include "verify/rng.h"
+
+namespace dcprof::verify {
+
+using core::Cct;
+using core::Metric;
+using core::MetricVec;
+using core::NodeKind;
+using core::StorageClass;
+using core::ThreadProfile;
+
+namespace {
+
+// --- Corpus construction ----------------------------------------------
+
+MetricVec metrics(std::uint64_t samples, std::uint64_t latency = 0,
+                  Metric hit = Metric::kL1Hits, std::uint64_t hits = 0) {
+  MetricVec m;
+  m[Metric::kSamples] = samples;
+  m[Metric::kLatency] = latency;
+  m[hit] = hits;
+  return m;
+}
+
+ThreadProfile make_basic() {
+  ThreadProfile p;
+  p.rank = 0;
+  p.tid = 2;
+  p.sampling_period = 1024;
+  p.effective_period = 1024;
+
+  Cct& nomem = p.cct(StorageClass::kNoMem);
+  const auto f1 = nomem.child(0, NodeKind::kCallSite, 0x100);
+  nomem.add_metrics(nomem.child(f1, NodeKind::kLeafInstr, 0x104),
+                    metrics(3));
+
+  Cct& heap = p.cct(StorageClass::kHeap);
+  const auto a1 = heap.child(0, NodeKind::kCallSite, 0x200);
+  const auto ap = heap.child(a1, NodeKind::kAllocPoint, 0x208);
+  const auto vd = heap.child(ap, NodeKind::kVarData, 0);
+  const auto u1 = heap.child(vd, NodeKind::kCallSite, 0x100);
+  heap.add_metrics(heap.child(u1, NodeKind::kLeafInstr, 0x110),
+                   metrics(7, 900, Metric::kRemoteDram, 5));
+
+  Cct& stat = p.cct(StorageClass::kStatic);
+  const auto name = p.strings.intern("grid");
+  const auto sv = stat.child(0, NodeKind::kVarStatic, name);
+  stat.add_metrics(stat.child(sv, NodeKind::kLeafInstr, 0x114),
+                   metrics(2, 80, Metric::kL2Hits, 2));
+
+  Cct& stack = p.cct(StorageClass::kStack);
+  const auto sname = p.strings.intern("stack (thread 2)");
+  const auto sk = stack.child(0, NodeKind::kVarStatic, sname);
+  stack.add_metrics(stack.child(sk, NodeKind::kLeafInstr, 0x118),
+                    metrics(1, 12, Metric::kL1Hits, 1));
+
+  p.cct(StorageClass::kUnknown)
+      .add_metrics(p.cct(StorageClass::kUnknown)
+                       .child(0, NodeKind::kLeafInstr, 0x11c),
+                   metrics(1, 400, Metric::kLocalDram, 1));
+  return p;
+}
+
+ThreadProfile make_throttled() {
+  ThreadProfile p = make_basic();
+  p.tid = 3;
+  p.sampling_period = 1024;
+  p.effective_period = 4096;  // sets the throttled header flag
+  return p;
+}
+
+ThreadProfile make_strings_heavy() {
+  ThreadProfile p;
+  p.rank = 1;
+  p.tid = 0;
+  Cct& stat = p.cct(StorageClass::kStatic);
+  for (int i = 0; i < 40; ++i) {
+    const auto name = p.strings.intern("var_" + std::to_string(i));
+    const auto sv = stat.child(0, NodeKind::kVarStatic, name);
+    stat.add_metrics(
+        stat.child(sv, NodeKind::kLeafInstr, 0x400 + 4u * i),
+        metrics(1 + i, 10u * i, Metric::kL3Hits, 1));
+  }
+  return p;
+}
+
+ThreadProfile make_deep() {
+  ThreadProfile p;
+  p.tid = 1;
+  Cct& nomem = p.cct(StorageClass::kNoMem);
+  Cct::NodeId cur = 0;
+  for (int d = 0; d < 30; ++d) {
+    cur = nomem.child(cur, NodeKind::kCallSite, 0x1000 + 8u * d);
+  }
+  nomem.add_metrics(nomem.child(cur, NodeKind::kLeafInstr, 0x2000),
+                    metrics(11));
+  return p;
+}
+
+// Legacy v2 serialization (no flags/periods, no footer) — the format one
+// release back, which the reader must still accept. The production writer
+// only emits v3, so the corpus carries its own v2 encoder.
+void put_u8(std::ostream& o, std::uint8_t v) { o.put(static_cast<char>(v)); }
+void put_u32(std::ostream& o, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) o.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void put_u64(std::ostream& o, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) o.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::string write_v2(const ThreadProfile& p) {
+  std::ostringstream out;
+  put_u32(out, 0x64637066);  // "dcpf"
+  put_u32(out, core::kProfileFormatLegacyVersion);
+  put_u32(out, static_cast<std::uint32_t>(p.rank));
+  put_u32(out, static_cast<std::uint32_t>(p.tid));
+  put_u32(out, static_cast<std::uint32_t>(p.strings.size()));
+  for (std::size_t i = 0; i < p.strings.size(); ++i) {
+    const std::string& s = p.strings.str(i);
+    put_u32(out, static_cast<std::uint32_t>(s.size()));
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+  for (const auto& cct : p.ccts) {
+    put_u32(out, static_cast<std::uint32_t>(cct.size()));
+    for (const auto& n : cct.nodes()) {
+      put_u8(out, static_cast<std::uint8_t>(n.kind));
+      put_u64(out, n.sym);
+      put_u32(out, n.parent);
+      for (auto m : n.metrics.v) put_u64(out, m);
+    }
+  }
+  return std::move(out).str();
+}
+
+std::string write_v3(const ThreadProfile& p) {
+  std::ostringstream out;
+  p.write(out);
+  return std::move(out).str();
+}
+
+// --- Mutation ----------------------------------------------------------
+
+std::string mutate(const std::string& base, Rng& rng) {
+  std::string b = base;
+  const std::uint64_t rounds = 1 + rng.next(8);
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    switch (rng.next(7)) {
+      case 0: {  // bit flip
+        if (b.empty()) break;
+        b[rng.next(b.size())] ^= static_cast<char>(1u << rng.next(8));
+        break;
+      }
+      case 1: {  // byte set
+        if (b.empty()) break;
+        b[rng.next(b.size())] = static_cast<char>(rng.next(256));
+        break;
+      }
+      case 2: {  // truncate
+        b.resize(rng.next(b.size() + 1));
+        break;
+      }
+      case 3: {  // erase a slice
+        if (b.empty()) break;
+        const std::size_t pos = rng.next(b.size());
+        const std::size_t len =
+            std::min<std::size_t>(1 + rng.next(64), b.size() - pos);
+        b.erase(pos, len);
+        break;
+      }
+      case 4: {  // duplicate a slice elsewhere
+        if (b.empty()) break;
+        const std::size_t pos = rng.next(b.size());
+        const std::size_t len =
+            std::min<std::size_t>(1 + rng.next(64), b.size() - pos);
+        const std::string slice = b.substr(pos, len);
+        b.insert(rng.next(b.size() + 1), slice);
+        break;
+      }
+      case 5: {  // stomp a u32 with an interesting value
+        if (b.size() < 4) break;
+        const std::uint32_t interesting[] = {
+            0,          1,          2,          0xff,       0x01000000,
+            0x7fffffff, 0xffffffff, 0x64637066, 0x64637074};
+        const std::uint32_t v = interesting[rng.next(9)];
+        const std::size_t pos = rng.next(b.size() - 3);
+        for (int i = 0; i < 4; ++i) {
+          b[pos + static_cast<std::size_t>(i)] =
+              static_cast<char>((v >> (8 * i)) & 0xff);
+        }
+        break;
+      }
+      default: {  // append garbage
+        const std::size_t len = 1 + rng.next(64);
+        for (std::size_t i = 0; i < len; ++i) {
+          b.push_back(static_cast<char>(rng.next(256)));
+        }
+        break;
+      }
+    }
+  }
+  return b;
+}
+
+struct NullVisitor final : core::ProfileVisitor {};
+
+}  // namespace
+
+std::vector<std::string> builtin_corpus() {
+  std::vector<std::string> out;
+  out.push_back(write_v3(ThreadProfile{}));
+  out.push_back(write_v3(make_basic()));
+  out.push_back(write_v3(make_throttled()));
+  out.push_back(write_v3(make_strings_heavy()));
+  out.push_back(write_v3(make_deep()));
+  out.push_back(write_v2(make_basic()));
+  out.push_back(write_v2(make_strings_heavy()));
+  return out;
+}
+
+std::vector<std::string> builtin_corpus_names() {
+  return {"empty_v3.dcpf",   "basic_v3.dcpf", "throttled_v3.dcpf",
+          "strings_v3.dcpf", "deep_v3.dcpf",  "basic_v2.dcpf",
+          "strings_v2.dcpf"};
+}
+
+FuzzCaseResult run_fuzz_case(std::uint64_t case_seed,
+                             const std::vector<std::string>& corpus) {
+  FuzzCaseResult result;
+  std::vector<std::string>& fails = result.failures;
+  if (corpus.empty()) return result;
+  Rng rng(case_seed);
+  const std::string& base = corpus[rng.next(corpus.size())];
+  const std::string bytes = mutate(base, rng);
+
+  // Reader contract, entry point 1: the strict streaming scan.
+  bool scan_ok = false;
+  {
+    std::istringstream in(bytes);
+    NullVisitor v;
+    try {
+      ThreadProfile::scan(in, v);
+      scan_ok = true;
+    } catch (const std::runtime_error&) {
+    } catch (const std::exception& e) {
+      fails.push_back(std::string("scan threw non-runtime_error: ") +
+                      e.what());
+    } catch (...) {
+      fails.push_back("scan threw a non-std exception");
+    }
+  }
+
+  // Entry point 2: the materializing read. Must agree with scan, and
+  // anything it accepts must be structurally sound and serialize stably.
+  {
+    std::istringstream in(bytes);
+    try {
+      const ThreadProfile p = ThreadProfile::read(in);
+      if (!scan_ok) fails.push_back("read accepted what scan rejected");
+      CheckOptions opts;
+      opts.strict = false;
+      const CheckResult res = check_profile(p, opts);
+      if (!res.ok()) {
+        fails.push_back("read accepted an ill-formed profile: " +
+                        res.summary());
+      }
+    } catch (const std::runtime_error&) {
+      if (scan_ok) fails.push_back("read rejected what scan accepted");
+    } catch (const std::exception& e) {
+      fails.push_back(std::string("read threw non-runtime_error: ") +
+                      e.what());
+    } catch (...) {
+      fails.push_back("read threw a non-std exception");
+    }
+  }
+
+  // Entry point 3: the salvaging read — never throws, and whatever prefix
+  // it keeps must itself be a sound profile.
+  {
+    std::istringstream in(bytes);
+    core::SalvageResult sr;
+    try {
+      const ThreadProfile p = ThreadProfile::read_salvage(in, sr);
+      if (sr.clean != scan_ok) {
+        fails.push_back("salvage clean flag disagrees with scan");
+      }
+      if (sr.clean && sr.records_dropped != 0) {
+        fails.push_back("clean salvage reports dropped records");
+      }
+      CheckOptions opts;
+      opts.strict = false;
+      const CheckResult res = check_profile(p, opts);
+      if (!res.ok()) {
+        fails.push_back("salvaged profile is ill-formed: " + res.summary());
+      }
+    } catch (const std::exception& e) {
+      fails.push_back(std::string("read_salvage threw: ") + e.what());
+    } catch (...) {
+      fails.push_back("read_salvage threw a non-std exception");
+    }
+  }
+
+  // Entry point 4: the streaming merge (the analyzer's ingest path).
+  {
+    std::istringstream in(bytes);
+    ThreadProfile dst;
+    try {
+      analysis::merge_serialized(dst, in);
+      if (!scan_ok) {
+        fails.push_back("merge_serialized accepted what scan rejected");
+      }
+      const CheckResult res = check_profile(dst);
+      if (!res.ok()) {
+        fails.push_back("merge of accepted profile is ill-formed: " +
+                        res.summary());
+      }
+    } catch (const std::runtime_error&) {
+    } catch (const std::exception& e) {
+      fails.push_back(
+          std::string("merge_serialized threw non-runtime_error: ") +
+          e.what());
+    } catch (...) {
+      fails.push_back("merge_serialized threw a non-std exception");
+    }
+  }
+
+  result.accepted = scan_ok;
+  return result;
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options,
+                    const std::vector<std::string>& extra_corpus) {
+  std::vector<std::string> corpus = builtin_corpus();
+  corpus.insert(corpus.end(), extra_corpus.begin(), extra_corpus.end());
+
+  FuzzReport report;
+  for (std::size_t i = 0; i < options.count; ++i) {
+    const std::uint64_t case_seed = Rng::mix(options.base_seed, i);
+    const FuzzCaseResult r = run_fuzz_case(case_seed, corpus);
+    ++report.cases;
+    if (r.accepted) {
+      ++report.accepted;
+    } else {
+      ++report.rejected;
+    }
+    for (const auto& f : r.failures) {
+      report.failures.push_back(FuzzFailure{case_seed, f});
+      if (options.verbose) {
+        std::fprintf(stderr, "fuzz failure (seed %llu): %s\n",
+                     static_cast<unsigned long long>(case_seed), f.c_str());
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace dcprof::verify

@@ -1,0 +1,68 @@
+// Reusable well-formedness checks over profiles: the structural contract
+// every ThreadProfile must satisfy no matter which path produced it
+// (measurement, deserialization, salvage, merge). The property suite and
+// the .dcpf fuzzer both assert through this one checker, so a new
+// invariant automatically guards every producer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/profile.h"
+
+namespace dcprof::verify {
+
+/// Violations found by a check run; empty == well-formed.
+struct CheckResult {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// All violations joined for one-line reporting.
+  std::string summary() const;
+};
+
+struct CheckOptions {
+  /// Also require write -> read -> write byte identity. On by default;
+  /// turn off only for profiles intentionally built with out-of-contract
+  /// content (none exist today).
+  bool roundtrip = true;
+  /// Full strictness for profiles produced by our own measurement and
+  /// merge paths: unique sibling (kind, sym) keys, child-adjacency order
+  /// agreement, and metric monotonicity. Turn off for profiles the reader
+  /// accepted from untrusted bytes — those guarantee only rooted trees,
+  /// in-range references, and serialization stability (a crafted file may
+  /// legally carry duplicate sibling keys or wrap-around metric sums).
+  bool strict = true;
+};
+
+/// Structural well-formedness of one profile:
+///  * every CCT is rooted: node 0 is the only kRoot, parents precede
+///    children (parent id < node id);
+///  * the post-mortem child adjacency (Cct::children) lists each parent's
+///    children exactly once, in strictly increasing (kind, sym) order,
+///    and agrees with the parent links;
+///  * per node, inclusive metrics >= exclusive metrics, a parent's
+///    inclusive >= each child's inclusive, and the root's inclusive
+///    equals the tree total;
+///  * every kVarStatic sym is a valid string-table reference;
+///  * (optional) serialization round-trips byte-identically.
+CheckResult check_profile(const core::ThreadProfile& p,
+                          const CheckOptions& opts = {});
+
+/// Structural equality of two profiles up to node-id assignment and
+/// string-table numbering: trees compare by (kind, resolved symbol)
+/// where kVarStatic symbols resolve through each profile's own string
+/// table. This is the equivalence class merges preserve under
+/// reordering. On mismatch, `why` (if non-null) names the first
+/// divergence.
+bool canonical_equal(const core::ThreadProfile& a,
+                     const core::ThreadProfile& b,
+                     std::string* why = nullptr);
+
+/// Merge algebra over the first (up to) three profiles: commutativity
+/// (a+b ~ b+a), associativity ((a+b)+c ~ a+(b+c)) under canonical
+/// equality, and exact metric-total conservation.
+CheckResult check_merge_algebra(
+    const std::vector<core::ThreadProfile>& profiles);
+
+}  // namespace dcprof::verify

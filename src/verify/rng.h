@@ -1,0 +1,41 @@
+// Seeded deterministic RNG shared by every randomized verification
+// component (trace generator, .dcpf mutator, property tests). One rule
+// makes failures reproducible: anything random derives from a single
+// uint64 seed, and every failure report prints that seed so
+// `dcprof_verify --replay <seed>` re-runs the exact case.
+#pragma once
+
+#include <cstdint>
+
+namespace dcprof::verify {
+
+/// The LCG the repo's property tests have always used (splittable via
+/// `fork`), remembering its construction seed for failure reports.
+struct Rng {
+  explicit Rng(std::uint64_t s) : seed(s), state(s * 2654435761ull + 1) {}
+
+  std::uint64_t next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  }
+  /// Uniform-ish draw in [0, bound); bound must be nonzero.
+  std::uint64_t next(std::uint64_t bound) { return next() % bound; }
+  /// True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    return next(den) < num;
+  }
+  /// A decorrelated child seed (for per-case sub-generators): mixes the
+  /// lane index through splitmix64 so adjacent lanes share no structure.
+  static std::uint64_t mix(std::uint64_t seed, std::uint64_t lane) {
+    std::uint64_t z = seed + (lane + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  Rng fork(std::uint64_t lane) const { return Rng(mix(seed, lane)); }
+
+  std::uint64_t seed;   ///< the construction seed (for failure reports)
+  std::uint64_t state;
+};
+
+}  // namespace dcprof::verify

@@ -1,0 +1,45 @@
+// Deterministic trace fuzzing of the full profiler: a seeded generator
+// produces random traces of frame pushes/pops, allocations, frees and PMU
+// samples over a team of virtual threads, then replays the *same* trace
+// three times against
+//   * the production fast path (memoized attribution, MRU var map,
+//     memoized unwind),
+//   * the production slow path (every optimization toggled off), and
+//   * the reference oracle (verify/oracle.h),
+// and requires all three to produce byte-identical serialized profiles.
+// Each run also passes the well-formedness checker, the merge-algebra
+// checker, and a reduce-vs-oracle-reduce byte comparison. Everything
+// derives from one seed, so any failure replays with
+// `dcprof_verify --replay <seed>`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcprof::verify {
+
+/// Outcome of one seeded trace differential.
+struct TraceReport {
+  std::uint64_t seed = 0;
+  std::vector<std::string> failures;  ///< empty == all comparisons passed
+  // Trace shape, for reporting.
+  std::size_t threads = 0;
+  std::size_t ops = 0;
+  std::size_t samples = 0;   ///< PMU samples delivered
+  std::size_t profiles = 0;  ///< per-thread profiles produced
+
+  bool ok() const { return failures.empty(); }
+  std::string summary() const;
+};
+
+/// Generates the trace for `seed` and runs the three-way differential.
+TraceReport run_trace_differential(std::uint64_t seed);
+
+/// Runs `count` trace differentials with case seeds derived from
+/// `base_seed`; returns the failing reports (empty == success). Failing
+/// case seeds are what `--replay` takes.
+std::vector<TraceReport> run_trace_campaign(std::uint64_t base_seed,
+                                            std::size_t count);
+
+}  // namespace dcprof::verify

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# End-to-end CLI smoke test: dcprof_measure writes a measurement
+# directory, dcprof_analyze consumes it. Asserts exit codes, that the
+# measurement directory has profiles, and that --metrics-json wrote
+# non-empty JSON from both tools.
+#
+#   cli_smoke.sh <dcprof_measure> <dcprof_analyze>
+set -u
+
+measure=$1
+analyze=$2
+
+tmpdir=$(mktemp -d) || exit 1
+trap 'rm -rf "$tmpdir"' EXIT
+
+fail() {
+  echo "cli_smoke FAIL: $*" >&2
+  exit 1
+}
+
+"$measure" streamcluster "$tmpdir/meas" --threads 4 --period 256 \
+    --metrics-json "$tmpdir/measure-metrics.json" \
+    || fail "dcprof_measure exited $?"
+
+ls "$tmpdir/meas"/*.dcpf >/dev/null 2>&1 \
+    || fail "no .dcpf files in measurement dir"
+
+"$analyze" "$tmpdir/meas" --overhead \
+    --metrics-json "$tmpdir/analyze-metrics.json" \
+    > "$tmpdir/analyze.out" \
+    || fail "dcprof_analyze exited $?"
+
+[ -s "$tmpdir/analyze.out" ] || fail "dcprof_analyze printed nothing"
+
+for json in "$tmpdir/measure-metrics.json" "$tmpdir/analyze-metrics.json"; do
+  [ -s "$json" ] || fail "$(basename "$json") missing or empty"
+  head -c1 "$json" | grep -q '{' || fail "$(basename "$json") is not JSON"
+done
+
+echo "cli_smoke OK"

@@ -1,0 +1,28 @@
+// Shared deterministic RNG for randomized tests.
+//
+// Tests draw all randomness from `dcprof::test::Rng`, the same
+// generator the verification subsystem uses, so a failing randomized
+// test prints a seed that can be replayed standalone:
+//
+//   dcprof_verify --replay <seed>
+//
+// or re-run in gtest by filtering to the failing parameterized case.
+// Use SCOPED_TRACE(seed_note(seed)) so assertion failures carry the
+// seed in their output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "verify/rng.h"
+
+namespace dcprof::test {
+
+using verify::Rng;
+
+inline std::string seed_note(std::uint64_t seed) {
+  return "seed " + std::to_string(seed) +
+         " (replay: dcprof_verify --replay " + std::to_string(seed) + ")";
+}
+
+}  // namespace dcprof::test

@@ -8,6 +8,7 @@
 #include "core/profile.h"
 #include "rt/team.h"
 #include "sim/memory_system.h"
+#include "support/rng.h"
 #include "workloads/harness.h"
 
 namespace dcprof {
@@ -20,16 +21,10 @@ using core::NodeKind;
 using core::StorageClass;
 using core::ThreadProfile;
 
-struct Rng {
-  std::uint64_t state;
-  std::uint64_t next() {
-    state = state * 6364136223846793005ull + 1442695040888963407ull;
-    return state >> 33;
-  }
-};
+using test::Rng;
 
 ThreadProfile random_profile(std::uint64_t seed) {
-  Rng rng{seed * 2654435761ull + 1};
+  Rng rng(seed);
   ThreadProfile p;
   p.rank = static_cast<std::int32_t>(rng.next() % 8);
   p.tid = static_cast<std::int32_t>(rng.next() % 64);
@@ -61,6 +56,7 @@ ThreadProfile random_profile(std::uint64_t seed) {
 class ProfileFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(ProfileFuzz, SerializationRoundTripIsExact) {
+  SCOPED_TRACE(test::seed_note(static_cast<std::uint64_t>(GetParam())));
   const ThreadProfile original =
       random_profile(static_cast<std::uint64_t>(GetParam()));
   std::stringstream buffer;
@@ -83,6 +79,7 @@ TEST_P(ProfileFuzz, SerializationRoundTripIsExact) {
 
 TEST_P(ProfileFuzz, MergePreservesMetricTotals) {
   const int seed = GetParam();
+  SCOPED_TRACE(test::seed_note(static_cast<std::uint64_t>(seed)));
   std::vector<ThreadProfile> inputs;
   MetricVec expected[core::kNumStorageClasses];
   for (int i = 0; i < 9; ++i) {
