@@ -131,10 +131,10 @@ int main() {
 
   std::printf("Ablation A2c: streaming pipeline vs. load-all analysis\n\n");
   // The same replicated profile set, written to disk and analyzed two
-  // ways: read_measurement_dir + reduce materializes every profile
-  // before the first merge (peak residency = N), while the Analyzer
-  // streams profiles into per-worker partials (peak residency bounded
-  // by the worker count).
+  // ways: a load-all read (every profile materialized via
+  // list_profile_files + read_profile_file, then reduce; peak residency
+  // = N) versus the Analyzer, which streams profiles into per-worker
+  // partials (peak residency bounded by the worker count).
   namespace fs = std::filesystem;
   const fs::path dir = fs::temp_directory_path() / "dcprof-ablation-a2c";
   analysis::Table stream_table({"profiles", "mode", "wall (ms)",
@@ -155,9 +155,12 @@ int main() {
                                 binfmt::StructureData::capture(no_modules));
 
     const auto t_load = std::chrono::steady_clock::now();
-    core::Measurement m = core::read_measurement_dir(dir);
-    const std::size_t loaded = m.profiles.size();
-    core::ThreadProfile all = analysis::reduce(std::move(m.profiles));
+    std::vector<core::ThreadProfile> loaded_profiles;
+    for (const auto& path : core::list_profile_files(dir)) {
+      loaded_profiles.push_back(core::read_profile_file(path));
+    }
+    const std::size_t loaded = loaded_profiles.size();
+    core::ThreadProfile all = analysis::reduce(std::move(loaded_profiles));
     const double load_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - t_load)
                                .count();

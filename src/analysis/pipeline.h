@@ -14,7 +14,8 @@
 // directory — which is what lets analysis scale to rank*thread counts
 // whose profiles do not fit in memory (the paper's parallel reduction,
 // recast as an out-of-core fold). The merged output is byte-identical
-// to `reduce(read_measurement_dir(dir).profiles)`.
+// to `reduce` over every profile read via `core::list_profile_files` +
+// `core::read_profile_file` in listed order.
 #pragma once
 
 #include <cstdint>
@@ -145,6 +146,51 @@ class Analyzer {
     /// Called after each profile file is folded during the stream stage.
     /// Invoked from worker threads — must be thread-safe.
     std::function<void(std::size_t done, std::size_t total)> progress;
+
+    // --- Fluent builder -------------------------------------------------
+    // Each setter mutates in place and returns *this so call sites can
+    // chain: `Analyzer(Options{}.with_workers(4).with_top_n(20))`.
+    // Options stays an aggregate (no user-declared constructors), so
+    // designated/aggregate initialization keeps working unchanged.
+    Options& with_workers(int n) {
+      workers = n;
+      return *this;
+    }
+    Options& with_top_n(std::size_t n) {
+      top_n = n;
+      return *this;
+    }
+    Options& with_sort_metric(core::Metric m) {
+      sort_metric = m;
+      return *this;
+    }
+    /// Replaces the view bitmask wholesale.
+    Options& with_views(unsigned mask) {
+      views = mask;
+      return *this;
+    }
+    /// Adds views to the current bitmask (e.g. `add_views(kViewAdvice)`).
+    Options& add_views(unsigned mask) {
+      views |= mask;
+      return *this;
+    }
+    Options& with_policy(CorruptPolicy p) {
+      corrupt_policy = p;
+      return *this;
+    }
+    Options& with_salvage(bool on = true) {
+      salvage = on;
+      return *this;
+    }
+    Options& with_advisor(const AdvisorOptions& a) {
+      advisor = a;
+      return *this;
+    }
+    Options& with_progress(
+        std::function<void(std::size_t done, std::size_t total)> cb) {
+      progress = std::move(cb);
+      return *this;
+    }
   };
 
   Analyzer() = default;

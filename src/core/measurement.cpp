@@ -182,18 +182,4 @@ binfmt::StructureData read_structure_file(const fs::path& dir) {
   }
 }
 
-Measurement read_measurement_dir(const fs::path& dir) {
-  Measurement m;
-  m.structure = read_structure_file(dir);
-  m.total_bytes += fs::file_size(dir / "structure.dcst");
-  for (const auto& path : list_profile_files(dir)) {
-    m.profiles.push_back(read_profile_file(path));
-    m.total_bytes += fs::file_size(path);
-  }
-  if (m.profiles.empty()) {
-    throw std::runtime_error("no profiles in " + dir.string());
-  }
-  return m;
-}
-
 }  // namespace dcprof::core

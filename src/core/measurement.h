@@ -22,14 +22,6 @@
 
 namespace dcprof::core {
 
-/// Everything a post-mortem analysis needs.
-struct Measurement {
-  std::vector<ThreadProfile> profiles;
-  binfmt::StructureData structure;
-
-  std::uint64_t total_bytes = 0;  ///< on-disk size (set when read/written)
-};
-
 /// Name of the subdirectory the analyzer moves corrupt profiles into.
 inline constexpr const char* kQuarantineDirName = "quarantine";
 
@@ -46,10 +38,11 @@ std::uint64_t write_measurement_dir(const std::filesystem::path& dir,
                                     const std::vector<ThreadProfile>& profiles,
                                     const binfmt::StructureData& structure);
 
-// --- Streaming-friendly primitives -----------------------------------
-// Callers that must bound memory (the analysis pipeline) list the files
-// once and read them one at a time; the all-at-once Measurement struct
-// below is a convenience wrapper over these.
+// --- Streaming primitives --------------------------------------------
+// The supported read surface: list the files once, then read them one
+// at a time (bounding memory to one profile per reader). Callers that
+// want everything at once loop over `list_profile_files` themselves;
+// the all-at-once `read_measurement_dir` wrapper is gone.
 
 /// The `.dcpf` profile files in `dir`, sorted by path so every consumer
 /// sees the same deterministic order. Skips anything that is not a
@@ -81,12 +74,5 @@ std::filesystem::path quarantine_profile_file(
 /// Reads `dir`'s structure file. Throws std::runtime_error naming the
 /// directory if the file is missing or unreadable.
 binfmt::StructureData read_structure_file(const std::filesystem::path& dir);
-
-/// Loads a measurement directory all at once. Compatibility entry point
-/// (prefer analysis::Analyzer, which streams): implemented on top of
-/// `list_profile_files` + `read_profile_file` + `read_structure_file`.
-/// Throws std::runtime_error if the directory has no structure file or
-/// no profiles.
-Measurement read_measurement_dir(const std::filesystem::path& dir);
 
 }  // namespace dcprof::core

@@ -103,12 +103,11 @@ std::uint64_t Histogram::bucket_limit(std::size_t i) {
 }
 
 void Histogram::record(std::uint64_t v) {
-  auto& b = cells_->buckets[bucket_of(v)];
-  b.store(b.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
-  cells_->sum.store(cells_->sum.load(std::memory_order_relaxed) + v,
-                    std::memory_order_relaxed);
-  cells_->count.store(cells_->count.load(std::memory_order_relaxed) + 1,
-                      std::memory_order_relaxed);
+  // Relaxed RMWs: exact under concurrent writers (see the hot-path
+  // contract in registry.h).
+  cells_->buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  cells_->sum.fetch_add(v, std::memory_order_relaxed);
+  cells_->count.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::string SnapshotEntry::key() const { return series_key(name, labels); }

@@ -3,11 +3,14 @@
 // Table 1 overhead story, made continuously observable).
 //
 // Hot-path contract:
-//  * Counter and Histogram handles are SINGLE-WRITER: each handle owns a
-//    private cache-line-padded cell in the registry, so `add`/`record`
-//    compile to a plain load+add+store (relaxed atomics, no lock prefix,
-//    no contention). Threads wanting the same series each create their
-//    own handle; snapshots sum across cells.
+//  * Counter and Histogram handles may be written from multiple threads:
+//    `add`/`record` are relaxed atomic RMWs (a lock-prefixed add, no
+//    ordering). Each handle still owns a private cache-line-padded cell,
+//    so the RMW is uncontended unless a handle is deliberately shared;
+//    threads wanting a hot same-series counter should each create their
+//    own handle (snapshots sum across cells) — the profiler's deferred
+//    ingest goes further and tallies per-thread in plain memory, folding
+//    into its cells at quiescent points.
 //  * Gauge handles may be shared across threads: `add`/`set` use real
 //    atomic RMW (they sit on cold or per-batch paths, e.g. pipeline
 //    queue occupancy), and each cell tracks its high-water mark.
@@ -48,7 +51,7 @@ enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
 
 namespace detail {
 
-/// One single-writer (counter/histogram) or shared (gauge) value slot.
+/// One counter/histogram/gauge value slot (multi-writer safe).
 /// Padded so two handles never false-share.
 struct alignas(64) Cell {
   std::atomic<std::uint64_t> value{0};
@@ -70,7 +73,7 @@ struct Series;
 
 }  // namespace detail
 
-/// Monotonic counter handle (single-writer; move-only).
+/// Monotonic counter handle (multi-writer safe; move-only).
 class Counter {
  public:
   Counter();  ///< bound to a process-wide scratch cell (writes discarded)
@@ -80,10 +83,9 @@ class Counter {
   Counter& operator=(const Counter&) = delete;
 
   void add(std::uint64_t n) {
-    // Single-writer: plain add, no RMW. Readers see a torn-free value
-    // via the relaxed atomic.
-    cell_->value.store(cell_->value.load(std::memory_order_relaxed) + n,
-                       std::memory_order_relaxed);
+    // Relaxed RMW: exact under concurrent writers (drain-time bumps from
+    // worker threads), uncontended-cheap when the handle stays private.
+    cell_->value.fetch_add(n, std::memory_order_relaxed);
   }
   void inc() { add(1); }
   std::uint64_t value() const {
@@ -137,7 +139,7 @@ class Gauge {
   detail::Cell* cell_;
 };
 
-/// Power-of-two-bucket histogram handle (single-writer; move-only).
+/// Power-of-two-bucket histogram handle (multi-writer safe; move-only).
 class Histogram {
  public:
   Histogram();

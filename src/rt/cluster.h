@@ -39,7 +39,7 @@ class Cluster;
 class Rank {
  public:
   Rank(Cluster& cluster, int rank, const sim::MachineConfig& cfg,
-       int threads);
+       int threads, ExecConfig exec = {});
 
   int id() const { return rank_; }
   int nranks() const;
@@ -69,7 +69,10 @@ class Rank {
 
 class Cluster {
  public:
-  Cluster(int nranks, const sim::MachineConfig& cfg, int threads_per_rank);
+  /// `exec` selects each rank team's execution backend (ranks already run
+  /// on real host threads; this additionally threads the per-rank teams).
+  Cluster(int nranks, const sim::MachineConfig& cfg, int threads_per_rank,
+          ExecConfig exec = {});
   ~Cluster();
 
   int nranks() const { return static_cast<int>(ranks_.size()); }

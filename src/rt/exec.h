@@ -1,0 +1,93 @@
+// Execution backends: how a Team's parallel constructs actually run.
+//
+// The scheduling *policy* — deterministic round-robin on the calling host
+// thread vs. real std::threads — is chosen via ExecConfig instead of
+// being baked into Team::parallel_for. Both backends execute the exact
+// same per-thread chunks in the exact same global order, so the simulated
+// machine (shared L3 content, DRAM queue backlogs, first-touch page
+// homes) evolves identically and profiles are canonically equal between
+// them: the deterministic backend is the threaded backend's verification
+// twin.
+//
+// ThreadedBackend keeps that global order on real threads with a turn
+// token: an atomic slot counter hands machine access to one worker at a
+// time in round-robin chunk order (release store when passing, acquire
+// load when taking, so all simulation state is chained happens-before and
+// needs no locks). The *win* is what happens outside a worker's turn:
+// after passing the token it drains its own pending-sample buffer —
+// expensive CCT attribution overlaps across workers while another thread
+// simulates (see ExecObserver and core::Profiler's deferred ingest).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dcprof::rt {
+
+class Team;
+class ThreadCtx;
+
+enum class BackendKind : std::uint8_t {
+  kDeterministic,  ///< round-robin virtual threads on the calling thread
+  kThreaded,       ///< one std::thread per team thread, turn-serialized
+};
+
+const char* to_string(BackendKind kind);
+/// Parses "det" / "threads"; nullopt on anything else.
+std::optional<BackendKind> parse_backend(std::string_view name);
+
+/// How a Team executes its parallel constructs.
+struct ExecConfig {
+  BackendKind backend = BackendKind::kDeterministic;
+};
+
+/// Non-owning type-erased loop body: `fn(obj, ctx, i)` runs iteration i.
+/// (A function-ref, not std::function — no allocation, the body outlives
+/// the call by construction.)
+struct ForBodyRef {
+  void* obj = nullptr;
+  void (*fn)(void*, ThreadCtx&, std::int64_t) = nullptr;
+  void operator()(ThreadCtx& ctx, std::int64_t i) const { fn(obj, ctx, i); }
+};
+
+/// Non-owning type-erased parallel-region body: `fn(obj, ctx)`.
+struct RegionBodyRef {
+  void* obj = nullptr;
+  void (*fn)(void*, ThreadCtx&) = nullptr;
+  void operator()(ThreadCtx& ctx) const { fn(obj, ctx); }
+};
+
+/// Hooks a sample consumer (the profiler) implements to learn about safe
+/// drain points in a *concurrent* backend. Never invoked by the
+/// deterministic backend (samples are attributed synchronously there).
+class ExecObserver {
+ public:
+  virtual ~ExecObserver() = default;
+  /// Called on the worker's own host thread right after it passed the
+  /// turn token: the thread is outside the serialized section, so
+  /// draining ITS OWN per-thread sample buffer overlaps with the next
+  /// worker's simulation.
+  virtual void on_slice_retired(ThreadCtx& ctx) = 0;
+  /// Called on the controlling thread once all workers are parked (end
+  /// of a parallel construct, or a single/barrier epoch boundary): flush
+  /// every remaining buffer and consume the handoff rings.
+  virtual void on_quiescent(Team& team) = 0;
+};
+
+class ExecBackend {
+ public:
+  virtual ~ExecBackend() = default;
+  /// True when team threads run on real host threads (samples must be
+  /// buffered per thread and drained at the observer's hook points).
+  virtual bool concurrent() const = 0;
+  virtual void run_for(Team& team, std::int64_t begin, std::int64_t end,
+                       std::int64_t chunk, ForBodyRef body) = 0;
+  virtual void run_region(Team& team, RegionBodyRef body) = 0;
+};
+
+std::unique_ptr<ExecBackend> make_backend(const ExecConfig& cfg);
+
+}  // namespace dcprof::rt

@@ -1,0 +1,67 @@
+// Bounded lock-free single-producer/single-consumer ring. Used for the
+// per-thread sample-flush handoff between a workload thread draining its
+// own sample buffer and the profiler's consumer: the producer never
+// blocks (a full ring is reported to the caller, who coalesces), and the
+// consumer never takes a lock.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace dcprof::rt {
+
+/// Classic two-index SPSC ring over a power-of-two slot array. `push` is
+/// safe from exactly one producer thread, `pop` from exactly one consumer
+/// thread, concurrently. The release store on each index paired with the
+/// acquire load on the other side is what publishes slot contents.
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false (without writing) when the ring is full.
+  bool push(const T& v) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) == slots_.size()) {
+      return false;
+    }
+    slots_[t & mask_] = v;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool pop(T& out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == h) return false;
+    out = slots_[h & mask_];
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (racy by nature; a false "empty" just
+  /// means the producer's push was not yet visible).
+  bool empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::size_t mask_ = 0;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+};
+
+}  // namespace dcprof::rt

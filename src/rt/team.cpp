@@ -4,7 +4,8 @@
 
 namespace dcprof::rt {
 
-Team::Team(sim::Machine& machine, int nthreads) {
+Team::Team(sim::Machine& machine, int nthreads, ExecConfig exec)
+    : exec_cfg_(exec), exec_(make_backend(exec)) {
   if (nthreads <= 0) throw std::invalid_argument("team needs >= 1 thread");
   const int cores = machine.config().num_cores();
   threads_.reserve(static_cast<std::size_t>(nthreads));
@@ -13,6 +14,10 @@ Team::Team(sim::Machine& machine, int nthreads) {
         std::make_unique<ThreadCtx>(machine, t, t % cores));
   }
 }
+
+// Out of line so ExecBackend's (worker pool) destructor runs with the
+// Team definition complete; the pool joins before threads_ dies.
+Team::~Team() { exec_.reset(); }
 
 void Team::barrier() {
   Cycles max = 0;

@@ -1,13 +1,20 @@
-// An OpenMP-like team of virtual threads with deterministic round-robin
-// interleaved execution of parallel loops. Interleaving at chunk
-// granularity is what lets the (single real thread) simulation reproduce
-// shared-L3 and DRAM-controller contention between worker threads.
+// An OpenMP-like team of virtual threads. Parallel constructs execute
+// through a pluggable ExecBackend (rt/exec.h): the default deterministic
+// backend interleaves one chunk per thread per round on the calling host
+// thread — which is what lets the simulation reproduce shared-L3 and
+// DRAM-controller contention between worker threads — while the threaded
+// backend runs each team thread on a real std::thread, turn-serialized
+// into the identical global chunk order (so both backends produce
+// identical simulation results; the deterministic one is the threaded
+// one's verification twin).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
+#include "rt/exec.h"
 #include "rt/thread.h"
 #include "sim/machine.h"
 
@@ -17,11 +24,24 @@ class Team {
  public:
   /// Creates `nthreads` virtual threads on `machine`, assigned to cores
   /// round-robin (SMT-style oversubscription allowed, as on POWER7).
-  Team(sim::Machine& machine, int nthreads);
+  /// `exec` picks the execution backend (deterministic by default).
+  Team(sim::Machine& machine, int nthreads, ExecConfig exec = {});
+  ~Team();
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
 
   int size() const { return static_cast<int>(threads_.size()); }
   ThreadCtx& thread(int t) { return *threads_[static_cast<std::size_t>(t)]; }
   ThreadCtx& master() { return *threads_[0]; }
+
+  const ExecConfig& exec_config() const { return exec_cfg_; }
+  /// True when team threads run on real host threads.
+  bool concurrent() const { return exec_->concurrent(); }
+
+  /// At most one observer (the profiler's deferred-ingest hooks); only
+  /// consulted by concurrent backends. Set before running constructs.
+  void set_exec_observer(ExecObserver* observer) { observer_ = observer; }
+  ExecObserver* exec_observer() const { return observer_; }
 
   /// Synchronizes all thread clocks to the team maximum (a barrier).
   void barrier();
@@ -36,37 +56,12 @@ class Team {
   template <typename Body>
   void parallel_for(std::int64_t begin, std::int64_t end, Body&& body,
                     std::int64_t chunk = 16) {
-    barrier();
-    const std::int64_t len = end - begin;
-    if (len <= 0) return;
-    const auto nt = static_cast<std::int64_t>(threads_.size());
-    const std::int64_t per = (len + nt - 1) / nt;
-    struct Range {
-      std::int64_t next;
-      std::int64_t end;
-    };
-    std::vector<Range> ranges;
-    ranges.reserve(static_cast<std::size_t>(nt));
-    for (std::int64_t t = 0; t < nt; ++t) {
-      const std::int64_t lo = begin + t * per;
-      const std::int64_t hi = lo + per < end ? lo + per : end;
-      ranges.push_back(Range{lo, hi > lo ? hi : lo});
-    }
-    bool any = true;
-    while (any) {
-      any = false;
-      for (std::int64_t t = 0; t < nt; ++t) {
-        auto& r = ranges[static_cast<std::size_t>(t)];
-        if (r.next >= r.end) continue;
-        any = true;
-        ThreadCtx& ctx = *threads_[static_cast<std::size_t>(t)];
-        const std::int64_t stop =
-            r.next + chunk < r.end ? r.next + chunk : r.end;
-        for (std::int64_t i = r.next; i < stop; ++i) body(ctx, i);
-        r.next = stop;
-      }
-    }
-    barrier();
+    using B = std::remove_reference_t<Body>;
+    ForBodyRef ref{const_cast<void*>(static_cast<const void*>(&body)),
+                   [](void* obj, ThreadCtx& ctx, std::int64_t i) {
+                     (*static_cast<B*>(obj))(ctx, i);
+                   }};
+    exec_->run_for(*this, begin, end, chunk, ref);
   }
 
   /// Runs `body(ThreadCtx&)` once per thread (like an OpenMP parallel
@@ -74,22 +69,39 @@ class Team {
   /// completion in tid order, then barrier.
   template <typename Body>
   void parallel_region(Body&& body) {
-    barrier();
-    for (auto& t : threads_) body(*t);
-    barrier();
+    using B = std::remove_reference_t<Body>;
+    RegionBodyRef ref{const_cast<void*>(static_cast<const void*>(&body)),
+                      [](void* obj, ThreadCtx& ctx) {
+                        (*static_cast<B*>(obj))(ctx);
+                      }};
+    exec_->run_region(*this, ref);
   }
 
   /// Runs `body` on the master thread only (like `#pragma omp master`
-  /// followed by a barrier).
+  /// followed by a barrier). An epoch boundary for deferred ingest: the
+  /// observer's quiescent hook fires so master-side samples flush.
   template <typename Body>
   void single(Body&& body) {
     barrier();
     body(master());
+    quiesce();
     barrier();
+  }
+
+  /// Fires the observer's quiescent hook when a concurrent backend is
+  /// active (workers are parked between constructs, so the calling
+  /// thread may flush every per-thread buffer). No-op otherwise.
+  void quiesce() {
+    if (observer_ != nullptr && exec_->concurrent()) {
+      observer_->on_quiescent(*this);
+    }
   }
 
  private:
   std::vector<std::unique_ptr<ThreadCtx>> threads_;
+  ExecConfig exec_cfg_;
+  std::unique_ptr<ExecBackend> exec_;
+  ExecObserver* observer_ = nullptr;
 };
 
 /// RAII frame pushed on *every* team thread: models workers executing an

@@ -2,14 +2,17 @@
 
 namespace dcprof::sim {
 
-Machine::Machine(const MachineConfig& cfg) : cfg_(cfg), memory_(cfg) {}
+Machine::Machine(const MachineConfig& cfg)
+    : cfg_(cfg), memory_(cfg),
+      counts_(static_cast<std::size_t>(cfg.num_cores())) {}
 
 AccessResult Machine::access(ThreadId tid, CoreId core, Addr ip, Addr addr,
                              std::uint32_t size, bool is_store,
                              Cycles& clock) {
   const AccessResult result = memory_.access(core, addr, is_store, clock);
-  ++instructions_;
-  ++mem_accesses_;
+  CoreCounters& cc = counts_[static_cast<std::size_t>(core)];
+  ++cc.instructions;
+  ++cc.mem_accesses;
   const Cycles at = clock;
   clock += result.latency;
   if (observer_ != nullptr) {
@@ -21,11 +24,23 @@ AccessResult Machine::access(ThreadId tid, CoreId core, Addr ip, Addr addr,
 
 void Machine::compute(ThreadId tid, CoreId core, std::uint64_t instrs,
                       Addr ip, Cycles& clock) {
-  instructions_ += instrs;
+  counts_[static_cast<std::size_t>(core)].instructions += instrs;
   clock += instrs;
   if (observer_ != nullptr) {
     observer_->on_compute(tid, core, instrs, ip, clock);
   }
+}
+
+std::uint64_t Machine::instructions_retired() const {
+  std::uint64_t sum = 0;
+  for (const CoreCounters& cc : counts_) sum += cc.instructions;
+  return sum;
+}
+
+std::uint64_t Machine::memory_accesses() const {
+  std::uint64_t sum = 0;
+  for (const CoreCounters& cc : counts_) sum += cc.mem_accesses;
+  return sum;
 }
 
 }  // namespace dcprof::sim

@@ -1,10 +1,22 @@
 // The simulated machine: ties memory system + address space together and
 // publishes every executed instruction / memory access to an observer
 // (the PMU attaches here).
+//
+// Concurrency contract (the threaded rt backend): core-private state —
+// L1/L2/TLB/prefetcher and the per-core instruction/access shards below —
+// is safe for concurrent callers on *distinct* cores. Shared structures
+// (per-socket L3 content, DRAM controller queues, the first-touch page
+// table) are deliberately left unsynchronized: their *results* depend on
+// access order, so callers must serialize accesses into a deterministic
+// global order anyway (rt's turn token does this, with release/acquire
+// hand-off providing the happens-before chain). Shared telemetry counters
+// (LLC/DRAM level counts, DRAM queue totals) are atomic, so they stay
+// exact even across that hand-off.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "sim/address_space.h"
 #include "sim/config.h"
@@ -36,7 +48,8 @@ class Machine {
   AddressSpace& aspace() { return aspace_; }
   const AddressSpace& aspace() const { return aspace_; }
 
-  /// At most one observer (the PMU set); null detaches.
+  /// At most one observer (the PMU set); null detaches. Attach/detach at
+  /// quiescent points only (no constructs in flight).
   void set_observer(AccessObserver* observer) { observer_ = observer; }
   AccessObserver* observer() const { return observer_; }
 
@@ -50,16 +63,22 @@ class Machine {
   void compute(ThreadId tid, CoreId core, std::uint64_t instrs, Addr ip,
                Cycles& clock);
 
-  std::uint64_t instructions_retired() const { return instructions_; }
-  std::uint64_t memory_accesses() const { return mem_accesses_; }
+  std::uint64_t instructions_retired() const;
+  std::uint64_t memory_accesses() const;
 
  private:
+  /// Retirement counters sharded per core (cache-line padded) so
+  /// concurrent callers on distinct cores never contend or race.
+  struct alignas(64) CoreCounters {
+    std::uint64_t instructions = 0;
+    std::uint64_t mem_accesses = 0;
+  };
+
   MachineConfig cfg_;
   MemorySystem memory_;
   AddressSpace aspace_;
   AccessObserver* observer_ = nullptr;
-  std::uint64_t instructions_ = 0;
-  std::uint64_t mem_accesses_ = 0;
+  std::vector<CoreCounters> counts_;  // per core
 };
 
 }  // namespace dcprof::sim

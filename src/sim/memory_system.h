@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -30,9 +31,19 @@ class DramController {
  public:
   DramController(Cycles service, unsigned banks)
       : service_(service), banks_(banks) {}
+  /// Moves happen only during machine construction (vector growth),
+  /// before any concurrent access.
+  DramController(DramController&& o) noexcept
+      : service_(o.service_), banks_(o.banks_), backlog_(o.backlog_),
+        last_(o.last_),
+        accesses_(o.accesses_.load(std::memory_order_relaxed)),
+        total_wait_(o.total_wait_.load(std::memory_order_relaxed)) {}
 
   /// Serves one access issued at thread-local time `now`; returns the
-  /// queueing delay it observes.
+  /// queueing delay it observes. Queue state (backlog/last) is shared
+  /// across the node's cores and order-dependent, so callers serialize
+  /// accesses (rt's turn token); the shared counters are atomic so
+  /// readers on other threads always see exact totals.
   Cycles serve(Cycles now) {
     if (now > last_) {
       const Cycles drained = (now - last_) * banks_;
@@ -41,13 +52,17 @@ class DramController {
     }
     const Cycles wait = backlog_ / banks_;
     backlog_ += service_;
-    ++accesses_;
-    total_wait_ += wait;
+    accesses_.fetch_add(1, std::memory_order_relaxed);
+    total_wait_.fetch_add(wait, std::memory_order_relaxed);
     return wait;
   }
 
-  std::uint64_t accesses() const { return accesses_; }
-  Cycles total_wait() const { return total_wait_; }
+  std::uint64_t accesses() const {
+    return accesses_.load(std::memory_order_relaxed);
+  }
+  Cycles total_wait() const {
+    return total_wait_.load(std::memory_order_relaxed);
+  }
   Cycles backlog() const { return backlog_; }
 
  private:
@@ -55,8 +70,8 @@ class DramController {
   Cycles banks_;
   Cycles backlog_ = 0;  ///< queued work, in bank-cycles
   Cycles last_ = 0;     ///< latest access time seen
-  std::uint64_t accesses_ = 0;
-  Cycles total_wait_ = 0;
+  std::atomic<std::uint64_t> accesses_{0};
+  std::atomic<Cycles> total_wait_{0};
 };
 
 /// Per-core hardware stream prefetcher: tracks up to kStreams ascending

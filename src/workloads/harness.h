@@ -38,9 +38,14 @@ sim::MachineConfig rank_config();
 /// or attached to a cluster Rank (borrows them).
 class ProcessCtx {
  public:
+  /// Standalone process. `exec` picks the execution backend for the
+  /// owned team (deterministic round-robin by default; `kThreaded` runs
+  /// workload threads on real cores and flips the profiler into
+  /// deferred-ingest mode when profiling is enabled).
   ProcessCtx(const sim::MachineConfig& cfg, int threads,
-             const std::string& exe_name);
+             const std::string& exe_name, rt::ExecConfig exec = {});
   explicit ProcessCtx(rt::Rank& rank, const std::string& exe_name);
+  ~ProcessCtx();
 
   sim::Machine& machine() { return *machine_; }
   rt::Team& team() { return *team_; }

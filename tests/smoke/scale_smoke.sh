@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Sanity-checks BENCH_scale.json generation: runs the BM_ScaleThreads
+# suite at its tiniest settings (1 and 8 producers, one short
+# repetition), then asserts the JSON landed, parses, and contains the
+# agg_samples_per_sec counter for both thread counts. Keeps the scaling
+# benchmark and its JSON contract (which tools/run_bench.sh's >= 3x
+# speedup check consumes) from bit-rotting between perf-focused PRs.
+#
+#   scale_smoke.sh <scale_threads-binary>
+set -u
+
+bench=$1
+
+tmpdir=$(mktemp -d) || exit 1
+trap 'rm -rf "$tmpdir"' EXIT
+
+fail() {
+  echo "scale_smoke FAIL: $*" >&2
+  exit 1
+}
+
+out="$tmpdir/BENCH_scale.json"
+"$bench" "--benchmark_filter=BM_ScaleThreads/threads:(1|8)" \
+    --benchmark_min_time=0.01 \
+    --benchmark_out="$out" --benchmark_out_format=json \
+    || fail "scale_threads exited $?"
+
+[ -s "$out" ] || fail "BENCH_scale.json missing or empty"
+
+python3 - "$out" <<'EOF' || fail "BENCH_scale.json contract violated"
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+rates = {}
+for b in doc.get("benchmarks", []):
+    if "agg_samples_per_sec" in b:
+        rates[b["name"]] = b["agg_samples_per_sec"]
+for n in (1, 8):
+    name = f"BM_ScaleThreads/threads:{n}/real_time"
+    if rates.get(name, 0) <= 0:
+        sys.exit(f"missing or non-positive agg_samples_per_sec for {name}")
+print("scale json OK:", ", ".join(f"{k}={v:.3g}" for k, v in rates.items()))
+EOF
+
+echo "scale_smoke OK"

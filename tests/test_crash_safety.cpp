@@ -279,8 +279,11 @@ TEST(CrashSafety, InterruptedWriteOutIsInvisibleToAnalysis) {
   for (const auto& e : fs::directory_iterator(dir.path)) {
     EXPECT_NE(e.path().extension(), ".tmp") << e.path();
   }
-  const std::string expected = serialized(
-      reduce(std::move(core::read_measurement_dir(dir.path).profiles)));
+  std::vector<ThreadProfile> all;
+  for (const auto& f : core::list_profile_files(dir.path)) {
+    all.push_back(core::read_profile_file(f));
+  }
+  const std::string expected = serialized(reduce(std::move(all)));
 
   // Simulate a measurement process killed mid-write: the victim's bytes
   // only ever exist under the `.tmp` name, so the partial file never

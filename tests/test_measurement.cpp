@@ -29,6 +29,25 @@ struct TempDir {
 };
 int TempDir::counter = 0;
 
+/// Reads every profile in `dir` through the streaming surface, in the
+/// deterministic `list_profile_files` order.
+std::vector<ThreadProfile> read_all_profiles(const fs::path& dir) {
+  std::vector<ThreadProfile> out;
+  for (const auto& path : list_profile_files(dir)) {
+    out.push_back(read_profile_file(path));
+  }
+  return out;
+}
+
+/// Total on-disk bytes of the structure file plus every profile file.
+std::uint64_t measurement_bytes(const fs::path& dir) {
+  std::uint64_t total = fs::file_size(dir / "structure.dcst");
+  for (const auto& path : list_profile_files(dir)) {
+    total += fs::file_size(path);
+  }
+  return total;
+}
+
 /// Runs a tiny profiled kernel and writes its measurement directory.
 std::uint64_t produce_measurements(const fs::path& dir) {
   wl::ProcessCtx proc(wl::node_config(), 4, "app");
@@ -64,19 +83,20 @@ TEST(Measurement, WriteCreatesExpectedFiles) {
 TEST(Measurement, RoundTripPreservesSamplesAndSymbols) {
   TempDir dir;
   produce_measurements(dir.path);
-  Measurement m = read_measurement_dir(dir.path);
-  EXPECT_EQ(m.profiles.size(), 4u);
-  EXPECT_GT(m.total_bytes, 0u);
+  std::vector<ThreadProfile> profiles = read_all_profiles(dir.path);
+  const binfmt::StructureData structure = read_structure_file(dir.path);
+  EXPECT_EQ(profiles.size(), 4u);
+  EXPECT_GT(measurement_bytes(dir.path), 0u);
 
   std::uint64_t samples = 0;
-  for (const auto& p : m.profiles) samples += p.total_samples();
+  for (const auto& p : profiles) samples += p.total_samples();
   EXPECT_GT(samples, 50u);
 
   // The structure file resolves the IPs the profiles reference.
-  ThreadProfile merged = analysis::reduce(std::move(m.profiles));
+  ThreadProfile merged = analysis::reduce(std::move(profiles));
   analysis::AnalysisContext ctx;
-  ctx.modules = &m.structure;
-  ctx.alloc_names = &m.structure.alloc_names();
+  ctx.modules = &structure;
+  ctx.alloc_names = &structure.alloc_names();
   const auto vars =
       analysis::variable_table(merged, ctx, Metric::kSamples);
   ASSERT_FALSE(vars.empty());
@@ -84,11 +104,13 @@ TEST(Measurement, RoundTripPreservesSamplesAndSymbols) {
 }
 
 TEST(Measurement, MissingDirectoryThrows) {
-  EXPECT_THROW(read_measurement_dir("/nonexistent/dcprof-dir"),
+  EXPECT_THROW(list_profile_files("/nonexistent/dcprof-dir"),
+               std::exception);
+  EXPECT_THROW(read_structure_file("/nonexistent/dcprof-dir"),
                std::exception);
 }
 
-TEST(Measurement, DirectoryWithoutProfilesThrows) {
+TEST(Measurement, DirectoryWithoutProfilesListsEmpty) {
   TempDir dir;
   fs::create_directories(dir.path);
   {
@@ -97,17 +119,19 @@ TEST(Measurement, DirectoryWithoutProfilesThrows) {
     std::uint64_t bytes = write_measurement_dir(dir.path, {}, structure);
     EXPECT_GT(bytes, 0u);  // structure only
   }
-  EXPECT_THROW(read_measurement_dir(dir.path), std::runtime_error);
+  EXPECT_TRUE(list_profile_files(dir.path).empty());
+  EXPECT_NO_THROW(read_structure_file(dir.path));
 }
 
 TEST(Measurement, WriteIsIdempotentPerDirectory) {
   TempDir dir;
   produce_measurements(dir.path);
-  const Measurement first = read_measurement_dir(dir.path);
+  const std::vector<ThreadProfile> first = read_all_profiles(dir.path);
+  const std::uint64_t first_bytes = measurement_bytes(dir.path);
   produce_measurements(dir.path);  // overwrite with a fresh identical run
-  const Measurement second = read_measurement_dir(dir.path);
-  EXPECT_EQ(first.profiles.size(), second.profiles.size());
-  EXPECT_EQ(first.total_bytes, second.total_bytes);
+  const std::vector<ThreadProfile> second = read_all_profiles(dir.path);
+  EXPECT_EQ(first.size(), second.size());
+  EXPECT_EQ(first_bytes, measurement_bytes(dir.path));
 }
 
 }  // namespace

@@ -1,0 +1,325 @@
+// True-multicore measurement: the threaded ExecBackend must be an exact
+// stand-in for the deterministic round-robin twin. Covers
+//  * the SPSC handoff ring (exactly-once, in-order, under contention);
+//  * the profiler's deferred-ingest handoff (sequence continuity while a
+//    consumer polls concurrently with producing threads — the TSan
+//    stress target);
+//  * Team-level backend equivalence on raw execution state;
+//  * end-to-end backend equivalence on the case-study workloads:
+//    per-thread profiles byte-identical, merged profiles canonically
+//    equal (the ISSUE gate), checksums identical;
+//  * the ring-full / tiny-buffer fallback paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/merge.h"
+#include "core/profiler.h"
+#include "rt/exec.h"
+#include "rt/spsc.h"
+#include "rt/team.h"
+#include "verify/invariants.h"
+#include "workloads/amg.h"
+#include "workloads/harness.h"
+#include "workloads/lulesh.h"
+#include "workloads/streamcluster.h"
+
+namespace dcprof {
+namespace {
+
+using wl::node_config;
+using wl::ProcessCtx;
+
+constexpr int kThreads = 8;
+
+// ---------------------------------------------------------------- SPSC --
+
+TEST(SpscRing, ExactlyOnceInOrderUnderContention) {
+  rt::SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kN = 200'000;
+  std::uint64_t received = 0, sum = 0;
+  bool ordered = true;
+  std::thread consumer([&] {
+    std::uint64_t expect = 0, v = 0;
+    while (expect < kN) {
+      if (ring.pop(v)) {
+        if (v != expect) ordered = false;
+        ++expect;
+        ++received;
+        sum += v;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    while (!ring.push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(received, kN);
+  EXPECT_EQ(sum, kN * (kN - 1) / 2);
+}
+
+TEST(SpscRing, RejectsWhenFullRoundsCapacity) {
+  rt::SpscRing<int> ring(3);  // rounds up to 4
+  int out = 0;
+  EXPECT_FALSE(ring.pop(out));
+  int pushed = 0;
+  while (ring.push(pushed)) ++pushed;
+  EXPECT_EQ(pushed, 4);
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.push(99));  // slot freed
+}
+
+// ------------------------------------------------- handoff stress (TSan) --
+
+// Producers at max rate on real threads, a consumer polling the rings
+// concurrently: every sample must arrive exactly once, proven by the
+// per-thread sequence numbers (gaps == 0) and by the totals. Non-memory
+// samples keep classification off shared structures, so direct
+// handle_sample calls from worker threads are within the deferred-mode
+// contract (attribution state is all per-thread).
+TEST(DeferredIngest, HandoffLosesNothingUnderConcurrentPolling) {
+  sim::Machine machine(node_config());
+  rt::Team team(machine, kThreads);
+  binfmt::ModuleRegistry modules;
+  core::ProfilerConfig cfg;
+  cfg.ingest.buffer_capacity = 8;  // force many flushes
+  cfg.ingest.ring_capacity = 4;    // ...and ring pressure
+  core::Profiler prof(modules, cfg);
+  prof.enable_deferred_ingest();
+  prof.register_team(team);
+
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      rt::ThreadCtx& ctx = team.thread(t);
+      ctx.push_frame(0x1000 + static_cast<sim::Addr>(t));
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        pmu::Sample s;
+        s.tid = ctx.tid();
+        s.is_memory = false;
+        s.precise_ip = 0x2000 + (i % 7);
+        s.signal_ip = s.precise_ip;
+        prof.handle_sample(s);
+        if (i % 1024 == 0) prof.on_slice_retired(ctx);
+      }
+      prof.on_slice_retired(ctx);
+    });
+  }
+  std::thread consumer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      prof.poll_handoff();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& p : producers) p.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  prof.drain_ingest();  // final sweep: rings + carries + tallies
+
+  const auto hs = prof.handoff_stats();
+  EXPECT_EQ(hs.gaps, 0u);
+  EXPECT_EQ(hs.samples, kPerThread * kThreads);
+  EXPECT_GT(hs.flushes, 0u);
+  const auto stats = prof.stats();
+  EXPECT_EQ(stats.samples_handled, kPerThread * kThreads);
+  EXPECT_EQ(stats.nomem_samples, kPerThread * kThreads);
+  EXPECT_EQ(stats.samples_dropped, 0u);
+}
+
+// ------------------------------------------------ Team-level equivalence --
+
+TEST(ExecBackend, ParseAndNames) {
+  EXPECT_EQ(rt::parse_backend("det"), rt::BackendKind::kDeterministic);
+  EXPECT_EQ(rt::parse_backend("deterministic"),
+            rt::BackendKind::kDeterministic);
+  EXPECT_EQ(rt::parse_backend("threads"), rt::BackendKind::kThreaded);
+  EXPECT_EQ(rt::parse_backend("threaded"), rt::BackendKind::kThreaded);
+  EXPECT_FALSE(rt::parse_backend("gpu").has_value());
+  EXPECT_STREQ(rt::to_string(rt::BackendKind::kThreaded), "threads");
+}
+
+// Same accesses, same global order => same thread clocks, same machine
+// counters, regardless of backend.
+TEST(ExecBackend, TeamStateMatchesDeterministicTwin) {
+  const auto run = [](rt::BackendKind kind) {
+    sim::Machine machine(node_config());
+    rt::ExecConfig exec;
+    exec.backend = kind;
+    rt::Team team(machine, kThreads, exec);
+    rt::Allocator alloc(machine);
+    rt::SimArray<double> a = rt::SimArray<double>::malloc_in(
+        alloc, team.master(), 1 << 14, 0x42);
+    for (int rep = 0; rep < 3; ++rep) {
+      team.parallel_for(
+          0, 1 << 14,
+          [&](rt::ThreadCtx& t, std::int64_t i) {
+            const auto u = static_cast<std::uint64_t>(i);
+            a.set(t, u, a.get(t, u, 0x50) + 1.0, 0x51);
+          },
+          64);
+      team.parallel_region([&](rt::ThreadCtx& t) { t.compute(10, 0x99); });
+    }
+    std::vector<sim::Cycles> clocks;
+    for (int t = 0; t < team.size(); ++t) {
+      clocks.push_back(team.thread(t).clock());
+    }
+    return std::tuple{clocks, machine.instructions_retired(),
+                      machine.memory_accesses()};
+  };
+  EXPECT_EQ(run(rt::BackendKind::kDeterministic),
+            run(rt::BackendKind::kThreaded));
+}
+
+// Exceptions thrown inside a threaded parallel_for propagate to the
+// caller without deadlocking the turn chain.
+TEST(ExecBackend, ThreadedBackendPropagatesBodyExceptions) {
+  sim::Machine machine(node_config());
+  rt::ExecConfig exec;
+  exec.backend = rt::BackendKind::kThreaded;
+  rt::Team team(machine, 4, exec);
+  EXPECT_THROW(
+      team.parallel_for(0, 1000,
+                        [&](rt::ThreadCtx&, std::int64_t i) {
+                          if (i == 500) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool is still usable afterwards.
+  std::atomic<std::int64_t> n{0};
+  team.parallel_for(0, 100, [&](rt::ThreadCtx&, std::int64_t) { ++n; });
+  EXPECT_EQ(n.load(), 100);
+}
+
+// -------------------------------------------- workload-level equivalence --
+
+struct BackendRun {
+  std::vector<std::string> bytes;  // serialized per-thread profiles
+  core::ThreadProfile merged;
+  core::Profiler::HandoffStats handoff;
+  double checksum = 0;
+};
+
+template <typename Body>
+BackendRun run_backend(rt::BackendKind kind, const std::string& exe,
+                       Body&& body, core::ProfilerConfig pcfg = {}) {
+  rt::ExecConfig exec;
+  exec.backend = kind;
+  ProcessCtx proc(node_config(), kThreads, exe, exec);
+  proc.enable_profiling(wl::ibs_config(512), pcfg);
+  BackendRun out;
+  out.checksum = body(proc);
+  auto profiles = proc.take_profiles();
+  out.handoff = proc.profiler()->handoff_stats();
+  for (auto& p : profiles) {
+    std::ostringstream ss;
+    p.write(ss);
+    out.bytes.push_back(std::move(ss).str());
+  }
+  out.merged = analysis::reduce(std::move(profiles));
+  return out;
+}
+
+template <typename Body>
+void expect_backend_equivalence(const std::string& exe, Body&& body,
+                                core::ProfilerConfig pcfg = {}) {
+  const BackendRun det =
+      run_backend(rt::BackendKind::kDeterministic, exe, body, pcfg);
+  const BackendRun thr =
+      run_backend(rt::BackendKind::kThreaded, exe, body, pcfg);
+  EXPECT_EQ(det.checksum, thr.checksum);
+  EXPECT_EQ(thr.handoff.gaps, 0u);
+  EXPECT_GT(thr.handoff.samples, 0u);
+  // Stronger than the gate: each thread's profile is byte-identical.
+  ASSERT_EQ(det.bytes.size(), thr.bytes.size());
+  for (std::size_t i = 0; i < det.bytes.size(); ++i) {
+    EXPECT_EQ(det.bytes[i], thr.bytes[i]) << "thread profile " << i;
+  }
+  // The ISSUE gate: merged profiles canonically equal.
+  std::string why;
+  EXPECT_TRUE(verify::canonical_equal(det.merged, thr.merged, &why)) << why;
+}
+
+wl::AmgParams small_amg() {
+  wl::AmgParams prm;
+  prm.rows = 20'000;
+  prm.iters = 2;
+  prm.small_allocs = 100;
+  prm.workspace_doubles = 200'000;
+  prm.symbolic_cycles_per_row = 200;
+  return prm;
+}
+
+TEST(BackendEquivalence, Amg) {
+  expect_backend_equivalence("amg", [](ProcessCtx& proc) {
+    wl::Amg amg(proc, small_amg());
+    return amg.run().checksum;
+  });
+}
+
+TEST(BackendEquivalence, Lulesh) {
+  wl::LuleshParams prm;
+  prm.nelem = 8'000;
+  prm.iters = 2;
+  expect_backend_equivalence("lulesh", [prm](ProcessCtx& proc) {
+    wl::Lulesh lulesh(proc, prm);
+    return lulesh.run().checksum;
+  });
+}
+
+TEST(BackendEquivalence, Streamcluster) {
+  wl::StreamclusterParams prm;
+  prm.npoints = 8'000;
+  prm.dim = 8;
+  prm.iters = 2;
+  expect_backend_equivalence("streamcluster", [prm](ProcessCtx& proc) {
+    wl::Streamcluster sc(proc, prm);
+    return sc.run().checksum;
+  });
+}
+
+// Tiny buffers force mid-turn flushes and ring-full carries; the output
+// must not change (only the overlap does).
+TEST(BackendEquivalence, SurvivesTinyIngestBuffers) {
+  core::ProfilerConfig pcfg;
+  pcfg.ingest.buffer_capacity = 4;
+  pcfg.ingest.ring_capacity = 2;
+  wl::StreamclusterParams prm;
+  prm.npoints = 4'000;
+  prm.dim = 8;
+  prm.iters = 2;
+  expect_backend_equivalence(
+      "streamcluster",
+      [prm](ProcessCtx& proc) {
+        wl::Streamcluster sc(proc, prm);
+        return sc.run().checksum;
+      },
+      pcfg);
+}
+
+// Memoization must stay a pure optimization in deferred mode too.
+TEST(BackendEquivalence, MemoizationOffIsStillIdentical) {
+  core::ProfilerConfig pcfg;
+  pcfg.memoized_attribution = false;
+  wl::AmgParams prm = small_amg();
+  prm.rows = 10'000;
+  expect_backend_equivalence(
+      "amg",
+      [prm](ProcessCtx& proc) {
+        wl::Amg amg(proc, prm);
+        return amg.run().checksum;
+      },
+      pcfg);
+}
+
+}  // namespace
+}  // namespace dcprof

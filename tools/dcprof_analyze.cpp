@@ -32,6 +32,7 @@
 #include <fstream>
 
 #include "analysis/html_report.h"
+#include "cli.h"
 #include "analysis/pipeline.h"
 #include "analysis/report.h"
 #include "analysis/views.h"
@@ -41,90 +42,77 @@
 
 using namespace dcprof;
 
-namespace {
-
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <measurement-dir> [--metric "
-               "samples|latency|rdram] [--workers N] [--top N] [--top-down "
-               "heap|static|stack|unknown] [--advice] [--html <file>] "
-               "[--strict] [--quarantine] [--salvage] "
-               "[--metrics-json <file>] [--trace-out <file>] "
-               "[--progress] [--overhead]\n",
-               argv0);
-  return 2;
-}
-
-/// Matches `--name value` (consuming the next argv) or `--name=value`.
-bool flag_value(const std::string& arg, const std::string& name, int argc,
-                char** argv, int& i, std::string& out) {
-  if (arg == name && i + 1 < argc) {
-    out = argv[++i];
-    return true;
-  }
-  if (arg.size() > name.size() + 1 && arg.compare(0, name.size(), name) == 0 &&
-      arg[name.size()] == '=') {
-    out = arg.substr(name.size() + 1);
-    return true;
-  }
-  return false;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  if (argc < 2) return usage(argv[0]);
-  const std::string dir = argv[1];
-  analysis::Analyzer::Options opts;
-  opts.sort_metric = core::Metric::kLatency;
+  std::string dir;
+  std::string metric_name = "latency";
+  int workers = 0;
+  int top_n = 0;
   std::string top_down_class;
+  bool advice = false;
+  bool strict = false;
+  bool quarantine = false;
+  bool salvage = false;
+  bool progress = false;
+  bool overhead = false;
   std::string html_path;
   std::string metrics_json;
   std::string trace_out;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--metric" && i + 1 < argc) {
-      const std::string name = argv[++i];
-      if (name == "samples") {
-        opts.sort_metric = core::Metric::kSamples;
-      } else if (name == "latency") {
-        opts.sort_metric = core::Metric::kLatency;
-      } else if (name == "rdram") {
-        opts.sort_metric = core::Metric::kRemoteDram;
-      } else {
-        return usage(argv[0]);
-      }
-    } else if (arg == "--workers" && i + 1 < argc) {
-      opts.workers = std::atoi(argv[++i]);
-      if (opts.workers < 1) return usage(argv[0]);
-    } else if (arg == "--top" && i + 1 < argc) {
-      opts.top_n = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (arg == "--top-down" && i + 1 < argc) {
-      top_down_class = argv[++i];
-    } else if (arg == "--advice") {
-      opts.views |= analysis::kViewAdvice;
-    } else if (arg == "--html" && i + 1 < argc) {
-      html_path = argv[++i];
-    } else if (arg == "--strict") {
-      opts.corrupt_policy = analysis::CorruptPolicy::kStrict;
-    } else if (arg == "--quarantine") {
-      opts.corrupt_policy = analysis::CorruptPolicy::kQuarantine;
-    } else if (arg == "--salvage") {
-      opts.salvage = true;
-    } else if (arg == "--progress") {
-      opts.progress = [](std::size_t done, std::size_t total) {
-        std::fprintf(stderr, "progress: %zu/%zu profiles folded\n", done,
-                     total);
-      };
-    } else if (arg == "--overhead") {
-      opts.views |= analysis::kViewOverhead;
-    } else if (flag_value(arg, "--metrics-json", argc, argv, i,
-                          metrics_json) ||
-               flag_value(arg, "--trace-out", argc, argv, i, trace_out)) {
-      continue;
-    } else {
-      return usage(argv[0]);
-    }
+
+  cli::Parser p("dcprof_analyze",
+                "streams a measurement directory through the analysis "
+                "pipeline and prints the data-centric views");
+  p.positional("measurement-dir", &dir, "directory written by dcprof_measure");
+  p.option("--metric", &metric_name, "metric to sort views by",
+           "samples|latency|rdram");
+  p.option("--workers", &workers, "stream-merge worker threads");
+  p.option("--top", &top_n, "rows per view");
+  p.option("--top-down", &top_down_class, "also print a top-down CCT view",
+           "heap|static|stack|unknown");
+  p.flag("--advice", &advice, "print optimization guidance");
+  p.option("--html", &html_path, "write an HTML report here", "FILE");
+  p.flag("--strict", &strict, "abort on the first corrupt profile file");
+  p.flag("--quarantine", &quarantine,
+         "move corrupt profile files into <dir>/quarantine/");
+  p.flag("--salvage", &salvage,
+         "fold corrupt files' valid record prefixes into the merge");
+  p.flag("--progress", &progress, "print a heartbeat as profiles fold");
+  p.flag("--overhead", &overhead, "print the analyzer self-overhead report");
+  p.option("--metrics-json", &metrics_json,
+           "enable self-telemetry; write the snapshot JSON here", "FILE");
+  p.option("--trace-out", &trace_out,
+           "enable pipeline tracing; write Chrome trace JSON here", "FILE");
+  if (const auto rc = p.parse(argc, argv)) return *rc;
+
+  analysis::Analyzer::Options opts;
+  if (metric_name == "samples") {
+    opts.with_sort_metric(core::Metric::kSamples);
+  } else if (metric_name == "latency") {
+    opts.with_sort_metric(core::Metric::kLatency);
+  } else if (metric_name == "rdram") {
+    opts.with_sort_metric(core::Metric::kRemoteDram);
+  } else {
+    return p.error("unknown metric: " + metric_name);
+  }
+  if (p.seen("--workers")) {
+    if (workers < 1) return p.error("--workers must be >= 1");
+    opts.with_workers(workers);
+  }
+  if (top_n > 0) opts.with_top_n(static_cast<std::size_t>(top_n));
+  if (advice) opts.add_views(analysis::kViewAdvice);
+  if (overhead) opts.add_views(analysis::kViewOverhead);
+  if (strict) opts.with_policy(analysis::CorruptPolicy::kStrict);
+  if (quarantine) opts.with_policy(analysis::CorruptPolicy::kQuarantine);
+  if (salvage) opts.with_salvage();
+  if (progress) {
+    opts.with_progress([](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "progress: %zu/%zu profiles folded\n", done,
+                   total);
+    });
+  }
+  if (!top_down_class.empty() && top_down_class != "heap" &&
+      top_down_class != "static" && top_down_class != "stack" &&
+      top_down_class != "unknown") {
+    return p.error("unknown --top-down class: " + top_down_class);
   }
   const core::Metric metric = opts.sort_metric;
   if (!metrics_json.empty()) obs::set_metrics_enabled(true);
@@ -223,9 +211,7 @@ int main(int argc, char** argv) {
       cls = core::StorageClass::kStack;
     } else if (top_down_class == "unknown") {
       cls = core::StorageClass::kUnknown;
-    } else if (top_down_class != "heap") {
-      return usage(argv[0]);
-    }
+    }  // "heap" and anything else were validated right after parsing
     std::printf("%s\n",
                 analysis::render_top_down(r.merged, cls, ctx, {metric})
                     .c_str());

@@ -5,16 +5,20 @@
 // Usage:
 //   dcprof_measure <amg|lulesh|streamcluster|nw|sweep3d> <out-dir>
 //                  [--event ibs|rmem] [--period N] [--threads N]
-//                  [--throttle-budget N]
+//                  [--backend det|threads] [--throttle-budget N]
 //                  [--metrics-json <file>] [--trace-out <file>]
 //
-// --metrics-json enables the self-telemetry registry, dumps its snapshot
-// as JSON, and prints the Table-1-style overhead report; --trace-out
-// enables the runtime event tracer and writes Chrome trace_event JSON
-// (loadable in Perfetto / chrome://tracing); --throttle-budget enables
-// graceful degradation under overload: when mean sample-handling latency
-// exceeds N ns, the sampling period is raised (recorded in the profiles
-// so the analyzer can rescale).
+// --backend picks the rt execution backend: `det` (default) runs the
+// team on the deterministic round-robin scheduler, `threads` runs it on
+// real std::threads with deferred sample ingest — same profiles, true
+// multicore sample handling; --metrics-json enables the self-telemetry
+// registry, dumps its snapshot as JSON, and prints the Table-1-style
+// overhead report; --trace-out enables the runtime event tracer and
+// writes Chrome trace_event JSON (loadable in Perfetto /
+// chrome://tracing); --throttle-budget enables graceful degradation
+// under overload: when mean sample-handling latency exceeds N ns, the
+// sampling period is raised (recorded in the profiles so the analyzer
+// can rescale).
 
 #include <chrono>
 #include <cstdio>
@@ -23,10 +27,12 @@
 #include <mutex>
 #include <string>
 
+#include "cli.h"
 #include "obs/overhead.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
 #include "rt/cluster.h"
+#include "rt/exec.h"
 #include "workloads/amg.h"
 #include "workloads/harness.h"
 #include "workloads/lulesh.h"
@@ -37,31 +43,6 @@
 using namespace dcprof;
 
 namespace {
-
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <amg|lulesh|streamcluster|nw|sweep3d> <out-dir> "
-               "[--event ibs|rmem] [--period N] [--threads N] "
-               "[--throttle-budget N] "
-               "[--metrics-json <file>] [--trace-out <file>]\n",
-               argv0);
-  return 2;
-}
-
-/// Matches `--name value` (consuming the next argv) or `--name=value`.
-bool flag_value(const std::string& arg, const std::string& name, int argc,
-                char** argv, int& i, std::string& out) {
-  if (arg == name && i + 1 < argc) {
-    out = argv[++i];
-    return true;
-  }
-  if (arg.size() > name.size() + 1 && arg.compare(0, name.size(), name) == 0 &&
-      arg[name.size()] == '=') {
-    out = arg.substr(name.size() + 1);
-    return true;
-  }
-  return false;
-}
 
 double pct(std::uint64_t hits, std::uint64_t misses) {
   const std::uint64_t total = hits + misses;
@@ -96,34 +77,41 @@ void print_cache_stats(core::Profiler& prof) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage(argv[0]);
-  const std::string workload = argv[1];
-  const std::string dir = argv[2];
+  std::string workload;
+  std::string dir;
   std::string event = "ibs";
   std::uint64_t period = 0;
   int threads = 16;
+  std::string backend = "det";
   core::ProfilerConfig prof_cfg;
   std::string metrics_json;
   std::string trace_out;
-  for (int i = 3; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--event" && i + 1 < argc) {
-      event = argv[++i];
-    } else if (arg == "--period" && i + 1 < argc) {
-      period = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (arg == "--threads" && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    } else if (arg == "--throttle-budget" && i + 1 < argc) {
-      prof_cfg.throttle.budget_ns =
-          static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (flag_value(arg, "--metrics-json", argc, argv, i,
-                          metrics_json) ||
-               flag_value(arg, "--trace-out", argc, argv, i, trace_out)) {
-      continue;
-    } else {
-      return usage(argv[0]);
-    }
-  }
+
+  cli::Parser p("dcprof_measure",
+                "runs a case-study workload under the data-centric "
+                "profiler and writes a measurement directory");
+  p.positional("workload", &workload, "amg|lulesh|streamcluster|nw|sweep3d");
+  p.positional("out-dir", &dir, "measurement directory to write");
+  p.option("--event", &event, "sampled PMU event", "ibs|rmem");
+  p.option("--period", &period, "sampling period (0 = event default)");
+  p.option("--threads", &threads, "team size for threaded workloads");
+  p.option("--backend", &backend,
+           "execution backend: deterministic round-robin or true "
+           "multicore (std::thread + deferred sample ingest)",
+           "det|threads");
+  p.option("--throttle-budget", &prof_cfg.throttle.budget_ns,
+           "mean ns/sample budget for overload degradation (0 = off)");
+  p.option("--metrics-json", &metrics_json,
+           "enable self-telemetry; write the snapshot JSON here", "FILE");
+  p.option("--trace-out", &trace_out,
+           "enable event tracing; write Chrome trace JSON here", "FILE");
+  if (const auto rc = p.parse(argc, argv)) return *rc;
+
+  const auto backend_kind = rt::parse_backend(backend);
+  if (!backend_kind) return p.error("unknown backend: " + backend);
+  rt::ExecConfig exec;
+  exec.backend = *backend_kind;
+
   if (!metrics_json.empty()) obs::set_metrics_enabled(true);
   if (!trace_out.empty()) obs::Tracer::set_enabled(true);
   const auto t_run0 = std::chrono::steady_clock::now();
@@ -165,13 +153,13 @@ int main(int argc, char** argv) {
   } else if (event == "rmem") {
     pmu_cfg = wl::rmem_config(period != 0 ? period : 64);
   } else {
-    return usage(argv[0]);
+    return p.error("unknown event: " + event);
   }
 
   // Sweep3D is pure MPI: run the cluster, each rank writing its own
   // per-thread profiles (plus the shared structure file) into the dir.
   if (workload == "sweep3d") {
-    rt::Cluster cluster(8, wl::rank_config(), 1);
+    rt::Cluster cluster(8, wl::rank_config(), 1, exec);
     wl::Sweep3dParams prm;
     std::mutex mu;
     std::uint64_t bytes = 0;
@@ -224,7 +212,7 @@ int main(int argc, char** argv) {
     return dump_telemetry("sweep3d");
   }
 
-  wl::ProcessCtx proc(wl::node_config(), threads, workload);
+  wl::ProcessCtx proc(wl::node_config(), threads, workload, exec);
   wl::RunResult result;
   if (workload == "amg") {
     wl::Amg w(proc, wl::AmgParams{});
@@ -243,7 +231,7 @@ int main(int argc, char** argv) {
     proc.enable_profiling(pmu_cfg, prof_cfg);
     result = w.run();
   } else {
-    return usage(argv[0]);
+    return p.error("unknown workload: " + workload);
   }
 
   print_cache_stats(*proc.profiler());

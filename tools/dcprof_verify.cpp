@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "cli.h"
 #include "verify/differential.h"
 #include "verify/fuzz_dcpf.h"
 #include "verify/trace_gen.h"
@@ -39,15 +40,6 @@
 using namespace dcprof;
 
 namespace {
-
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--oracle [all|amg|sweep3d|lulesh|streamcluster|"
-               "nw]] [--traces N] [--fuzz N] [--seed S] [--replay S] "
-               "[--corpus DIR] [--write-corpus DIR] [--verbose]\n",
-               argv0);
-  return 2;
-}
 
 std::vector<std::string> load_corpus_dir(const std::string& dir) {
   std::vector<std::string> out;
@@ -95,47 +87,42 @@ void print_replay_hint(std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   bool oracle_mode = false;
-  std::vector<std::string> oracle_workloads;
+  std::string oracle_arg;
   std::uint64_t traces = 0;
   std::uint64_t fuzz = 0;
-  bool any_mode = false;
   std::uint64_t seed = 1;
-  bool replay_mode = false;
   std::uint64_t replay_seed = 0;
   std::string corpus_dir;
+  std::string write_corpus_dir;
   bool verbose = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--oracle") {
-      oracle_mode = true;
-      any_mode = true;
-      if (i + 1 < argc && argv[i + 1][0] != '-') {
-        const std::string w = argv[++i];
-        if (w != "all") oracle_workloads.push_back(w);
-      }
-    } else if (arg == "--traces" && i + 1 < argc) {
-      traces = std::strtoull(argv[++i], nullptr, 10);
-      any_mode = true;
-    } else if (arg == "--fuzz" && i + 1 < argc) {
-      fuzz = std::strtoull(argv[++i], nullptr, 10);
-      any_mode = true;
-    } else if (arg == "--seed" && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "--replay" && i + 1 < argc) {
-      replay_mode = true;
-      any_mode = true;
-      replay_seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "--corpus" && i + 1 < argc) {
-      corpus_dir = argv[++i];
-    } else if (arg == "--write-corpus" && i + 1 < argc) {
-      return write_corpus(argv[++i]);
-    } else if (arg == "--verbose") {
-      verbose = true;
-    } else {
-      return usage(argv[0]);
-    }
+  cli::Parser p("dcprof_verify",
+                "differential verification: oracle runs, trace "
+                "differentials, and .dcpf reader fuzzing");
+  p.optional_value("--oracle", &oracle_mode, &oracle_arg,
+                   "run production-vs-oracle workload differentials",
+                   "all|amg|sweep3d|lulesh|streamcluster|nw");
+  p.option("--traces", &traces, "run N seeded random-trace differentials");
+  p.option("--fuzz", &fuzz, "run N mutational .dcpf reader cases");
+  p.option("--seed", &seed, "base seed for traces/fuzz", "S");
+  p.option("--replay", &replay_seed,
+           "re-run exactly the case for seed S (printed on failure)", "S");
+  p.option("--corpus", &corpus_dir, "extra .dcpf corpus directory", "DIR");
+  p.option("--write-corpus", &write_corpus_dir,
+           "write the builtin corpus as .dcpf files into DIR and exit",
+           "DIR");
+  p.flag("--verbose", &verbose, "print passing cases too");
+  if (const auto rc = p.parse(argc, argv)) return *rc;
+
+  if (!write_corpus_dir.empty()) return write_corpus(write_corpus_dir);
+
+  std::vector<std::string> oracle_workloads;
+  if (oracle_mode && !oracle_arg.empty() && oracle_arg != "all") {
+    oracle_workloads.push_back(oracle_arg);
   }
+  const bool replay_mode = p.seen("--replay");
+  const bool any_mode = oracle_mode || replay_mode || p.seen("--traces") ||
+                        p.seen("--fuzz");
   if (!any_mode) {  // quick default
     traces = 10;
     fuzz = 100;

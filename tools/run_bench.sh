@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Builds the Release tree and runs the profiler micro benchmarks,
-# recording the attribution-hot-path trajectory to BENCH_hotpath.json
+# Builds the Release tree and runs the profiler micro benchmarks:
+#   BENCH_hotpath.json  attribution-hot-path trajectory (micro_profiler)
+#   BENCH_scale.json    multicore sample-handling scaling (scale_threads),
+#                       with a >= 3x aggregate-throughput gate at 8
+#                       producer threads vs. 1
 # (google-benchmark JSON). Run from anywhere; paths resolve from the
 # script's own location. Usage:
 #
@@ -14,9 +17,10 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="$repo/build-release"
 filter="${1-BM_Attribute|BM_Cct|BM_HeapMap|BM_SampleHandler}"
 out="$repo/BENCH_hotpath.json"
+scale_out="$repo/BENCH_scale.json"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build" -j --target micro_profiler
+cmake --build "$build" -j --target micro_profiler scale_threads
 
 "$build/bench/micro_profiler" \
     ${filter:+--benchmark_filter="$filter"} \
@@ -26,6 +30,38 @@ cmake --build "$build" -j --target micro_profiler
 echo
 echo "wrote $out"
 echo "baseline (pre-optimization) numbers: bench/BENCH_hotpath_baseline.json"
+
+# Multicore scaling suite: aggregate sample-handling throughput of the
+# deferred-ingest path at 1/2/4/8 producer threads. The gate is the
+# machine-independent agg_samples_per_sec counter (sum of per-thread
+# handling rates over each thread's own CPU time): 8 producers must
+# deliver >= 3x the single-producer aggregate, i.e. the lock-free
+# handoff must not serialize sample handling.
+"$build/bench/scale_threads" \
+    --benchmark_out="$scale_out" \
+    --benchmark_out_format=json
+
+echo
+echo "wrote $scale_out"
+
+python3 - "$scale_out" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+rates = {b["name"]: b["agg_samples_per_sec"]
+         for b in doc.get("benchmarks", [])
+         if "agg_samples_per_sec" in b}
+one = rates.get("BM_ScaleThreads/threads:1/real_time")
+eight = rates.get("BM_ScaleThreads/threads:8/real_time")
+if not one or not eight:
+    sys.exit("scale check: BM_ScaleThreads results missing from JSON")
+ratio = eight / one
+verdict = "OK" if ratio >= 3.0 else "REGRESSION"
+print(f"scale check: aggregate sample-handling throughput "
+      f"{one:.3g}/s @1 thread -> {eight:.3g}/s @8 threads "
+      f"({ratio:.2f}x, gate 3.00x) -> {verdict}")
+sys.exit(0 if verdict == "OK" else 1)
+EOF
 
 # Telemetry-cost guard: with telemetry disabled (the default), the sample
 # handler must stay within 1% (plus a 1 ns clock-granularity floor) of
