@@ -26,6 +26,12 @@
 //                          constant and the aggregate near N x the
 //                          single-thread rate.
 //
+// BM_MeasureWall — end-to-end measurement wall-clock per execution
+// backend: a full profiled workload run (ProcessCtx + PMU + profiler),
+// which is simulation-bound, so it measures what the epoch-sharded
+// backend actually buys. tools/run_bench.sh gates sockets <= threads/2
+// at the 4-socket config on hosts with >= 4 cores.
+//
 // tools/run_bench.sh records the suite to BENCH_scale.json and asserts
 // agg(8) >= 3x agg(1).
 #include <benchmark/benchmark.h>
@@ -40,9 +46,11 @@
 #include "binfmt/load_module.h"
 #include "core/profiler.h"
 #include "pmu/pmu.h"
+#include "rt/exec.h"
 #include "rt/team.h"
 #include "sim/machine.h"
 #include "workloads/harness.h"
+#include "workloads/streamcluster.h"
 
 using namespace dcprof;
 
@@ -120,6 +128,42 @@ BENCHMARK(BM_ScaleThreads)
     ->Arg(4)
     ->Arg(8)
     ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// End-to-end wall clock of one profiled measurement run per backend
+// (arg: 0 = det, 1 = threads, 2 = sockets). The workload is dominated by
+// *simulation*, not sample handling — on the det and threads backends
+// every simulated access is globally serialized, so this is the series
+// the sharded backend's socket overlap shows up in.
+void BM_MeasureWall(benchmark::State& state) {
+  rt::ExecConfig exec;
+  switch (state.range(0)) {
+    case 1: exec.backend = rt::BackendKind::kThreaded; break;
+    case 2: exec.backend = rt::BackendKind::kSharded; break;
+    default: exec.backend = rt::BackendKind::kDeterministic; break;
+  }
+  wl::StreamclusterParams prm;
+  prm.npoints = 20'000;
+  prm.dim = 16;
+  prm.iters = 2;
+  double checksum = 0;
+  for (auto _ : state) {
+    wl::ProcessCtx proc(wl::node_config(), 16, "streamcluster", exec);
+    proc.enable_profiling(wl::ibs_config(4096), {});
+    wl::Streamcluster sc(proc, prm);
+    checksum = sc.run().checksum;
+    benchmark::DoNotOptimize(checksum);
+    auto profiles = proc.take_profiles();
+    benchmark::DoNotOptimize(profiles.size());
+  }
+  state.counters["checksum"] = benchmark::Counter(checksum);
+}
+BENCHMARK(BM_MeasureWall)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgNames({"backend"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

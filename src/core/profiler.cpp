@@ -141,15 +141,16 @@ Profiler::ThreadAttrState& Profiler::attr_state(std::size_t tid) {
 void Profiler::attribute_context(ThreadProfile& tp, StorageClass sc,
                                  ThreadAttrState& as, Cct::NodeId anchor,
                                  std::span<const sim::Addr> stack,
-                                 sim::Addr leaf_ip, const MetricVec& m) {
+                                 sim::Addr leaf_ip, const MetricVec& m,
+                                 bool use_memo) {
   Cct& cct = tp.cct(sc);
   ClassMemo& memo = as.memo[static_cast<std::size_t>(sc)];
+  const bool memoize = cfg_.memoized_attribution && use_memo;
   // Resume at the divergence point: the first `valid` frames are
   // unchanged since the memoized walk (watermark-guaranteed), so their
   // find-or-create results are already known.
   std::size_t k = 0;
-  if (cfg_.memoized_attribution && memo.anchor_known &&
-      memo.anchor == anchor) {
+  if (memoize && memo.anchor_known && memo.anchor == anchor) {
     k = std::min({memo.valid, memo.nodes.size(), stack.size()});
   }
   if (deferred_) {
@@ -165,7 +166,7 @@ void Profiler::attribute_context(ThreadProfile& tp, StorageClass sc,
     tm_.attr_depth[static_cast<std::size_t>(sc)].record(stack.size());
   }
   Cct::NodeId cur = k == 0 ? anchor : memo.nodes[k - 1];
-  if (cfg_.memoized_attribution) {
+  if (memoize) {
     memo.nodes.resize(stack.size());
     for (std::size_t i = k; i < stack.size(); ++i) {
       cur = cct.child(cur, NodeKind::kCallSite, stack[i]);
@@ -252,9 +253,14 @@ void Profiler::maybe_throttle() {
 void Profiler::attribute_sample(const pmu::Sample& sample, rt::ThreadCtx& ctx,
                                 ThreadProfile& tp, ThreadAttrState& as) {
   // One watermark take per sample: every class's trusted prefix shrinks
-  // to how far the stack has unwound since the previous sample.
+  // to how far the stack has unwound since the previous sample. A sample
+  // taken during an epoch-barrier replay sees a snapshot stack instead —
+  // the memo (which describes the live stack) is bypassed untouched.
+  const bool use_memo = !ctx.stack_replay_active();
   const std::size_t watermark = ctx.take_stack_watermark();
-  for (auto& memo : as.memo) memo.valid = std::min(memo.valid, watermark);
+  if (use_memo) {
+    for (auto& memo : as.memo) memo.valid = std::min(memo.valid, watermark);
+  }
   const MetricVec m = MetricVec::from_sample(sample);
   // The unwind from the signal context ends at the skidded IP; the paper
   // swaps in the precise IP recorded by the PMU.
@@ -264,7 +270,7 @@ void Profiler::attribute_sample(const pmu::Sample& sample, rt::ThreadCtx& ctx,
   if (!sample.is_memory) {
     tm_.class_samples[static_cast<std::size_t>(StorageClass::kNoMem)].inc();
     attribute_context(tp, StorageClass::kNoMem, as, Cct::kRootId,
-                      ctx.call_stack(), leaf_ip, m);
+                      ctx.call_stack(), leaf_ip, m, use_memo);
     return;
   }
 
@@ -290,7 +296,7 @@ void Profiler::attribute_sample(const pmu::Sample& sample, rt::ThreadCtx& ctx,
       as.heap_anchor = anchor;
     }
     attribute_context(tp, StorageClass::kHeap, as, anchor, ctx.call_stack(),
-                      leaf_ip, m);
+                      leaf_ip, m, use_memo);
     return;
   }
 
@@ -308,7 +314,7 @@ void Profiler::attribute_sample(const pmu::Sample& sample, rt::ThreadCtx& ctx,
     const Cct::NodeId dummy =
         cct.child(Cct::kRootId, NodeKind::kVarStatic, name);
     attribute_context(tp, StorageClass::kStatic, as, dummy, ctx.call_stack(),
-                      leaf_ip, m);
+                      leaf_ip, m, use_memo);
     return;
   }
 
@@ -327,13 +333,13 @@ void Profiler::attribute_sample(const pmu::Sample& sample, rt::ThreadCtx& ctx,
     const Cct::NodeId dummy =
         cct.child(Cct::kRootId, NodeKind::kVarStatic, name);
     attribute_context(tp, StorageClass::kStack, as, dummy, ctx.call_stack(),
-                      leaf_ip, m);
+                      leaf_ip, m, use_memo);
     return;
   }
 
   tm_.class_samples[static_cast<std::size_t>(StorageClass::kUnknown)].inc();
   attribute_context(tp, StorageClass::kUnknown, as, Cct::kRootId,
-                    ctx.call_stack(), leaf_ip, m);
+                    ctx.call_stack(), leaf_ip, m, use_memo);
 }
 
 void Profiler::enable_deferred_ingest() {
@@ -369,16 +375,24 @@ void Profiler::ingest_deferred(const pmu::Sample& sample,
 
   PendingSample rec;
   rec.sample = sample;
+  // A sample taken while the epoch resolver replays a deferred access
+  // carries the issue-time stack snapshot; it must not touch the live
+  // stack's memo (take_stack_watermark reports 0 without re-arming).
+  rec.replayed = ctx.stack_replay_active();
   // Same per-sample watermark take as the synchronous path — samples are
   // in thread order either way, so the values match exactly.
   rec.watermark = ctx.take_stack_watermark();
   // Classify against order-sensitive shared state (heap map, module
   // registry) while the turn still serializes us. Variable names are
   // interned here, in sample order, so each thread's string table is
-  // byte-identical to the deterministic backend's.
+  // byte-identical to the deterministic backend's. Under the sharded
+  // backend classification runs concurrently across sockets, so the heap
+  // lookup must not mutate the shared MRU cache.
   if (!sample.is_memory) {
     rec.cls = StorageClass::kNoMem;
-  } else if (const HeapBlock* block = var_map_.find(sample.eaddr)) {
+  } else if (const HeapBlock* block = concurrent_classify_
+                 ? var_map_.find_no_mru(sample.eaddr)
+                 : var_map_.find(sample.eaddr)) {
     rec.cls = StorageClass::kHeap;
     rec.heap_path = block->path.get();
   } else if (auto hit = modules_->resolve_static(sample.eaddr)) {
@@ -421,22 +435,28 @@ void Profiler::ingest_deferred(const pmu::Sample& sample,
 
 void Profiler::attribute_pending(const PendingSample& rec, ThreadIngest& ti,
                                  ThreadProfile& tp, ThreadAttrState& as) {
-  for (auto& memo : as.memo) {
-    memo.valid = std::min(memo.valid, rec.watermark);
+  if (!rec.replayed) {
+    for (auto& memo : as.memo) {
+      memo.valid = std::min(memo.valid, rec.watermark);
+    }
   }
   const MetricVec m = MetricVec::from_sample(rec.sample);
   const sim::Addr leaf_ip =
       cfg_.use_precise_ip ? rec.sample.precise_ip : rec.sample.signal_ip;
   const std::span<const sim::Addr> stack(ti.stack_arena.data() + rec.stack_off,
                                          rec.stack_len);
+  const bool use_memo = !rec.replayed;
   switch (rec.cls) {
     case StorageClass::kNoMem:
     case StorageClass::kUnknown:
-      attribute_context(tp, rec.cls, as, Cct::kRootId, stack, leaf_ip, m);
+      attribute_context(tp, rec.cls, as, Cct::kRootId, stack, leaf_ip, m,
+                        use_memo);
       break;
     case StorageClass::kHeap: {
       Cct& cct = tp.cct(StorageClass::kHeap);
       Cct::NodeId anchor;
+      // The heap-anchor memo keys on the interned path pointer, not the
+      // stack, so replayed samples use (and refresh) it like any other.
       if (cfg_.memoized_attribution && as.last_heap_path == rec.heap_path) {
         anchor = as.heap_anchor;
       } else {
@@ -450,7 +470,7 @@ void Profiler::attribute_pending(const PendingSample& rec, ThreadIngest& ti,
         as.heap_anchor = anchor;
       }
       attribute_context(tp, StorageClass::kHeap, as, anchor, stack, leaf_ip,
-                        m);
+                        m, use_memo);
       break;
     }
     case StorageClass::kStatic:
@@ -458,7 +478,7 @@ void Profiler::attribute_pending(const PendingSample& rec, ThreadIngest& ti,
       Cct& cct = tp.cct(rec.cls);
       const Cct::NodeId dummy =
           cct.child(Cct::kRootId, NodeKind::kVarStatic, rec.var_name);
-      attribute_context(tp, rec.cls, as, dummy, stack, leaf_ip, m);
+      attribute_context(tp, rec.cls, as, dummy, stack, leaf_ip, m, use_memo);
       break;
     }
   }

@@ -135,6 +135,14 @@ class Profiler : public rt::ExecObserver {
   void enable_deferred_ingest();
   bool deferred_ingest() const { return deferred_; }
 
+  /// Epoch-sharded backend: classification runs concurrently on socket
+  /// workers (no turn token), so heap lookups must not mutate the shared
+  /// MRU cache — use HeapVarMap::find_no_mru (same result, tree probe
+  /// only). Enabled for BOTH the parallel run and its serial twin so the
+  /// telemetry and lookup sequence stay identical. Idempotent.
+  void enable_concurrent_classification() { concurrent_classify_ = true; }
+  bool concurrent_classification() const { return concurrent_classify_; }
+
   // rt::ExecObserver — called by the threaded backend.
   /// Drains the calling thread's own pending buffer (runs concurrently
   /// with other threads' turns and drains).
@@ -213,6 +221,11 @@ class Profiler : public rt::ExecObserver {
     StorageClass cls = StorageClass::kUnknown;
     const AllocPath* heap_path = nullptr;  ///< kHeap: interned, stable
     StringId var_name{};                   ///< kStatic/kStack: pre-interned
+    /// Sampled during an epoch-barrier replay of a deferred access: the
+    /// stack is a snapshot of the issue-time stack, unrelated to the live
+    /// stack the memo tracks, so attribution bypasses the memo entirely
+    /// (no read, no update, no watermark min-reduction).
+    bool replayed = false;
   };
 
   /// What a drain hands to the consumer: a contiguous, sequence-numbered
@@ -271,10 +284,13 @@ class Profiler : public rt::ExecObserver {
   /// Inserts the calling context under `anchor` in the class's CCT,
   /// resuming from the memoized path where the watermark allows, then
   /// adds `m` to the (leaf_kind-free) kLeafInstr leaf at `leaf_ip`.
+  /// `use_memo = false` (replayed snapshot stacks) walks every frame and
+  /// leaves the memo untouched — the memo describes the live stack only.
   void attribute_context(ThreadProfile& tp, StorageClass sc,
                          ThreadAttrState& as, Cct::NodeId anchor,
                          std::span<const sim::Addr> stack,
-                         sim::Addr leaf_ip, const MetricVec& m);
+                         sim::Addr leaf_ip, const MetricVec& m,
+                         bool use_memo = true);
 
   /// Evaluates one throttle window: doubles the PMU period when the mean
   /// handling latency exceeded the budget (cold path, once per window).
@@ -298,6 +314,7 @@ class Profiler : public rt::ExecObserver {
   std::vector<std::unique_ptr<ThreadAttrState>> attr_;    // by tid
   // Deferred ingest (concurrent backends).
   bool deferred_ = false;
+  bool concurrent_classify_ = false;  ///< epoch-sharded: no-MRU lookups
   std::vector<std::unique_ptr<ThreadIngest>> ingest_;  // by tid
   // Consumer-side handoff state (master thread / quiescent points only).
   std::vector<std::uint64_t> hand_expected_;  // next expected seq, by tid

@@ -17,6 +17,18 @@
 // after passing the token it drains its own pending-sample buffer —
 // expensive CCT attribution overlaps across workers while another thread
 // simulates (see ExecObserver and core::Profiler's deferred ingest).
+//
+// ShardedBackend goes further and overlaps the *simulation* itself: one
+// host worker per simulated socket runs that socket's threads against
+// socket-private machine state (L1/L2/TLB/prefetcher, the socket's L3,
+// its locally-homed DRAM controllers), with no token at all. Accesses
+// that would touch cross-socket shared state — pages homed on another
+// socket, or not yet homed (first touch) — are deferred into per-thread
+// queues and replayed at deterministic epoch barriers in canonical
+// (socket, thread, issue) order, every `epoch_rounds` chunk rounds. Its
+// verification twin is the same backend with `sharded_serial = true`:
+// the identical epoch schedule run on one host thread, byte-identical
+// profiles by construction.
 #pragma once
 
 #include <cstdint>
@@ -33,15 +45,23 @@ class ThreadCtx;
 enum class BackendKind : std::uint8_t {
   kDeterministic,  ///< round-robin virtual threads on the calling thread
   kThreaded,       ///< one std::thread per team thread, turn-serialized
+  kSharded,        ///< one std::thread per socket, epoch-barrier resolved
 };
 
 const char* to_string(BackendKind kind);
-/// Parses "det" / "threads"; nullopt on anything else.
+/// Parses "det" / "threads" / "sockets"; nullopt on anything else.
 std::optional<BackendKind> parse_backend(std::string_view name);
 
 /// How a Team executes its parallel constructs.
 struct ExecConfig {
   BackendKind backend = BackendKind::kDeterministic;
+  /// kSharded: chunk rounds per epoch. Longer epochs amortize barriers;
+  /// shorter ones bound how stale deferred remote accesses get.
+  std::uint32_t epoch_rounds = 8;
+  /// kSharded: run the identical epoch schedule on the calling host
+  /// thread instead of socket workers — the backend's verification twin
+  /// (profiles must match the parallel run byte for byte).
+  bool sharded_serial = false;
 };
 
 /// Non-owning type-erased loop body: `fn(obj, ctx, i)` runs iteration i.

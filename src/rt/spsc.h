@@ -6,6 +6,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <vector>
 
@@ -18,10 +19,14 @@ namespace dcprof::rt {
 template <typename T>
 class SpscRing {
  public:
-  /// Capacity is rounded up to a power of two (minimum 2).
+  /// Capacity is rounded up to a power of two (minimum 2). The index
+  /// masking below is only correct for power-of-two sizes, so the
+  /// invariant is asserted rather than trusted.
   explicit SpscRing(std::size_t capacity) {
     std::size_t cap = 2;
     while (cap < capacity) cap <<= 1;
+    assert(cap >= 2 && (cap & (cap - 1)) == 0 &&
+           "ring capacity must be a power of two");
     slots_.resize(cap);
     mask_ = cap - 1;
   }

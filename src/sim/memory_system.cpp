@@ -28,11 +28,9 @@ MemorySystem::MemorySystem(const MachineConfig& cfg)
   }
 }
 
-AccessResult MemorySystem::access(CoreId core, Addr addr, bool is_store,
-                                  Cycles now) {
-  AccessResult r;
+bool MemorySystem::walk_caches(CoreId core, Addr addr, bool is_store,
+                               AccessResult& r) {
   const auto ci = static_cast<std::size_t>(core);
-
   const bool tlb_hit = tlbs_[ci].access(addr);
   r.tlb_miss = !tlb_hit;
   if (r.tlb_miss) {
@@ -45,34 +43,41 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, bool is_store,
     r.latency += is_store ? cfg_.lat.store_hit : cfg_.lat.l1;
     r.level = MemLevel::kL1;
     tm_.l1.inc();
-    return r;
+    return true;
   }
   if (l2_[ci].access(addr)) {
     r.latency += cfg_.lat.l2;
     r.level = MemLevel::kL2;
     tm_.l2.inc();
-    return r;
+    return true;
   }
   const auto si = static_cast<std::size_t>(cfg_.socket_of(core));
   if (l3_[si].access(addr)) {
     r.latency += cfg_.lat.l3;
     r.level = MemLevel::kL3;
     tm_.l3.inc();
-    return r;
+    return true;
   }
+  return false;
+}
 
-  // DRAM fill: bind the page (first touch) and pay the home controller.
-  const NodeId toucher = cfg_.node_of(core);
-  const NodeId home = page_table_.touch(addr, toucher);
-  r.home = home;
-  const bool remote = home != toucher;
-  r.queue_wait = controllers_[static_cast<std::size_t>(home)].serve(now);
+bool MemorySystem::consult_prefetcher(CoreId core, Addr addr) {
+  if (!cfg_.lat.prefetch_enabled) return false;
   const Addr line = addr / cfg_.l1.line_bytes;
   const auto lines_per_page =
       static_cast<unsigned>(cfg_.page_bytes / cfg_.l1.line_bytes);
-  r.prefetched = cfg_.lat.prefetch_enabled &&
-                 prefetchers_[ci].access(line, lines_per_page);
-  if (r.prefetched) {
+  return prefetchers_[static_cast<std::size_t>(core)].access(line,
+                                                             lines_per_page);
+}
+
+void MemorySystem::finish_dram(Addr addr, NodeId home, NodeId toucher,
+                               bool prefetched, Cycles now, AccessResult& r) {
+  (void)addr;
+  r.home = home;
+  const bool remote = home != toucher;
+  r.queue_wait = controllers_[static_cast<std::size_t>(home)].serve(now);
+  r.prefetched = prefetched;
+  if (prefetched) {
     // The stream prefetcher hid most of the fill; the access still
     // consumed controller bandwidth (the serve() above).
     r.latency += cfg_.lat.prefetch_hit + r.queue_wait +
@@ -89,6 +94,63 @@ AccessResult MemorySystem::access(CoreId core, Addr addr, bool is_store,
     r.level = MemLevel::kLocalDram;
     tm_.local_dram.inc();
   }
+}
+
+AccessResult MemorySystem::access(CoreId core, Addr addr, bool is_store,
+                                  Cycles now) {
+  AccessResult r;
+  if (walk_caches(core, addr, is_store, r)) return r;
+  // DRAM fill: bind the page (first touch) and pay the home controller.
+  const NodeId toucher = cfg_.node_of(core);
+  const NodeId home = page_table_.touch(addr, toucher);
+  const bool prefetched = consult_prefetcher(core, addr);
+  finish_dram(addr, home, toucher, prefetched, now, r);
+  return r;
+}
+
+AccessResult MemorySystem::access_sharded(CoreId core, Addr addr,
+                                          bool is_store, Cycles now,
+                                          DeferredAccess* out) {
+  AccessResult r;
+  if (walk_caches(core, addr, is_store, r)) return r;
+  // The prefetcher is core-private: consult it now, in issue order, so
+  // its training sequence is identical whether the fill resolves
+  // immediately or at the barrier.
+  const bool prefetched = consult_prefetcher(core, addr);
+  const NodeId toucher = cfg_.node_of(core);
+  // Read-only probe: no page may be bound mid-epoch (first touch is
+  // order-dependent shared state), so concurrent socket shards can all
+  // read the table safely.
+  const NodeId home = page_table_.node_of(addr);
+  if (home != kNoNode && cfg_.socket_of_node(home) == cfg_.socket_of(core)) {
+    // The home controller belongs to this core's socket: socket-private
+    // during the epoch, serve immediately (remote_extra still applies if
+    // the socket spans multiple NUMA nodes).
+    finish_dram(addr, home, toucher, prefetched, now, r);
+    return r;
+  }
+  // Cross-socket (or unhomed) fill: queue for the epoch barrier. No
+  // latency is charged at issue; resolve_deferred computes all of it
+  // (TLB walk included) so one clock bump per thread settles the epoch.
+  out->core = core;
+  out->addr = addr;
+  out->is_store = is_store;
+  out->tlb_miss = r.tlb_miss;
+  out->prefetched = prefetched;
+  out->first_touch = home == kNoNode;
+  out->issued_at = now;
+  r.latency = 0;
+  r.deferred = true;
+  return r;
+}
+
+AccessResult MemorySystem::resolve_deferred(const DeferredAccess& d) {
+  AccessResult r;
+  r.tlb_miss = d.tlb_miss;
+  if (d.tlb_miss) r.latency += cfg_.lat.tlb_walk;
+  const NodeId toucher = cfg_.node_of(d.core);
+  const NodeId home = page_table_.touch(d.addr, toucher);
+  finish_dram(d.addr, home, toucher, d.prefetched, d.issued_at, r);
   return r;
 }
 

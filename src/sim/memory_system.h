@@ -125,6 +125,26 @@ class MemorySystem {
   /// Resolves one access by `core` at thread-local time `now`.
   AccessResult access(CoreId core, Addr addr, bool is_store, Cycles now);
 
+  /// Epoch-sharded variant of access() (rt's sharded backend): the cache
+  /// walk, prefetcher consult, and *same-socket* DRAM fills resolve
+  /// immediately against socket-private state; an access whose page is
+  /// homed on another socket — or not homed at all (first touch must bind
+  /// in one global order) — returns `result.deferred == true` with `*out`
+  /// filled for later resolve_deferred(). Deferred accesses charge no
+  /// latency at issue; the full latency is computed at the barrier.
+  /// Concurrency: callers on cores of *distinct sockets* may overlap; the
+  /// page table is only read (no first touches happen mid-epoch).
+  AccessResult access_sharded(CoreId core, Addr addr, bool is_store,
+                              Cycles now, DeferredAccess* out);
+
+  /// Resolves one deferred access at an epoch barrier: binds the page
+  /// (first touch), pays the home DRAM controller at the access's issue
+  /// time, and returns the full AccessResult (TLB walk included, as the
+  /// immediate path charges it). Callers present accesses in canonical
+  /// (socket, thread, issue) order, single-threaded — that order *is*
+  /// the reproducible global order of shared state.
+  AccessResult resolve_deferred(const DeferredAccess& d);
+
   PageTable& page_table() { return page_table_; }
   const PageTable& page_table() const { return page_table_; }
   MemLevelStats stats() const;
@@ -136,6 +156,19 @@ class MemorySystem {
   void flush_caches();
 
  private:
+  /// TLB + L1/L2/L3 walk shared by access() and access_sharded(); fills
+  /// caches on miss. Returns true when a cache satisfied the access (`r`
+  /// is complete); false when it falls through to DRAM (`r` carries the
+  /// TLB outcome and walk latency so far).
+  bool walk_caches(CoreId core, Addr addr, bool is_store, AccessResult& r);
+  /// Consults (and trains) `core`'s stream prefetcher for a DRAM fill of
+  /// `addr`. Config-gated; called once per fill, in issue order.
+  bool consult_prefetcher(CoreId core, Addr addr);
+  /// The DRAM leg: pays the home controller at `now`, applies the
+  /// latency formula for `prefetched`, sets level + telemetry.
+  void finish_dram(Addr addr, NodeId home, NodeId toucher, bool prefetched,
+                   Cycles now, AccessResult& r);
+
   MachineConfig cfg_;
   std::vector<SetAssocCache> l1_;   // per core
   std::vector<SetAssocCache> l2_;   // per core

@@ -66,6 +66,11 @@ void ProcessCtx::enable_profiling(std::vector<pmu::PmuConfig> pmu_cfgs,
       // thread after passing the token (see Profiler's class comment).
       profiler_->enable_deferred_ingest();
       team_->set_exec_observer(&*profiler_);
+      if (team_->exec_config().backend == rt::BackendKind::kSharded) {
+        // Epoch-sharded: classification overlaps across sockets with no
+        // turn at all, so heap lookups must skip the shared MRU cache.
+        profiler_->enable_concurrent_classification();
+      }
     }
     profiler_->register_team(*team_);
   }

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Epoch-sharded measurement smoke test: dcprof_measure with
+# --backend=sockets writes a measurement directory, prints the
+# epoch-sharded end-of-run summary, and dcprof_analyze consumes the
+# profiles — the full measure -> analyze round trip through the sharded
+# execution backend.
+#
+#   shard_smoke.sh <dcprof_measure> <dcprof_analyze>
+set -u
+
+measure=$1
+analyze=$2
+
+tmpdir=$(mktemp -d) || exit 1
+trap 'rm -rf "$tmpdir"' EXIT
+
+fail() {
+  echo "shard_smoke FAIL: $*" >&2
+  exit 1
+}
+
+"$measure" streamcluster "$tmpdir/meas" --threads 8 --period 256 \
+    --backend=sockets > "$tmpdir/measure.out" \
+    || fail "dcprof_measure --backend=sockets exited $?"
+
+ls "$tmpdir/meas"/*.dcpf >/dev/null 2>&1 \
+    || fail "no .dcpf files in measurement dir"
+
+grep -q '^epoch-sharded: ' "$tmpdir/measure.out" \
+    || fail "epoch-sharded summary line missing from measure output"
+
+grep -q 'epoch-sharded: [1-9]' "$tmpdir/measure.out" \
+    || fail "epoch-sharded summary reports zero epochs"
+
+"$analyze" "$tmpdir/meas" > "$tmpdir/analyze.out" \
+    || fail "dcprof_analyze exited $?"
+
+[ -s "$tmpdir/analyze.out" ] || fail "dcprof_analyze printed nothing"
+
+echo "shard_smoke OK"

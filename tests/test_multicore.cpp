@@ -78,6 +78,45 @@ TEST(SpscRing, RejectsWhenFullRoundsCapacity) {
   EXPECT_TRUE(ring.push(99));  // slot freed
 }
 
+// Degenerate capacity request: rounds up to the 2-slot minimum and still
+// behaves (capacities are power-of-two by construction, asserted in the
+// ctor, so index masking stays correct).
+TEST(SpscRing, CapacityOneRoundsToMinimumAndWraps) {
+  rt::SpscRing<int> ring(1);
+  EXPECT_EQ(ring.capacity(), 2u);
+  EXPECT_TRUE(ring.push(10));
+  EXPECT_TRUE(ring.push(11));
+  EXPECT_FALSE(ring.push(12));  // full at 2
+  int out = 0;
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, 10);
+  EXPECT_TRUE(ring.push(12));  // wraps around the 2-slot array
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, 11);
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, 12);
+  EXPECT_FALSE(ring.pop(out));
+}
+
+// Fill/drain across many laps: the cursors keep incrementing past the
+// array size, so this exercises wraparound of the masked indices (and,
+// were capacity ever not a power of two, would corrupt order).
+TEST(SpscRing, FullRingWraparoundKeepsOrderAcrossLaps) {
+  rt::SpscRing<std::uint64_t> ring(8);
+  std::uint64_t next_push = 0, next_pop = 0;
+  for (int lap = 0; lap < 100; ++lap) {
+    while (ring.push(next_push)) ++next_push;
+    EXPECT_EQ(next_push - next_pop, ring.capacity());  // exactly full
+    std::uint64_t v = 0;
+    while (ring.pop(v)) {
+      EXPECT_EQ(v, next_pop);
+      ++next_pop;
+    }
+    EXPECT_EQ(next_pop, next_push);  // exactly empty
+  }
+  EXPECT_EQ(next_pop, 100 * ring.capacity());
+}
+
 // ------------------------------------------------- handoff stress (TSan) --
 
 // Producers at max rate on real threads, a consumer polling the rings
@@ -145,8 +184,11 @@ TEST(ExecBackend, ParseAndNames) {
             rt::BackendKind::kDeterministic);
   EXPECT_EQ(rt::parse_backend("threads"), rt::BackendKind::kThreaded);
   EXPECT_EQ(rt::parse_backend("threaded"), rt::BackendKind::kThreaded);
+  EXPECT_EQ(rt::parse_backend("sockets"), rt::BackendKind::kSharded);
+  EXPECT_EQ(rt::parse_backend("sharded"), rt::BackendKind::kSharded);
   EXPECT_FALSE(rt::parse_backend("gpu").has_value());
   EXPECT_STREQ(rt::to_string(rt::BackendKind::kThreaded), "threads");
+  EXPECT_STREQ(rt::to_string(rt::BackendKind::kSharded), "sockets");
 }
 
 // Same accesses, same global order => same thread clocks, same machine
@@ -210,10 +252,8 @@ struct BackendRun {
 };
 
 template <typename Body>
-BackendRun run_backend(rt::BackendKind kind, const std::string& exe,
-                       Body&& body, core::ProfilerConfig pcfg = {}) {
-  rt::ExecConfig exec;
-  exec.backend = kind;
+BackendRun run_backend_cfg(rt::ExecConfig exec, const std::string& exe,
+                           Body&& body, core::ProfilerConfig pcfg = {}) {
   ProcessCtx proc(node_config(), kThreads, exe, exec);
   proc.enable_profiling(wl::ibs_config(512), pcfg);
   BackendRun out;
@@ -230,23 +270,55 @@ BackendRun run_backend(rt::BackendKind kind, const std::string& exe,
 }
 
 template <typename Body>
+BackendRun run_backend(rt::BackendKind kind, const std::string& exe,
+                       Body&& body, core::ProfilerConfig pcfg = {}) {
+  rt::ExecConfig exec;
+  exec.backend = kind;
+  return run_backend_cfg(exec, exe, body, pcfg);
+}
+
+void expect_runs_equal(const BackendRun& ref, const BackendRun& got) {
+  EXPECT_EQ(ref.checksum, got.checksum);
+  EXPECT_EQ(got.handoff.gaps, 0u);
+  EXPECT_GT(got.handoff.samples, 0u);
+  // Stronger than the gate: each thread's profile is byte-identical.
+  ASSERT_EQ(ref.bytes.size(), got.bytes.size());
+  for (std::size_t i = 0; i < ref.bytes.size(); ++i) {
+    EXPECT_EQ(ref.bytes[i], got.bytes[i]) << "thread profile " << i;
+  }
+  // The ISSUE gate: merged profiles canonically equal.
+  std::string why;
+  EXPECT_TRUE(verify::canonical_equal(ref.merged, got.merged, &why)) << why;
+}
+
+template <typename Body>
 void expect_backend_equivalence(const std::string& exe, Body&& body,
                                 core::ProfilerConfig pcfg = {}) {
   const BackendRun det =
       run_backend(rt::BackendKind::kDeterministic, exe, body, pcfg);
   const BackendRun thr =
       run_backend(rt::BackendKind::kThreaded, exe, body, pcfg);
-  EXPECT_EQ(det.checksum, thr.checksum);
-  EXPECT_EQ(thr.handoff.gaps, 0u);
-  EXPECT_GT(thr.handoff.samples, 0u);
-  // Stronger than the gate: each thread's profile is byte-identical.
-  ASSERT_EQ(det.bytes.size(), thr.bytes.size());
-  for (std::size_t i = 0; i < det.bytes.size(); ++i) {
-    EXPECT_EQ(det.bytes[i], thr.bytes[i]) << "thread profile " << i;
-  }
-  // The ISSUE gate: merged profiles canonically equal.
-  std::string why;
-  EXPECT_TRUE(verify::canonical_equal(det.merged, thr.merged, &why)) << why;
+  expect_runs_equal(det, thr);
+}
+
+/// The sharded backend's gate: the sockets-parallel run must be
+/// byte-identical to its serial twin — the same epoch-sharded semantics
+/// executed on one host thread. (Sharded latencies legitimately differ
+/// from the det backend: deferred accesses observe barrier-time DRAM
+/// backlogs, so the twin is sharded-serial, not det.)
+template <typename Body>
+void expect_sharded_equivalence(const std::string& exe, Body&& body,
+                                core::ProfilerConfig pcfg = {},
+                                std::uint32_t epoch_rounds = 8) {
+  rt::ExecConfig serial;
+  serial.backend = rt::BackendKind::kSharded;
+  serial.sharded_serial = true;
+  serial.epoch_rounds = epoch_rounds;
+  rt::ExecConfig parallel = serial;
+  parallel.sharded_serial = false;
+  const BackendRun twin = run_backend_cfg(serial, exe, body, pcfg);
+  const BackendRun par = run_backend_cfg(parallel, exe, body, pcfg);
+  expect_runs_equal(twin, par);
 }
 
 wl::AmgParams small_amg() {
@@ -313,6 +385,140 @@ TEST(BackendEquivalence, MemoizationOffIsStillIdentical) {
   wl::AmgParams prm = small_amg();
   prm.rows = 10'000;
   expect_backend_equivalence(
+      "amg",
+      [prm](ProcessCtx& proc) {
+        wl::Amg amg(proc, prm);
+        return amg.run().checksum;
+      },
+      pcfg);
+}
+
+// --------------------------------------------- epoch-sharded equivalence --
+
+// Raw execution state: the sockets-parallel run and its serial twin
+// must agree on every thread clock and machine counter.
+TEST(ShardedBackend, TeamStateMatchesSerialTwin) {
+  const auto run = [](bool serial) {
+    sim::Machine machine(node_config());
+    rt::ExecConfig exec;
+    exec.backend = rt::BackendKind::kSharded;
+    exec.sharded_serial = serial;
+    exec.epoch_rounds = 4;
+    rt::Team team(machine, kThreads, exec);
+    rt::Allocator alloc(machine);
+    rt::SimArray<double> a = rt::SimArray<double>::malloc_in(
+        alloc, team.master(), 1 << 14, 0x42);
+    for (int rep = 0; rep < 3; ++rep) {
+      team.parallel_for(
+          0, 1 << 14,
+          [&](rt::ThreadCtx& t, std::int64_t i) {
+            const auto u = static_cast<std::uint64_t>(i);
+            a.set(t, u, a.get(t, u, 0x50) + 1.0, 0x51);
+          },
+          64);
+      team.parallel_region([&](rt::ThreadCtx& t) { t.compute(10, 0x99); });
+    }
+    std::vector<sim::Cycles> clocks;
+    for (int t = 0; t < team.size(); ++t) {
+      clocks.push_back(team.thread(t).clock());
+    }
+    return std::tuple{clocks, machine.instructions_retired(),
+                      machine.memory_accesses()};
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+// Exceptions thrown inside a sharded parallel_for propagate to the
+// caller; the epoch barrier chain must not deadlock, queued deferred
+// accesses are discarded, and the pool stays usable.
+TEST(ShardedBackend, PropagatesBodyExceptions) {
+  sim::Machine machine(node_config());
+  rt::ExecConfig exec;
+  exec.backend = rt::BackendKind::kSharded;
+  rt::Team team(machine, kThreads, exec);
+  EXPECT_THROW(
+      team.parallel_for(0, 1000,
+                        [&](rt::ThreadCtx&, std::int64_t i) {
+                          if (i == 500) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  std::atomic<std::int64_t> n{0};
+  team.parallel_for(0, 100, [&](rt::ThreadCtx&, std::int64_t) { ++n; });
+  EXPECT_EQ(n.load(), 100);
+}
+
+// Allocation moves shared page-table policy state, which only the epoch
+// resolver may touch: the allocator must refuse it inside a sharded
+// parallel construct (workloads allocate in setup / Team::single).
+TEST(ShardedBackend, AllocationInsideConstructThrows) {
+  sim::Machine machine(node_config());
+  rt::ExecConfig exec;
+  exec.backend = rt::BackendKind::kSharded;
+  rt::Team team(machine, kThreads, exec);
+  rt::Allocator alloc(machine);
+  EXPECT_THROW(team.parallel_for(0, 8,
+                                 [&](rt::ThreadCtx& t, std::int64_t) {
+                                   alloc.malloc(t, 64, 0x77);
+                                 }),
+               std::logic_error);
+  // Quiescent again: allocation works.
+  EXPECT_NE(alloc.malloc(team.master(), 64, 0x77), 0u);
+}
+
+TEST(ShardedEquivalence, Amg) {
+  expect_sharded_equivalence("amg", [](ProcessCtx& proc) {
+    wl::Amg amg(proc, small_amg());
+    return amg.run().checksum;
+  });
+}
+
+TEST(ShardedEquivalence, Lulesh) {
+  wl::LuleshParams prm;
+  prm.nelem = 8'000;
+  prm.iters = 2;
+  expect_sharded_equivalence("lulesh", [prm](ProcessCtx& proc) {
+    wl::Lulesh lulesh(proc, prm);
+    return lulesh.run().checksum;
+  });
+}
+
+TEST(ShardedEquivalence, Streamcluster) {
+  wl::StreamclusterParams prm;
+  prm.npoints = 8'000;
+  prm.dim = 8;
+  prm.iters = 2;
+  expect_sharded_equivalence("streamcluster", [prm](ProcessCtx& proc) {
+    wl::Streamcluster sc(proc, prm);
+    return sc.run().checksum;
+  });
+}
+
+// Epoch length is a tuning knob, not a semantics knob *within* one
+// configuration: parallel and twin must agree at any epoch_rounds, and
+// single-round epochs maximize barrier traffic (the stress case).
+TEST(ShardedEquivalence, SingleRoundEpochs) {
+  wl::StreamclusterParams prm;
+  prm.npoints = 4'000;
+  prm.dim = 8;
+  prm.iters = 2;
+  expect_sharded_equivalence(
+      "streamcluster",
+      [prm](ProcessCtx& proc) {
+        wl::Streamcluster sc(proc, prm);
+        return sc.run().checksum;
+      },
+      {}, /*epoch_rounds=*/1);
+}
+
+// Memoization stays a pure optimization under replayed (snapshot-stack)
+// samples too: deferred-access samples bypass the memo, everything else
+// still uses it, and the output must not change.
+TEST(ShardedEquivalence, MemoizationOffIsStillIdentical) {
+  core::ProfilerConfig pcfg;
+  pcfg.memoized_attribution = false;
+  wl::AmgParams prm = small_amg();
+  prm.rows = 10'000;
+  expect_sharded_equivalence(
       "amg",
       [prm](ProcessCtx& proc) {
         wl::Amg amg(proc, prm);

@@ -5,13 +5,16 @@
 // Usage:
 //   dcprof_measure <amg|lulesh|streamcluster|nw|sweep3d> <out-dir>
 //                  [--event ibs|rmem] [--period N] [--threads N]
-//                  [--backend det|threads] [--throttle-budget N]
+//                  [--backend det|threads|sockets] [--throttle-budget N]
 //                  [--metrics-json <file>] [--trace-out <file>]
 //
 // --backend picks the rt execution backend: `det` (default) runs the
 // team on the deterministic round-robin scheduler, `threads` runs it on
 // real std::threads with deferred sample ingest — same profiles, true
-// multicore sample handling; --metrics-json enables the self-telemetry
+// multicore sample handling; `sockets` additionally overlaps the
+// *simulation* across socket shards, resolving cross-socket accesses at
+// deterministic epoch barriers (profiles byte-identical to its serial
+// twin); --metrics-json enables the self-telemetry
 // registry, dumps its snapshot as JSON, and prints the Table-1-style
 // overhead report; --trace-out enables the runtime event tracer and
 // writes Chrome trace_event JSON (loadable in Perfetto /
@@ -74,6 +77,28 @@ void print_cache_stats(core::Profiler& prof) {
               pct(v.mru_hits, v.mru_misses));
 }
 
+/// End-of-run summary for the epoch-sharded backend, from the telemetry
+/// registry (the counters are unconditional, so no --metrics-json
+/// needed): how much simulation was overlapped and what it cost.
+void print_sharded_stats() {
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  const std::uint64_t epochs = snap.value("rt.sharded.epochs");
+  const std::uint64_t remote = snap.value("rt.sharded.deferred{kind=remote}");
+  const std::uint64_t first =
+      snap.value("rt.sharded.deferred{kind=first_touch}");
+  const std::uint64_t cycles = snap.value("rt.sharded.deferred_cycles");
+  const std::uint64_t wait_ns = snap.value("rt.sharded.barrier_wait_ns");
+  std::printf("epoch-sharded: %llu epochs, %llu deferred accesses "
+              "(%llu remote, %llu first-touch), %llu deferred cycles, "
+              "%.2f ms barrier stall\n",
+              static_cast<unsigned long long>(epochs),
+              static_cast<unsigned long long>(remote + first),
+              static_cast<unsigned long long>(remote),
+              static_cast<unsigned long long>(first),
+              static_cast<unsigned long long>(cycles),
+              static_cast<double>(wait_ns) / 1e6);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,9 +121,10 @@ int main(int argc, char** argv) {
   p.option("--period", &period, "sampling period (0 = event default)");
   p.option("--threads", &threads, "team size for threaded workloads");
   p.option("--backend", &backend,
-           "execution backend: deterministic round-robin or true "
-           "multicore (std::thread + deferred sample ingest)",
-           "det|threads");
+           "execution backend: deterministic round-robin, true multicore "
+           "(std::thread + deferred sample ingest), or epoch-sharded "
+           "sockets (simulation overlapped across socket shards)",
+           "det|threads|sockets");
   p.option("--throttle-budget", &prof_cfg.throttle.budget_ns,
            "mean ns/sample budget for overload degradation (0 = off)");
   p.option("--metrics-json", &metrics_json,
@@ -207,6 +233,7 @@ int main(int argc, char** argv) {
                     cluster_var_stats.mru_misses),
                 pct(cluster_var_stats.mru_hits,
                     cluster_var_stats.mru_misses));
+    if (exec.backend == rt::BackendKind::kSharded) print_sharded_stats();
     std::printf("analyze with: dcprof_analyze %s --metric %s\n",
                 dir.c_str(), event == "ibs" ? "latency" : "rdram");
     return dump_telemetry("sweep3d");
@@ -235,6 +262,7 @@ int main(int argc, char** argv) {
   }
 
   print_cache_stats(*proc.profiler());
+  if (exec.backend == rt::BackendKind::kSharded) print_sharded_stats();
   const std::uint64_t bytes = proc.write_measurements(dir);
   std::printf("%s: %llu simulated cycles, checksum %.6g\n",
               workload.c_str(),
