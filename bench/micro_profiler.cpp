@@ -126,7 +126,7 @@ BENCHMARK(BM_Unwind)
 // heap/static/stack mix. `fast` toggles the attribution caches so the
 // memoized path can be compared against the uncached walk in one binary.
 struct AttrFixture {
-  AttrFixture(int depth, bool fast)
+  AttrFixture(int depth, bool fast, bool patterns = true)
       : machine(wl::node_config()), team(machine, 2) {
     exe = std::make_unique<binfmt::LoadModule>("bench", machine.aspace());
     modules.load(exe.get());
@@ -136,6 +136,7 @@ struct AttrFixture {
     core::ProfilerConfig cfg;
     cfg.memoized_attribution = fast;
     cfg.var_map_mru = fast;
+    cfg.access_patterns = patterns;
     profiler = std::make_unique<core::Profiler>(modules, cfg);
     profiler->register_team(team);
     rt::ThreadCtx& t = team.master();
@@ -239,6 +240,51 @@ void BM_SampleHandler(benchmark::State& state) {
   obs::Tracer::set_enabled(false);
 }
 BENCHMARK(BM_SampleHandler)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"telemetry"});
+
+// v4 access-pattern recording cost on the canonical BM_SampleHandler
+// workload: the same hot sample with the per-variable pattern tables
+// off (0) vs on (1) — one level/channel, reuse-distance, and stride
+// update per memory sample when on.
+// tools/run_bench.sh gates the on/off ratio at <= 5%.
+void BM_SampleHandlerPatterns(benchmark::State& state) {
+  AttrFixture f(32, true, state.range(0) != 0);
+  const pmu::Sample s = f.sample(AttrFixture::kHeapBase + 0x100);
+  for (auto _ : state) {
+    f.profiler->handle_sample(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+// Repetitions + median aggregates so the run_bench.sh gate compares a
+// stable statistic; pass --benchmark_enable_random_interleaving so the
+// on/off repetitions sample the same thermal window.
+BENCHMARK(BM_SampleHandlerPatterns)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"patterns"})
+    ->Repetitions(9)
+    ->ReportAggregatesOnly(true);
+
+// Worst-case pattern-recording cost: every sample lands on a new cache
+// line, so each record misses the same-line memo and probes (or grows)
+// the per-variable line table. Reported for visibility, not gated —
+// real sample streams cluster on hot lines.
+void BM_SampleHandlerPatternsStride(benchmark::State& state) {
+  AttrFixture f(32, true, state.range(0) != 0);
+  pmu::Sample samples[64];
+  for (int i = 0; i < 64; ++i) {
+    samples[i] =
+        f.sample(AttrFixture::kHeapBase + static_cast<sim::Addr>(i) * 64);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    f.profiler->handle_sample(samples[i++ & 63]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SampleHandlerPatternsStride)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"patterns"});
 
 void BM_MachineAccessL1Hit(benchmark::State& state) {
   sim::Machine machine(wl::node_config());

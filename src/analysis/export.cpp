@@ -1,0 +1,152 @@
+#include "analysis/export.h"
+
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "analysis/report.h"
+
+namespace dcprof::analysis {
+
+using core::Cct;
+using core::Metric;
+using core::NodeKind;
+using core::StorageClass;
+using core::ThreadProfile;
+
+namespace {
+
+/// Folded-stack frames use ';' as the separator and a space before the
+/// trailing weight; dot labels live inside double quotes.
+std::string fold_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    out.push_back(c == ';' || c == '\n' ? ':' : c);
+  }
+  return out;
+}
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c == '\n' ? ' ' : c);
+  }
+  return out;
+}
+
+/// Marks every node that survives a variable filter: the match's whole
+/// subtree plus the path from the root down to it. With no filter every
+/// node is in scope.
+std::vector<char> scope_of(const Cct& cct, const ThreadProfile& profile,
+                           const AnalysisContext& ctx,
+                           const std::string& filter) {
+  std::vector<char> in_scope(cct.size(), filter.empty() ? 1 : 0);
+  if (filter.empty() || cct.size() == 0) return in_scope;
+  // Returns whether the subtree under `id` contains a matching variable
+  // node; `under` is true once a matching ancestor has been seen.
+  const std::function<bool(Cct::NodeId, bool)> dfs = [&](Cct::NodeId id,
+                                                         bool under) {
+    const bool here =
+        variable_node_name(cct, id, profile, ctx) == filter;
+    bool hit = under || here;
+    bool below = false;
+    for (const Cct::NodeId kid : cct.children(id)) {
+      below = dfs(kid, hit) || below;
+    }
+    if (hit || below) in_scope[id] = 1;
+    return here || below;
+  };
+  dfs(Cct::kRootId, false);
+  return in_scope;
+}
+
+std::uint64_t grand_total(const ThreadProfile& profile, Metric metric) {
+  std::uint64_t grand = 0;
+  for (const auto& cct : profile.ccts) grand += cct.total()[metric];
+  return grand;
+}
+
+}  // namespace
+
+std::string render_folded(const ThreadProfile& profile,
+                          const AnalysisContext& ctx,
+                          const ExportOptions& options) {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < core::kNumStorageClasses; ++c) {
+    const Cct& cct = profile.ccts[c];
+    if (cct.size() == 0) continue;
+    const std::vector<char> in_scope =
+        scope_of(cct, profile, ctx, options.variable_filter);
+    std::vector<std::string> frames{to_string(static_cast<StorageClass>(c))};
+    const std::function<void(Cct::NodeId)> dfs = [&](Cct::NodeId id) {
+      if (id != Cct::kRootId) {
+        frames.push_back(
+            fold_escape(node_label(cct.node(id), profile.strings, ctx)));
+      }
+      const std::uint64_t weight = cct.node(id).metrics[options.metric];
+      // A filtered stack counts only inside the variable's subtree or on
+      // the spine above it — in_scope marks exactly those nodes.
+      if (weight > 0 && in_scope[id] != 0) {
+        for (std::size_t i = 0; i < frames.size(); ++i) {
+          out << (i > 0 ? ";" : "") << frames[i];
+        }
+        out << ' ' << weight << '\n';
+      }
+      for (const Cct::NodeId kid : cct.children(id)) dfs(kid);
+      if (id != Cct::kRootId) frames.pop_back();
+    };
+    dfs(Cct::kRootId);
+  }
+  return out.str();
+}
+
+std::string render_dot(const ThreadProfile& profile,
+                       const AnalysisContext& ctx,
+                       const ExportOptions& options) {
+  const std::uint64_t grand = grand_total(profile, options.metric);
+  std::ostringstream out;
+  out << "digraph dcprof {\n"
+      << "  rankdir=TB;\n"
+      << "  node [shape=box, fontsize=10];\n";
+  for (std::size_t c = 0; c < core::kNumStorageClasses; ++c) {
+    const Cct& cct = profile.ccts[c];
+    if (cct.size() == 0 || cct.total().empty()) continue;
+    const std::vector<char> in_scope =
+        scope_of(cct, profile, ctx, options.variable_filter);
+    const auto inc = cct.inclusive();
+    std::vector<char> emitted(cct.size(), 0);
+    out << "  subgraph cluster_" << c << " {\n"
+        << "    label=\"" << to_string(static_cast<StorageClass>(c))
+        << "\";\n";
+    for (Cct::NodeId id = 0; id < cct.size(); ++id) {
+      if (in_scope[id] == 0) continue;
+      const std::uint64_t value = inc[id][options.metric];
+      if (grand > 0 && static_cast<double>(value) <
+                           options.min_fraction * static_cast<double>(grand)) {
+        continue;
+      }
+      const double share =
+          grand > 0
+              ? static_cast<double>(value) / static_cast<double>(grand)
+              : 0.0;
+      emitted[id] = 1;
+      out << "    c" << c << "_n" << id << " [label=\""
+          << dot_escape(node_label(cct.node(id), profile.strings, ctx))
+          << "\\n" << value << " (" << format_percent(share) << ")\"];\n";
+    }
+    for (Cct::NodeId id = 1; id < cct.size(); ++id) {
+      const Cct::NodeId parent = cct.node(id).parent;
+      if (emitted[id] == 0 || emitted[parent] == 0) continue;
+      out << "    c" << c << "_n" << parent << " -> c" << c << "_n" << id
+          << ";\n";
+    }
+    out << "  }\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace dcprof::analysis

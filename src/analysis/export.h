@@ -1,0 +1,42 @@
+// CCT exchange formats: renders a merged profile's calling-context trees
+// as Graphviz dot or folded-stack flamegraph text (one `a;b;c weight`
+// line per stack, the format flamegraph.pl and speedscope ingest). Both
+// renderings are cost-weighted by a caller-chosen metric and can be
+// filtered to the subtrees owned by a single named variable — the
+// data-centric cut the paper's GUI makes interactively.
+#pragma once
+
+#include <string>
+
+#include "analysis/views.h"
+#include "core/profile.h"
+
+namespace dcprof::analysis {
+
+struct ExportOptions {
+  /// The metric whose exclusive value weighs each stack / node.
+  core::Metric metric = core::Metric::kLatency;
+  /// Dot only: hide nodes whose inclusive weight is below this share of
+  /// the profile-wide total (folded output is always complete — the
+  /// consumer tool does its own aggregation and zooming).
+  double min_fraction = 0.001;
+  /// When non-empty, keep only stacks that pass through a variable node
+  /// (allocation point or named static/stack variable) with this name.
+  std::string variable_filter;
+};
+
+/// Folded-stack flamegraph text over every storage class. Each line is
+/// `class;frame;...;frame weight` where the weight is the leaf node's
+/// exclusive metric value; lines appear in deterministic CCT order.
+std::string render_folded(const core::ThreadProfile& profile,
+                          const AnalysisContext& ctx,
+                          const ExportOptions& options = {});
+
+/// Graphviz digraph over every storage class with per-class subgraph
+/// clusters. Node labels carry the inclusive weight and share; edges
+/// follow CCT parent links. Deterministic node ids (`c<class>_n<id>`).
+std::string render_dot(const core::ThreadProfile& profile,
+                       const AnalysisContext& ctx,
+                       const ExportOptions& options = {});
+
+}  // namespace dcprof::analysis

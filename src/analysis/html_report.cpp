@@ -134,6 +134,67 @@ void emit_bottom_up(std::ostringstream& out, const ThreadProfile& profile,
   out << "</table>";
 }
 
+void emit_mem_levels(std::ostringstream& out, const ThreadProfile& profile,
+                     const AnalysisContext& ctx,
+                     const HtmlReportOptions& opt) {
+  const auto rows = mem_level_table(profile, ctx);
+  if (rows.empty()) return;
+  out << "<h2>Memory levels (per variable)</h2><table><tr><th>variable</th>"
+         "<th>class</th><th class=num>loads</th><th class=num>stores</th>"
+         "<th class=num>L1</th><th class=num>L2</th><th class=num>L3</th>"
+         "<th class=num>local DRAM</th><th class=num>remote DRAM</th></tr>";
+  for (std::size_t i = 0; i < rows.size() && i < opt.max_rows; ++i) {
+    const auto& r = rows[i];
+    out << "<tr><td>" << escape(r.name) << "</td><td>" << to_string(r.cls)
+        << "</td><td class=num>" << format_count(r.loads)
+        << "</td><td class=num>" << format_count(r.stores) << "</td>";
+    for (std::size_t l = 0; l < core::kNumMemLevels; ++l) {
+      out << "<td class=num>" << format_count(r.levels[l]) << "</td>";
+    }
+    out << "</tr>";
+  }
+  out << "</table>";
+}
+
+void emit_reuse(std::ostringstream& out, const ThreadProfile& profile,
+                const AnalysisContext& ctx, const HtmlReportOptions& opt) {
+  const auto rows = reuse_table(profile, ctx);
+  if (rows.empty()) return;
+  out << "<h2>Reuse distance</h2><table><tr><th>variable</th><th>class</th>"
+         "<th class=num>accesses</th><th class=num>footprint lines</th>"
+         "<th class=num>reuses</th><th class=num>median dist</th>"
+         "<th class=num>max dist</th></tr>";
+  for (std::size_t i = 0; i < rows.size() && i < opt.max_rows; ++i) {
+    const auto& r = rows[i];
+    out << "<tr><td>" << escape(r.name) << "</td><td>" << to_string(r.cls)
+        << "</td><td class=num>" << format_count(r.accesses)
+        << "</td><td class=num>" << format_count(r.cold_lines)
+        << "</td><td class=num>" << format_count(r.reuses)
+        << "</td><td class=num>&le;" << format_count(r.median_distance)
+        << "</td><td class=num>&le;" << format_count(r.max_distance)
+        << "</td></tr>";
+  }
+  out << "</table>";
+}
+
+void emit_strides(std::ostringstream& out, const ThreadProfile& profile,
+                  const AnalysisContext& ctx, const HtmlReportOptions& opt) {
+  const auto rows = stride_table(profile, ctx);
+  if (rows.empty()) return;
+  out << "<h2>Access strides</h2><table><tr><th>variable</th><th>class</th>"
+         "<th class=num>strides</th><th class=num>dominant</th>"
+         "<th class=num>share</th><th>pattern</th></tr>";
+  for (std::size_t i = 0; i < rows.size() && i < opt.max_rows; ++i) {
+    const auto& r = rows[i];
+    out << "<tr><td>" << escape(r.name) << "</td><td>" << to_string(r.cls)
+        << "</td><td class=num>" << format_count(r.strides)
+        << "</td><td class=num>&le;" << format_count(r.dominant_stride)
+        << "</td><td class=num>" << format_percent(r.dominant_share)
+        << "</td><td>" << to_string(r.pattern) << "</td></tr>";
+  }
+  out << "</table>";
+}
+
 void emit_top_down(std::ostringstream& out, const ThreadProfile& profile,
                    StorageClass cls, const AnalysisContext& ctx,
                    const HtmlReportOptions& opt,
@@ -214,6 +275,9 @@ std::string render_html_report(const ThreadProfile& profile,
   emit_variables(out, profile, ctx, options, summary);
   emit_accesses(out, profile, ctx, options);
   emit_bottom_up(out, profile, ctx, options);
+  emit_mem_levels(out, profile, ctx, options);
+  emit_reuse(out, profile, ctx, options);
+  emit_strides(out, profile, ctx, options);
   for (const StorageClass cls :
        {StorageClass::kHeap, StorageClass::kStatic, StorageClass::kStack,
         StorageClass::kUnknown}) {

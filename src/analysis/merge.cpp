@@ -25,6 +25,16 @@ void merge_into(ThreadProfile& dst, const ThreadProfile& src) {
   for (std::size_t c = 0; c < core::kNumStorageClasses; ++c) {
     dst.ccts[c].merge(src.ccts[c], remap);
   }
+  // Pattern tables fold after the CCTs (the serialized section order),
+  // name-remapped the same way so same-named variables coalesce.
+  dst.patterns.merge_from(
+      src.patterns, [&](std::uint8_t cls, std::uint64_t id) -> std::uint64_t {
+        if (cls == static_cast<std::uint8_t>(StorageClass::kStatic) ||
+            cls == static_cast<std::uint8_t>(StorageClass::kStack)) {
+          return dst.strings.intern(src.strings.str(id));
+        }
+        return id;
+      });
   if (dst.rank != src.rank) dst.rank = -1;  // aggregate across ranks
   dst.tid = -1;
 }
@@ -63,6 +73,14 @@ class StreamMerger final : public core::ProfileVisitor {
     const Cct::NodeId mine = cct.child(remap_[parent], kind, sym);
     remap_.push_back(mine);
     cct.add_metrics(mine, m);
+  }
+  void on_pattern(std::uint8_t cls, std::uint64_t id,
+                  const core::VarPattern& p) override {
+    if (cls == static_cast<std::uint8_t>(StorageClass::kStatic) ||
+        cls == static_cast<std::uint8_t>(StorageClass::kStack)) {
+      id = dst_.strings.intern(strings_[id]);
+    }
+    dst_.patterns.add(cls, id, p);
   }
 
   const core::MetricVec& total() const { return total_; }

@@ -394,6 +394,18 @@ AnalysisResult Analyzer::run(const fs::path& dir) const {
   if (views & kViewAdvice) {
     result.advice = advise(result.merged, ctx, options_.advisor);
   }
+  if (views & kViewMemLevels) {
+    result.mem_levels = mem_level_table(result.merged, ctx);
+    truncate_rows(result.mem_levels, options_.top_n);
+  }
+  if (views & kViewReuse) {
+    result.reuse = reuse_table(result.merged, ctx);
+    truncate_rows(result.reuse, options_.top_n);
+  }
+  if (views & kViewStrides) {
+    result.strides = stride_table(result.merged, ctx);
+    truncate_rows(result.strides, options_.top_n);
+  }
   result.timings.views_ms = ms_since(t_views);
   stage_views_us.add(us_of(result.timings.views_ms));
   if (obs::Tracer::enabled()) {

@@ -43,7 +43,10 @@ enum View : unsigned {
   kViewThreads = 1u << 5,      ///< per-profile totals (pre-merge)
   kViewAdvice = 1u << 6,       ///< rule-based optimization guidance
   kViewOverhead = 1u << 7,     ///< the analyzer's own telemetry report
-  kViewAll = (1u << 8) - 1,
+  kViewMemLevels = 1u << 8,    ///< per-variable memory-level breakdown
+  kViewReuse = 1u << 9,        ///< per-variable reuse-distance summary
+  kViewStrides = 1u << 10,     ///< per-variable stride classification
+  kViewAll = (1u << 11) - 1,
 };
 
 /// What the stream stage does with a profile file that fails validation.
@@ -111,6 +114,11 @@ struct AnalysisResult {
   std::vector<ThreadRow> threads;  ///< in profile-file order, pre-merge
   std::vector<Advice> advice;
   std::string overhead_report;     ///< kViewOverhead: Table-1-style text
+  // Memory-centric views over the v4 access-pattern tables (empty when
+  // the profile predates v4 or pattern recording was off).
+  std::vector<MemLevelRow> mem_levels;
+  std::vector<ReuseRow> reuse;
+  std::vector<StrideRow> strides;
 
   /// Label-resolution context wired to this result's structure data.
   /// Rebuild after moving the result; the context borrows from it.
@@ -130,7 +138,8 @@ class Analyzer {
     core::Metric sort_metric = core::Metric::kLatency;
     /// Which tables to compute after the merge.
     unsigned views = kViewSummary | kViewVariables | kViewHotAccesses |
-                     kViewFunctions | kViewThreads;
+                     kViewFunctions | kViewThreads | kViewMemLevels |
+                     kViewReuse | kViewStrides;
     /// What to do with files that fail validation (after one re-read to
     /// rule out transient I/O errors). The merged output is unaffected
     /// by the choice between kSkip and kQuarantine: both fold exactly

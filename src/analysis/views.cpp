@@ -262,6 +262,216 @@ std::vector<FunctionRow> function_table(const ThreadProfile& profile,
   return rows;
 }
 
+std::string variable_node_name(const Cct& cct, Cct::NodeId id,
+                               const ThreadProfile& profile,
+                               const AnalysisContext& ctx) {
+  const Cct::Node& n = cct.node(id);
+  if (n.kind == NodeKind::kAllocPoint) {
+    return heap_var_name(heap_var_ip(cct, id, ctx), ctx);
+  }
+  if (n.kind == NodeKind::kVarStatic && n.sym < profile.strings.size()) {
+    return profile.strings.str(n.sym);
+  }
+  return {};
+}
+
+std::string pattern_var_name(const core::VarPatternKey& key,
+                             const ThreadProfile& profile,
+                             const AnalysisContext& ctx) {
+  switch (static_cast<StorageClass>(key.cls)) {
+    case StorageClass::kHeap:
+      return heap_var_name(key.id, ctx);
+    case StorageClass::kStatic:
+    case StorageClass::kStack:
+      if (key.id < profile.strings.size()) {
+        return profile.strings.str(key.id);
+      }
+      return "<bad name " + std::to_string(key.id) + ">";
+    default:
+      return "unknown data";
+  }
+}
+
+namespace {
+
+/// Shared iteration: rows come out in pattern-table (cls, id) order and
+/// are then sorted descending by sampled access count.
+template <typename Row, typename Fill>
+std::vector<Row> pattern_rows(const ThreadProfile& profile,
+                              const AnalysisContext& ctx, Fill fill) {
+  std::vector<Row> rows;
+  rows.reserve(profile.patterns.size());
+  for (const auto& [key, pat] : profile.patterns.vars()) {
+    Row row;
+    row.name = pattern_var_name(key, profile, ctx);
+    row.cls = static_cast<StorageClass>(key.cls);
+    row.accesses = pat.accesses;
+    fill(row, pat);
+    rows.push_back(std::move(row));
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.accesses > b.accesses;
+  });
+  return rows;
+}
+
+}  // namespace
+
+std::vector<MemLevelRow> mem_level_table(const ThreadProfile& profile,
+                                         const AnalysisContext& ctx) {
+  return pattern_rows<MemLevelRow>(
+      profile, ctx, [](MemLevelRow& row, const core::VarPattern& pat) {
+        row.loads = pat.loads();
+        row.stores = pat.stores();
+        for (std::size_t l = 0; l < core::kNumMemLevels; ++l) {
+          row.levels[l] = pat.level_channel[l][0] + pat.level_channel[l][1];
+        }
+      });
+}
+
+std::vector<ReuseRow> reuse_table(const ThreadProfile& profile,
+                                  const AnalysisContext& ctx) {
+  return pattern_rows<ReuseRow>(
+      profile, ctx, [](ReuseRow& row, const core::VarPattern& pat) {
+        row.cold_lines = pat.cold_lines;
+        row.footprint_bytes = pat.cold_lines << core::kPatternLineShift;
+        for (std::size_t b = 0; b < core::kPatternBuckets; ++b) {
+          row.reuses += pat.reuse[b];
+          if (pat.reuse[b] > 0) {
+            row.max_distance = core::pattern_bucket_limit(b);
+          }
+        }
+        // Median: first bucket where the cumulative count crosses half.
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < core::kPatternBuckets; ++b) {
+          cum += pat.reuse[b];
+          if (2 * cum >= row.reuses && row.reuses > 0) {
+            row.median_distance = core::pattern_bucket_limit(b);
+            break;
+          }
+        }
+      });
+}
+
+const char* to_string(StridePattern p) {
+  switch (p) {
+    case StridePattern::kSequential: return "sequential";
+    case StridePattern::kStrided: return "strided";
+    case StridePattern::kRandom: return "random";
+    case StridePattern::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+std::vector<StrideRow> stride_table(const ThreadProfile& profile,
+                                    const AnalysisContext& ctx) {
+  return pattern_rows<StrideRow>(
+      profile, ctx, [](StrideRow& row, const core::VarPattern& pat) {
+        row.footprint_bytes = pat.cold_lines << core::kPatternLineShift;
+        std::uint64_t within_line = 0;
+        std::size_t modal = 0;
+        for (std::size_t b = 0; b < core::kPatternBuckets; ++b) {
+          const std::uint64_t n = pat.stride[b];
+          row.strides += n;
+          // Bucket b covers values < bucket_limit(b); a delta under the
+          // 64-byte line size counts as staying within one line.
+          if (core::pattern_bucket_limit(b) <=
+              (1ull << core::kPatternLineShift)) {
+            within_line += n;
+          }
+          if (n > pat.stride[modal]) modal = b;
+        }
+        if (row.strides == 0) {
+          row.pattern = StridePattern::kUnknown;
+          return;
+        }
+        row.dominant_stride = core::pattern_bucket_limit(modal);
+        row.dominant_share = static_cast<double>(pat.stride[modal]) /
+                             static_cast<double>(row.strides);
+        // Sequential: at least 2/3 of successive sampled addresses stay
+        // within one cache line. Strided: one larger stride bucket holds
+        // at least half of all deltas. Anything else: random.
+        if (3 * within_line >= 2 * row.strides) {
+          row.pattern = StridePattern::kSequential;
+        } else if (2 * pat.stride[modal] >= row.strides) {
+          row.pattern = StridePattern::kStrided;
+        } else {
+          row.pattern = StridePattern::kRandom;
+        }
+      });
+}
+
+namespace {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1fGiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  } else if (bytes >= 1024ull * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1fMiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof buf, "%.1fKiB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string render_mem_levels(const std::vector<MemLevelRow>& rows,
+                              std::size_t max_rows) {
+  Table table({"variable", "class", "accesses", "loads", "stores", "L1",
+               "L2", "L3", "local-DRAM", "remote-DRAM"});
+  std::size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ >= max_rows) break;
+    table.add_row({row.name, to_string(row.cls), format_count(row.accesses),
+                   format_count(row.loads), format_count(row.stores),
+                   format_count(row.levels[0]), format_count(row.levels[1]),
+                   format_count(row.levels[2]), format_count(row.levels[3]),
+                   format_count(row.levels[4])});
+  }
+  return table.render();
+}
+
+std::string render_reuse(const std::vector<ReuseRow>& rows,
+                         std::size_t max_rows) {
+  Table table({"variable", "class", "accesses", "footprint", "reuses",
+               "median-dist", "max-dist"});
+  std::size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ >= max_rows) break;
+    table.add_row({row.name, to_string(row.cls), format_count(row.accesses),
+                   format_bytes(row.footprint_bytes),
+                   format_count(row.reuses),
+                   "<=" + format_count(row.median_distance),
+                   "<=" + format_count(row.max_distance)});
+  }
+  return table.render();
+}
+
+std::string render_strides(const std::vector<StrideRow>& rows,
+                           std::size_t max_rows) {
+  Table table({"variable", "class", "accesses", "strides", "dominant",
+               "share", "footprint", "pattern"});
+  std::size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ >= max_rows) break;
+    table.add_row({row.name, to_string(row.cls), format_count(row.accesses),
+                   format_count(row.strides),
+                   "<=" + format_count(row.dominant_stride),
+                   format_percent(row.dominant_share),
+                   format_bytes(row.footprint_bytes),
+                   to_string(row.pattern)});
+  }
+  return table.render();
+}
+
 std::vector<ThreadRow> thread_table(
     const std::vector<ThreadProfile>& profiles) {
   std::vector<ThreadRow> rows;

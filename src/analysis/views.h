@@ -112,6 +112,88 @@ struct ThreadRow {
 std::vector<ThreadRow> thread_table(
     const std::vector<core::ThreadProfile>& profiles);
 
+/// Display name of a variable-owning node (kAllocPoint or kVarStatic)
+/// as the variable views would print it; empty for every other kind.
+std::string variable_node_name(const core::Cct& cct, core::Cct::NodeId id,
+                               const core::ThreadProfile& profile,
+                               const AnalysisContext& ctx);
+
+/// Names the variable behind one access-pattern table key (heap keys are
+/// allocation IPs, static/stack keys are interned names, unknown is 0).
+std::string pattern_var_name(const core::VarPatternKey& key,
+                             const core::ThreadProfile& profile,
+                             const AnalysisContext& ctx);
+
+/// Per-variable memory-level breakdown: where the variable's sampled
+/// loads and stores were satisfied (the paper's GUI shows this as the
+/// per-variable metric columns; v4 profiles carry it per sample).
+struct MemLevelRow {
+  std::string name;
+  core::StorageClass cls = core::StorageClass::kUnknown;
+  std::uint64_t accesses = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  /// loads+stores satisfied per level (L1, L2, L3, local DRAM, remote).
+  std::uint64_t levels[core::kNumMemLevels] = {};
+};
+
+std::vector<MemLevelRow> mem_level_table(const core::ThreadProfile& profile,
+                                         const AnalysisContext& ctx);
+
+/// Per-variable reuse-distance summary, derived from the v4 reuse
+/// histogram: footprint (cold lines x line size), reuse count, and the
+/// median / maximum reuse distance as power-of-2 bucket upper bounds.
+struct ReuseRow {
+  std::string name;
+  core::StorageClass cls = core::StorageClass::kUnknown;
+  std::uint64_t accesses = 0;
+  std::uint64_t cold_lines = 0;       ///< distinct cache lines touched
+  std::uint64_t footprint_bytes = 0;  ///< cold_lines << kPatternLineShift
+  std::uint64_t reuses = 0;           ///< histogram total (re-touches)
+  std::uint64_t median_distance = 0;  ///< bucket limit of the median reuse
+  std::uint64_t max_distance = 0;     ///< bucket limit of the largest reuse
+};
+
+std::vector<ReuseRow> reuse_table(const core::ThreadProfile& profile,
+                                  const AnalysisContext& ctx);
+
+/// How a variable walks memory, judged from its stride histogram.
+enum class StridePattern : std::uint8_t {
+  kSequential,  ///< most strides stay within one cache line
+  kStrided,     ///< one non-sequential stride bucket dominates
+  kRandom,      ///< no dominant stride
+  kUnknown,     ///< fewer than two sampled addresses
+};
+
+const char* to_string(StridePattern p);
+
+/// Per-variable stride/footprint classification (tentpole view 3).
+struct StrideRow {
+  std::string name;
+  core::StorageClass cls = core::StorageClass::kUnknown;
+  std::uint64_t accesses = 0;
+  std::uint64_t strides = 0;           ///< recorded successive-address deltas
+  std::uint64_t dominant_stride = 0;   ///< bucket limit of the modal stride
+  double dominant_share = 0.0;         ///< modal bucket / all strides
+  std::uint64_t footprint_bytes = 0;
+  StridePattern pattern = StridePattern::kUnknown;
+};
+
+std::vector<StrideRow> stride_table(const core::ThreadProfile& profile,
+                                    const AnalysisContext& ctx);
+
+/// Renders the per-variable memory-level matrix.
+std::string render_mem_levels(const std::vector<MemLevelRow>& rows,
+                              std::size_t max_rows = 20);
+
+/// Renders the reuse-distance summary table.
+std::string render_reuse(const std::vector<ReuseRow>& rows,
+                         std::size_t max_rows = 20);
+
+/// Renders the stride classification table.
+std::string render_strides(const std::vector<StrideRow>& rows,
+                           std::size_t max_rows = 20);
+
 struct TopDownOptions {
   core::Metric metric = core::Metric::kLatency;
   double min_fraction = 0.01;  ///< hide subtrees below this share

@@ -12,6 +12,8 @@ const char* to_string(Metric m) {
     case Metric::kLocalDram: return "L_DRAM";
     case Metric::kRemoteDram: return "R_DRAM";
     case Metric::kTlbMiss: return "TLB_MISS";
+    case Metric::kLoads: return "LOADS";
+    case Metric::kStores: return "STORES";
     case Metric::kCount_: break;
   }
   return "?";

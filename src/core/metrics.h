@@ -18,11 +18,16 @@ enum class Metric : std::uint8_t {
   kLocalDram,
   kRemoteDram,  ///< the paper's PM_MRK_DATA_FROM_RMEM-style NUMA metric
   kTlbMiss,
+  kLoads,   ///< sampled load channel (v4)
+  kStores,  ///< sampled store channel (v4)
   kCount_,
 };
 
 inline constexpr std::size_t kNumMetrics =
     static_cast<std::size_t>(Metric::kCount_);
+/// Metric slots a format-version-3 node record carries (v3 predates the
+/// load/store channel split; missing slots read as zero).
+inline constexpr std::size_t kNumMetricsV3 = 8;
 
 const char* to_string(Metric m);
 
@@ -61,6 +66,7 @@ struct MetricVec {
       case sim::MemLevel::kRemoteDram: m[Metric::kRemoteDram] = 1; break;
     }
     if (s.tlb_miss) m[Metric::kTlbMiss] = 1;
+    m[s.is_store ? Metric::kStores : Metric::kLoads] = 1;
     return m;
   }
 };

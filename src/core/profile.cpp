@@ -108,6 +108,22 @@ void write_cct(std::ostream& o, const Cct& cct) {
   }
 }
 
+void write_patterns(std::ostream& o, const AccessPatternTable& patterns) {
+  put_u32(o, static_cast<std::uint32_t>(patterns.size()));
+  for (const auto& [key, p] : patterns.vars()) {
+    put_u8(o, key.cls);
+    put_u64(o, key.id);
+    put_u64(o, p.accesses);
+    put_u64(o, p.cold_lines);
+    for (std::size_t l = 0; l < kNumMemLevels; ++l) {
+      put_u64(o, p.level_channel[l][0]);
+      put_u64(o, p.level_channel[l][1]);
+    }
+    for (auto v : p.reuse) put_u64(o, v);
+    for (auto v : p.stride) put_u64(o, v);
+  }
+}
+
 }  // namespace
 
 const char* to_string(StorageClass c) {
@@ -146,6 +162,7 @@ void ThreadProfile::write(std::ostream& out) const {
     payload.write(s.data(), static_cast<std::streamsize>(s.size()));
   }
   for (const auto& c : ccts) write_cct(payload, c);
+  write_patterns(payload, patterns);
 
   const std::string bytes = std::move(payload).str();
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
@@ -161,18 +178,21 @@ void ThreadProfile::scan(std::istream& in, ProfileVisitor& visitor) {
   if (magic != kMagic) throw std::runtime_error("bad profile magic");
   const std::uint32_t version = r.u32();
   r.require("header");
+  if (version == 2) {
+    throw std::runtime_error(
+        "unsupported profile version 2: v2 support was removed; re-record "
+        "with a current dcprof_measure");
+  }
   if (version != kProfileFormatVersion &&
-      version != kProfileFormatLegacyVersion) {
+      version != kProfileFormatPrevVersion) {
     throw std::runtime_error("bad profile version");
   }
   ProfileFraming framing;
   framing.version = version;
-  if (version >= 3) {
-    framing.flags = r.u32();
-    framing.sampling_period = r.u64();
-    framing.effective_period = r.u64();
-    r.require("header flags");
-  }
+  framing.flags = r.u32();
+  framing.sampling_period = r.u64();
+  framing.effective_period = r.u64();
+  r.require("header flags");
   const auto rank = static_cast<std::int32_t>(r.u32());
   const auto tid = static_cast<std::int32_t>(r.u32());
   const std::uint32_t nstrings = r.u32();
@@ -211,7 +231,10 @@ void ThreadProfile::scan(std::istream& in, ProfileVisitor& visitor) {
       const std::uint64_t sym = r.u64();
       const std::uint32_t parent = r.u32();
       MetricVec m;
-      for (auto& x : m.v) x = r.u64();
+      // v3 node records predate the load/store channel slots; the
+      // missing metrics read as zero.
+      const std::size_t nmetrics = version >= 4 ? kNumMetrics : kNumMetricsV3;
+      for (std::size_t x = 0; x < nmetrics; ++x) m.v[x] = r.u64();
       r.require("cct node");
       if (kind_raw > static_cast<std::uint8_t>(NodeKind::kVarStatic)) {
         throw std::runtime_error("corrupt profile: unknown CCT node kind");
@@ -238,21 +261,62 @@ void ThreadProfile::scan(std::istream& in, ProfileVisitor& visitor) {
       visitor.on_node(c, kind, sym, parent, m);
     }
   }
-  if (version >= 3) {
-    // Footer: not part of the checksummed payload, read raw.
-    const std::uint32_t footer_magic = get_u32_raw(in);
-    const std::uint64_t payload_bytes = get_u64_raw(in);
-    const std::uint32_t crc = get_u32_raw(in);
-    if (!in) throw std::runtime_error("truncated profile: footer");
-    if (footer_magic != kFooterMagic) {
-      throw std::runtime_error("corrupt profile: bad footer magic");
+  if (version >= 4) {
+    const std::uint32_t nvars = r.u32();
+    r.require("pattern table count");
+    visitor.on_patterns(nvars);
+    bool have_prev = false;
+    VarPatternKey prev;
+    for (std::uint32_t i = 0; i < nvars; ++i) {
+      const std::uint8_t cls = r.u8();
+      const std::uint64_t id = r.u64();
+      VarPattern p;
+      p.accesses = r.u64();
+      p.cold_lines = r.u64();
+      for (std::size_t l = 0; l < kNumMemLevels; ++l) {
+        p.level_channel[l][0] = r.u64();
+        p.level_channel[l][1] = r.u64();
+      }
+      for (auto& v : p.reuse) v = r.u64();
+      for (auto& v : p.stride) v = r.u64();
+      r.require("pattern entry");
+      if (cls >= kNumStorageClasses ||
+          cls == static_cast<std::uint8_t>(StorageClass::kNoMem)) {
+        throw std::runtime_error(
+            "corrupt profile: pattern entry with bad storage class");
+      }
+      const bool names_string =
+          cls == static_cast<std::uint8_t>(StorageClass::kStatic) ||
+          cls == static_cast<std::uint8_t>(StorageClass::kStack);
+      if (names_string && id >= nstrings) {
+        throw std::runtime_error(
+            "corrupt profile: pattern variable name id out of range");
+      }
+      // Writers emit the table in strictly increasing key order; anything
+      // else would not round-trip byte-identically.
+      const VarPatternKey key{cls, id};
+      if (have_prev && !(prev < key)) {
+        throw std::runtime_error(
+            "corrupt profile: pattern entries out of order");
+      }
+      prev = key;
+      have_prev = true;
+      visitor.on_pattern(cls, id, p);
     }
-    if (payload_bytes != r.count()) {
-      throw std::runtime_error("corrupt profile: payload length mismatch");
-    }
-    if (crc != r.crc()) {
-      throw std::runtime_error("corrupt profile: checksum mismatch");
-    }
+  }
+  // Footer: not part of the checksummed payload, read raw.
+  const std::uint32_t footer_magic = get_u32_raw(in);
+  const std::uint64_t payload_bytes = get_u64_raw(in);
+  const std::uint32_t crc = get_u32_raw(in);
+  if (!in) throw std::runtime_error("truncated profile: footer");
+  if (footer_magic != kFooterMagic) {
+    throw std::runtime_error("corrupt profile: bad footer magic");
+  }
+  if (payload_bytes != r.count()) {
+    throw std::runtime_error("corrupt profile: payload length mismatch");
+  }
+  if (crc != r.crc()) {
+    throw std::runtime_error("corrupt profile: checksum mismatch");
   }
 }
 
@@ -283,6 +347,10 @@ class ProfileBuilder : public ProfileVisitor {
   void on_node(std::size_t, NodeKind kind, std::uint64_t sym,
                std::uint32_t parent, const MetricVec& metrics) override {
     nodes_.push_back(Cct::Node{kind, sym, parent, metrics});
+  }
+  void on_pattern(std::uint8_t cls, std::uint64_t id,
+                  const VarPattern& p) override {
+    profile.patterns.add(cls, id, p);
   }
   void flush() {
     if (!pending_) return;
@@ -318,6 +386,12 @@ class SalvagingBuilder final : public ProfileBuilder {
   void on_node(std::size_t c, NodeKind kind, std::uint64_t sym,
                std::uint32_t parent, const MetricVec& metrics) override {
     ProfileBuilder::on_node(c, kind, sym, parent, metrics);
+    ++kept_;
+  }
+  void on_patterns(std::uint32_t count) override { declared_ += count; }
+  void on_pattern(std::uint8_t cls, std::uint64_t id,
+                  const VarPattern& p) override {
+    ProfileBuilder::on_pattern(cls, id, p);
     ++kept_;
   }
 

@@ -1,16 +1,20 @@
 // A per-thread data-centric profile: one CCT per storage class, plus the
 // compact binary serialization used for post-mortem analysis.
 //
-// On-disk `.dcpf` framing (format version 3):
+// On-disk `.dcpf` framing (format version 4):
 //
 //   header   magic, version, flags, sampling_period, effective_period
-//   body     rank, tid, string table, one CCT per storage class
+//   body     rank, tid, string table, one CCT per storage class,
+//            access-pattern table (v4: per-variable memory-level/channel
+//            matrix + reuse-distance and stride histograms)
 //   footer   footer magic, payload byte count, CRC32C over header+body
 //
 // The footer is what makes the measurement->analysis handoff crash-safe:
 // a torn or bit-flipped file fails the checksum instead of silently
-// poisoning the merged profile. Version-2 files (no flags/periods, no
-// footer) are still accepted for one release; see ThreadProfile::scan.
+// poisoning the merged profile. Version-3 files (8 metric slots per
+// node, no pattern table) still read and upgrade byte-identically on
+// rewrite; version 2 (pre-footer) is no longer accepted — see
+// ThreadProfile::scan.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +22,7 @@
 #include <string>
 
 #include "core/cct.h"
+#include "core/patterns.h"
 #include "core/string_table.h"
 
 namespace dcprof::core {
@@ -38,8 +43,8 @@ inline constexpr std::size_t kNumStorageClasses = 5;
 const char* to_string(StorageClass c);
 
 /// Current and still-readable previous `.dcpf` format versions.
-inline constexpr std::uint32_t kProfileFormatVersion = 3;
-inline constexpr std::uint32_t kProfileFormatLegacyVersion = 2;
+inline constexpr std::uint32_t kProfileFormatVersion = 4;
+inline constexpr std::uint32_t kProfileFormatPrevVersion = 3;
 
 /// Header flag bits (version >= 3).
 enum ProfileFlags : std::uint32_t {
@@ -77,11 +82,14 @@ class ProfileVisitor {
   virtual void on_node(std::size_t /*class_index*/, NodeKind /*kind*/,
                        std::uint64_t /*sym*/, std::uint32_t /*parent*/,
                        const MetricVec& /*metrics*/) {}
+  virtual void on_patterns(std::uint32_t /*var_count*/) {}
+  virtual void on_pattern(std::uint8_t /*cls*/, std::uint64_t /*id*/,
+                          const VarPattern& /*pattern*/) {}
 };
 
 /// Outcome of a recovery-mode (salvaging) read: how much of the file's
-/// record stream survived. A "record" is one string-table entry or one
-/// CCT node.
+/// record stream survived. A "record" is one string-table entry, one
+/// CCT node, or one access-pattern entry.
 struct SalvageResult {
   std::size_t records_kept = 0;     ///< records parsed and retained
   std::size_t records_dropped = 0;  ///< declared records lost to the error
@@ -98,6 +106,9 @@ struct ThreadProfile {
   std::uint64_t effective_period = 0;
   StringTable strings;
   Cct ccts[kNumStorageClasses];
+  /// Per-variable memory-level/channel and reuse/stride analytics,
+  /// recorded at attribution time (v4 body section).
+  AccessPatternTable patterns;
 
   Cct& cct(StorageClass c) { return ccts[static_cast<std::size_t>(c)]; }
   const Cct& cct(StorageClass c) const {
@@ -117,12 +128,13 @@ struct ThreadProfile {
 
   /// Streaming parse: walks one serialized profile and feeds `visitor`
   /// without building a ThreadProfile. Validates the format as it goes
-  /// (magic/version, truncation, node ordering, string references, and —
-  /// for version >= 3 — the footer CRC32C) and throws std::runtime_error
-  /// on the first inconsistency, leaving the stream wherever the error
-  /// was detected. Legacy version-2 streams are accepted (no footer to
-  /// verify). `read` and the analyzer's streaming merge are both built
-  /// on this.
+  /// (magic/version, truncation, node ordering, string references,
+  /// pattern-key ordering, and the footer CRC32C) and throws
+  /// std::runtime_error on the first inconsistency, leaving the stream
+  /// wherever the error was detected. Version-3 streams are accepted
+  /// (no pattern section, 8 metric slots per node); version 2 is
+  /// rejected with a clear error. `read` and the analyzer's streaming
+  /// merge are both built on this.
   static void scan(std::istream& in, ProfileVisitor& visitor);
 
   /// Recovery-mode read: like `read`, but on a framing/truncation/

@@ -20,6 +20,18 @@ std::uint64_t steady_ns() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+/// One access-pattern table update, keyed per patterns.h (heap -> the
+/// variable-identifying allocation-path IP, static/stack -> interned
+/// name, unknown -> 0). Runs on the owning thread at attribution time,
+/// so per-thread recording order matches the deterministic backend
+/// exactly.
+void record_pattern(ThreadProfile& tp, StorageClass cls, std::uint64_t id,
+                    const pmu::Sample& s) {
+  tp.patterns.record(static_cast<std::uint8_t>(cls), id, s.eaddr, s.is_store,
+                     static_cast<std::uint8_t>(s.source));
+}
+
 }  // namespace
 
 Profiler::Telemetry::Telemetry() {
@@ -276,6 +288,9 @@ void Profiler::attribute_sample(const pmu::Sample& sample, rt::ThreadCtx& ctx,
 
   if (const HeapBlock* block = var_map_.find(sample.eaddr)) {
     tm_.class_samples[static_cast<std::size_t>(StorageClass::kHeap)].inc();
+    if (cfg_.access_patterns) {
+      record_pattern(tp, StorageClass::kHeap, block->pattern_id, sample);
+    }
     // Prepend the variable's allocation path (possibly unwound in another
     // thread; AllocPaths are immutable so this copy is lock-free), then
     // the dummy data node, then this sample's own calling context.
@@ -310,6 +325,9 @@ void Profiler::attribute_sample(const pmu::Sample& sample, rt::ThreadCtx& ctx,
       name = tp.strings.intern(hit->sym->name);
       as.static_names.emplace(hit->sym->lo, name);
     }
+    if (cfg_.access_patterns) {
+      record_pattern(tp, StorageClass::kStatic, name, sample);
+    }
     Cct& cct = tp.cct(StorageClass::kStatic);
     const Cct::NodeId dummy =
         cct.child(Cct::kRootId, NodeKind::kVarStatic, name);
@@ -329,6 +347,9 @@ void Profiler::attribute_sample(const pmu::Sample& sample, rt::ThreadCtx& ctx,
           "stack (thread " + std::to_string(static_cast<long>(owner)) + ")");
       as.stack_names.emplace(owner, name);
     }
+    if (cfg_.access_patterns) {
+      record_pattern(tp, StorageClass::kStack, name, sample);
+    }
     Cct& cct = tp.cct(StorageClass::kStack);
     const Cct::NodeId dummy =
         cct.child(Cct::kRootId, NodeKind::kVarStatic, name);
@@ -338,6 +359,9 @@ void Profiler::attribute_sample(const pmu::Sample& sample, rt::ThreadCtx& ctx,
   }
 
   tm_.class_samples[static_cast<std::size_t>(StorageClass::kUnknown)].inc();
+  if (cfg_.access_patterns) {
+    record_pattern(tp, StorageClass::kUnknown, 0, sample);
+  }
   attribute_context(tp, StorageClass::kUnknown, as, Cct::kRootId,
                     ctx.call_stack(), leaf_ip, m, use_memo);
 }
@@ -446,13 +470,23 @@ void Profiler::attribute_pending(const PendingSample& rec, ThreadIngest& ti,
   const std::span<const sim::Addr> stack(ti.stack_arena.data() + rec.stack_off,
                                          rec.stack_len);
   const bool use_memo = !rec.replayed;
+  // Same per-class pattern updates as the synchronous path, replayed in
+  // sample order by the owning thread's drain — the recorded sequence
+  // (and so the serialized table) is byte-identical across backends.
   switch (rec.cls) {
     case StorageClass::kNoMem:
     case StorageClass::kUnknown:
+      if (cfg_.access_patterns && rec.cls == StorageClass::kUnknown) {
+        record_pattern(tp, StorageClass::kUnknown, 0, rec.sample);
+      }
       attribute_context(tp, rec.cls, as, Cct::kRootId, stack, leaf_ip, m,
                         use_memo);
       break;
     case StorageClass::kHeap: {
+      if (cfg_.access_patterns) {
+        record_pattern(tp, StorageClass::kHeap, rec.heap_path->pattern_id,
+                       rec.sample);
+      }
       Cct& cct = tp.cct(StorageClass::kHeap);
       Cct::NodeId anchor;
       // The heap-anchor memo keys on the interned path pointer, not the
@@ -475,6 +509,9 @@ void Profiler::attribute_pending(const PendingSample& rec, ThreadIngest& ti,
     }
     case StorageClass::kStatic:
     case StorageClass::kStack: {
+      if (cfg_.access_patterns) {
+        record_pattern(tp, rec.cls, rec.var_name, rec.sample);
+      }
       Cct& cct = tp.cct(rec.cls);
       const Cct::NodeId dummy =
           cct.child(Cct::kRootId, NodeKind::kVarStatic, rec.var_name);

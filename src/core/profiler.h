@@ -84,6 +84,11 @@ struct ProfilerConfig {
   bool memoized_attribution = true;
   /// MRU cache in front of the heap interval map (see HeapVarMap).
   bool var_map_mru = true;
+  /// Per-variable access-pattern analytics (memory-level/channel matrix,
+  /// reuse-distance and stride histograms), recorded at attribution time
+  /// into the owning thread's profile. Off leaves the v4 pattern table
+  /// empty; profiles are otherwise unchanged.
+  bool access_patterns = true;
 };
 
 /// Point-in-time view of a profiler's registry counters

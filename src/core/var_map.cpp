@@ -7,6 +7,7 @@ namespace dcprof::core {
 std::shared_ptr<const AllocPath> AllocPathSet::intern(AllocPath path) {
   auto it = paths_.find(path);
   if (it != paths_.end()) return it->second;
+  path.pattern_id = path.frames.empty() ? path.alloc_ip : path.frames.back();
   auto ptr = std::make_shared<const AllocPath>(path);
   paths_.emplace(std::move(path), ptr);
   return ptr;
@@ -16,7 +17,8 @@ void HeapVarMap::insert(sim::Addr base, std::uint64_t size,
                         std::shared_ptr<const AllocPath> path) {
   // Overwriting an existing base updates the mapped HeapBlock in place,
   // so a cached pointer to it stays valid and sees the new extent.
-  blocks_[base] = HeapBlock{base, size, std::move(path)};
+  const std::uint64_t pattern_id = path ? path->pattern_id : 0;
+  blocks_[base] = HeapBlock{base, size, std::move(path), pattern_id};
 }
 
 std::optional<HeapBlock> HeapVarMap::erase(sim::Addr base) {

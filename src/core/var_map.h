@@ -23,6 +23,12 @@ namespace dcprof::core {
 struct AllocPath {
   std::vector<sim::Addr> frames;
   sim::Addr alloc_ip = 0;
+  /// Pattern-table id of the heap variable this path allocates: the
+  /// innermost caller (where allocator wrappers are annotated), falling
+  /// back to the allocation instruction. Derived from the fields above
+  /// and stored by AllocPathSet::intern so the sample hot path reads
+  /// one field instead of chasing the frame vector.
+  std::uint64_t pattern_id = 0;
 
   bool operator==(const AllocPath& o) const {
     return alloc_ip == o.alloc_ip && frames == o.frames;
@@ -54,6 +60,9 @@ struct HeapBlock {
   sim::Addr base = 0;
   std::uint64_t size = 0;
   std::shared_ptr<const AllocPath> path;  ///< null for untracked blocks
+  /// Copy of path->pattern_id (0 when untracked), kept here so the
+  /// sample hot path reads it without chasing the shared_ptr.
+  std::uint64_t pattern_id = 0;
 };
 
 /// Point-in-time view of a map's registry counters

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/merge.h"
+#include "core/checksum.h"
 #include "core/profile.h"
 #include "verify/invariants.h"
 #include "verify/rng.h"
@@ -68,6 +69,17 @@ ThreadProfile make_basic() {
       .add_metrics(p.cct(StorageClass::kUnknown)
                        .child(0, NodeKind::kLeafInstr, 0x11c),
                    metrics(1, 400, Metric::kLocalDram, 1));
+  // v4 pattern records for the same variables (heap keyed by alloc IP,
+  // static/stack by their interned name ids).
+  for (int i = 0; i < 7; ++i) {
+    p.patterns.record(static_cast<std::uint8_t>(StorageClass::kHeap), 0x208,
+                      0x9000 + 64u * static_cast<unsigned>(i % 3), i % 2 == 0,
+                      4);
+  }
+  p.patterns.record(static_cast<std::uint8_t>(StorageClass::kStatic), 0,
+                    0x5000, false, 1);
+  p.patterns.record(static_cast<std::uint8_t>(StorageClass::kStack), 1,
+                    0x7000, true, 0);
   return p;
 }
 
@@ -107,9 +119,10 @@ ThreadProfile make_deep() {
   return p;
 }
 
-// Legacy v2 serialization (no flags/periods, no footer) — the format one
-// release back, which the reader must still accept. The production writer
-// only emits v3, so the corpus carries its own v2 encoder.
+// Previous-version (v3) serialization: 8 metric slots per node, no
+// pattern table, same footer framing. The production writer only emits
+// v4, so the corpus carries its own v3 encoder (the reader must keep
+// accepting v3 for one release).
 void put_u8(std::ostream& o, std::uint8_t v) { o.put(static_cast<char>(v)); }
 void put_u32(std::ostream& o, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) o.put(static_cast<char>((v >> (8 * i)) & 0xff));
@@ -118,31 +131,42 @@ void put_u64(std::ostream& o, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) o.put(static_cast<char>((v >> (8 * i)) & 0xff));
 }
 
-std::string write_v2(const ThreadProfile& p) {
-  std::ostringstream out;
-  put_u32(out, 0x64637066);  // "dcpf"
-  put_u32(out, core::kProfileFormatLegacyVersion);
-  put_u32(out, static_cast<std::uint32_t>(p.rank));
-  put_u32(out, static_cast<std::uint32_t>(p.tid));
-  put_u32(out, static_cast<std::uint32_t>(p.strings.size()));
+std::string write_v3(const ThreadProfile& p) {
+  std::ostringstream payload;
+  put_u32(payload, 0x64637066);  // "dcpf"
+  put_u32(payload, core::kProfileFormatPrevVersion);
+  put_u32(payload, p.throttled() ? core::kProfileFlagThrottled : 0u);
+  put_u64(payload, p.sampling_period);
+  put_u64(payload, p.effective_period);
+  put_u32(payload, static_cast<std::uint32_t>(p.rank));
+  put_u32(payload, static_cast<std::uint32_t>(p.tid));
+  put_u32(payload, static_cast<std::uint32_t>(p.strings.size()));
   for (std::size_t i = 0; i < p.strings.size(); ++i) {
     const std::string& s = p.strings.str(i);
-    put_u32(out, static_cast<std::uint32_t>(s.size()));
-    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+    put_u32(payload, static_cast<std::uint32_t>(s.size()));
+    payload.write(s.data(), static_cast<std::streamsize>(s.size()));
   }
   for (const auto& cct : p.ccts) {
-    put_u32(out, static_cast<std::uint32_t>(cct.size()));
+    put_u32(payload, static_cast<std::uint32_t>(cct.size()));
     for (const auto& n : cct.nodes()) {
-      put_u8(out, static_cast<std::uint8_t>(n.kind));
-      put_u64(out, n.sym);
-      put_u32(out, n.parent);
-      for (auto m : n.metrics.v) put_u64(out, m);
+      put_u8(payload, static_cast<std::uint8_t>(n.kind));
+      put_u64(payload, n.sym);
+      put_u32(payload, n.parent);
+      for (std::size_t m = 0; m < core::kNumMetricsV3; ++m) {
+        put_u64(payload, n.metrics.v[m]);
+      }
     }
   }
+  const std::string bytes = std::move(payload).str();
+  std::ostringstream out;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  put_u32(out, 0x64637074);  // "dcpt"
+  put_u64(out, static_cast<std::uint64_t>(bytes.size()));
+  put_u32(out, core::crc32c(bytes));
   return std::move(out).str();
 }
 
-std::string write_v3(const ThreadProfile& p) {
+std::string write_v4(const ThreadProfile& p) {
   std::ostringstream out;
   p.write(out);
   return std::move(out).str();
@@ -217,20 +241,20 @@ struct NullVisitor final : core::ProfileVisitor {};
 
 std::vector<std::string> builtin_corpus() {
   std::vector<std::string> out;
-  out.push_back(write_v3(ThreadProfile{}));
+  out.push_back(write_v4(ThreadProfile{}));
+  out.push_back(write_v4(make_basic()));
+  out.push_back(write_v4(make_throttled()));
+  out.push_back(write_v4(make_strings_heavy()));
+  out.push_back(write_v4(make_deep()));
   out.push_back(write_v3(make_basic()));
-  out.push_back(write_v3(make_throttled()));
   out.push_back(write_v3(make_strings_heavy()));
-  out.push_back(write_v3(make_deep()));
-  out.push_back(write_v2(make_basic()));
-  out.push_back(write_v2(make_strings_heavy()));
   return out;
 }
 
 std::vector<std::string> builtin_corpus_names() {
-  return {"empty_v3.dcpf",   "basic_v3.dcpf", "throttled_v3.dcpf",
-          "strings_v3.dcpf", "deep_v3.dcpf",  "basic_v2.dcpf",
-          "strings_v2.dcpf"};
+  return {"empty_v4.dcpf",   "basic_v4.dcpf", "throttled_v4.dcpf",
+          "strings_v4.dcpf", "deep_v4.dcpf",  "basic_v3.dcpf",
+          "strings_v3.dcpf"};
 }
 
 FuzzCaseResult run_fuzz_case(std::uint64_t case_seed,

@@ -1,4 +1,4 @@
-// Mutational fuzzing of the `.dcpf` readers. Valid v2/v3 profiles from a
+// Mutational fuzzing of the `.dcpf` readers. Valid v3/v4 profiles from a
 // deterministic builtin corpus (plus any caller-supplied seed files) are
 // mutated record- and byte-wise, then fed to every reader entry point —
 // strict scan, full read, salvaging read, streaming merge. The contract
@@ -18,9 +18,10 @@
 
 namespace dcprof::verify {
 
-/// Deterministic seed corpus: serialized v3 and legacy-v2 profiles
-/// covering the format's features (empty, multi-class, throttled,
-/// string-table-heavy). Same bytes on every call.
+/// Deterministic seed corpus: serialized v4 and previous-version v3
+/// profiles covering the format's features (empty, multi-class,
+/// throttled, string-table-heavy, access-pattern tables). Same bytes on
+/// every call.
 std::vector<std::string> builtin_corpus();
 
 /// The filename (without directory) each builtin corpus entry is written

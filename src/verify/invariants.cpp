@@ -148,6 +148,52 @@ void check_one_cct(const ThreadProfile& p, std::size_t c,
   }
 }
 
+/// Structural checks over the v4 access-pattern table: keys reference a
+/// real storage class and, for named classes, an in-range string id.
+/// (Exactly what scan enforces, so any accepted file passes.)
+void check_patterns(const ThreadProfile& p, CheckResult& out) {
+  const auto fail = [&](const std::string& what) {
+    out.violations.push_back("patterns: " + what);
+  };
+  for (const auto& [key, pat] : p.patterns.vars()) {
+    (void)pat;
+    if (key.cls >= core::kNumStorageClasses ||
+        key.cls == static_cast<std::uint8_t>(core::StorageClass::kNoMem)) {
+      fail("entry with storage class " + std::to_string(key.cls));
+      continue;
+    }
+    const bool names_string =
+        key.cls == static_cast<std::uint8_t>(core::StorageClass::kStatic) ||
+        key.cls == static_cast<std::uint8_t>(core::StorageClass::kStack);
+    if (names_string && key.id >= p.strings.size()) {
+      fail("variable name id " + std::to_string(key.id) +
+           " out of range (strings: " + std::to_string(p.strings.size()) +
+           ")");
+    }
+  }
+}
+
+/// Pattern table with profile-local string numbering resolved away, for
+/// cross-profile comparison.
+std::map<CanonKey, core::VarPattern> canon_patterns(const ThreadProfile& p) {
+  std::map<CanonKey, core::VarPattern> out;
+  for (const auto& [key, pat] : p.patterns.vars()) {
+    CanonKey k;
+    k.kind = key.cls;
+    const bool names_string =
+        key.cls == static_cast<std::uint8_t>(core::StorageClass::kStatic) ||
+        key.cls == static_cast<std::uint8_t>(core::StorageClass::kStack);
+    if (names_string && key.id < p.strings.size()) {
+      k.is_str = true;
+      k.str = p.strings.str(key.id);
+    } else {
+      k.num = key.id;
+    }
+    out.emplace(std::move(k), pat);
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string CheckResult::summary() const {
@@ -164,6 +210,7 @@ CheckResult check_profile(const ThreadProfile& p, const CheckOptions& opts) {
   for (std::size_t c = 0; c < core::kNumStorageClasses; ++c) {
     check_one_cct(p, c, opts, out);
   }
+  check_patterns(p, out);
   if (opts.roundtrip) {
     std::stringstream first;
     p.write(first);
@@ -221,6 +268,9 @@ bool canonical_equal(const ThreadProfile& a, const ThreadProfile& b,
         stack.emplace_back(kids_a[i].second, kids_b[i].second);
       }
     }
+  }
+  if (canon_patterns(a) != canon_patterns(b)) {
+    return differ("access-pattern tables differ");
   }
   return true;
 }

@@ -76,6 +76,7 @@ OracleProfile OracleProfile::from(const ThreadProfile& p) {
   for (std::size_t c = 0; c < core::kNumStorageClasses; ++c) {
     out.ccts[c].load(p.ccts[c]);
   }
+  out.patterns = p.patterns;
   return out;
 }
 
@@ -89,6 +90,7 @@ ThreadProfile OracleProfile::to_profile() const {
   for (std::size_t c = 0; c < core::kNumStorageClasses; ++c) {
     out.ccts[c] = ccts[c].to_cct();
   }
+  out.patterns = patterns;
   return out;
 }
 
@@ -119,6 +121,15 @@ void oracle_merge_into(OracleProfile& dst, const OracleProfile& src) {
       dst.ccts[c].add_metrics(mine, n.metrics);
     }
   }
+  // Pattern tables fold after the CCTs, mirroring merge_into's order.
+  dst.patterns.merge_from(
+      src.patterns, [&](std::uint8_t cls, std::uint64_t id) -> std::uint64_t {
+        if (cls == static_cast<std::uint8_t>(StorageClass::kStatic) ||
+            cls == static_cast<std::uint8_t>(StorageClass::kStack)) {
+          return dst.strings.intern(src.strings.str(id));
+        }
+        return id;
+      });
   if (dst.rank != src.rank) dst.rank = -1;
   dst.tid = -1;
 }
@@ -237,7 +248,16 @@ void OracleProfiler::handle_sample(const pmu::Sample& sample) {
     attribute(p, StorageClass::kNoMem, 0, ctx.call_stack(), leaf_ip, m);
     return;
   }
+  const auto record = [&](StorageClass sc, std::uint64_t id) {
+    if (!cfg_.access_patterns) return;
+    p.patterns.record(static_cast<std::uint8_t>(sc), id, sample.eaddr,
+                      sample.is_store, static_cast<std::uint8_t>(sample.source));
+  };
   if (const Block* block = find_block(sample.eaddr)) {
+    // Same heap key the production profiler uses: the innermost
+    // allocation-path caller, else the allocation instruction.
+    record(StorageClass::kHeap,
+           block->frames.empty() ? block->alloc_ip : block->frames.back());
     OracleCct& cct = p.ccts[static_cast<std::size_t>(StorageClass::kHeap)];
     std::uint32_t cur = 0;
     for (const sim::Addr frame : block->frames) {
@@ -250,6 +270,7 @@ void OracleProfiler::handle_sample(const pmu::Sample& sample) {
   }
   if (auto hit = modules_->resolve_static(sample.eaddr)) {
     const std::uint64_t name = p.strings.intern(hit->sym->name);
+    record(StorageClass::kStatic, name);
     OracleCct& cct =
         p.ccts[static_cast<std::size_t>(StorageClass::kStatic)];
     const std::uint32_t dummy = cct.child(0, NodeKind::kVarStatic, name);
@@ -261,11 +282,13 @@ void OracleProfiler::handle_sample(const pmu::Sample& sample) {
     const std::uint64_t owner = (sample.eaddr - sim::kStackBase) >> 20;
     const std::uint64_t name = p.strings.intern(
         "stack (thread " + std::to_string(static_cast<long>(owner)) + ")");
+    record(StorageClass::kStack, name);
     OracleCct& cct = p.ccts[static_cast<std::size_t>(StorageClass::kStack)];
     const std::uint32_t dummy = cct.child(0, NodeKind::kVarStatic, name);
     attribute(p, StorageClass::kStack, dummy, ctx.call_stack(), leaf_ip, m);
     return;
   }
+  record(StorageClass::kUnknown, 0);
   attribute(p, StorageClass::kUnknown, 0, ctx.call_stack(), leaf_ip, m);
 }
 

@@ -79,7 +79,12 @@ class OracleStringTable {
   std::map<std::string, std::uint64_t> index_;
 };
 
-/// A profile held entirely in oracle structures.
+/// A profile held entirely in oracle structures. The access-pattern
+/// table is the one structure shared with production (core::
+/// AccessPatternTable): its recording order is part of the serialization
+/// contract and it has no fast-path data structure to verify — sharing
+/// the definition is what keeps the byte-identity comparison meaningful
+/// for everything around it.
 struct OracleProfile {
   std::int32_t rank = 0;
   std::int32_t tid = 0;
@@ -87,6 +92,7 @@ struct OracleProfile {
   std::uint64_t effective_period = 0;
   OracleStringTable strings;
   OracleCct ccts[core::kNumStorageClasses];
+  core::AccessPatternTable patterns;
 
   static OracleProfile from(const core::ThreadProfile& p);
   core::ThreadProfile to_profile() const;
@@ -111,6 +117,7 @@ struct OracleConfig {
   std::uint64_t small_sample_period = 0;
   bool use_precise_ip = true;
   bool attribute_stack = true;
+  bool access_patterns = true;
 };
 
 /// The reference profiler. Attachable exactly like core::Profiler (PMU

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Memory-centric views smoke test: dcprof_measure records a workload,
+# dcprof_analyze must print the three data-centric views (memory-level
+# breakdown, reuse distance, access strides) and write structurally
+# valid Graphviz dot and folded-stack exports. Also asserts that an
+# unwritable export path is a hard error, not a silent success.
+#
+#   views_smoke.sh <dcprof_measure> <dcprof_analyze>
+set -u
+
+measure=$1
+analyze=$2
+
+tmpdir=$(mktemp -d) || exit 1
+trap 'rm -rf "$tmpdir"' EXIT
+
+fail() {
+  echo "views_smoke FAIL: $*" >&2
+  exit 1
+}
+
+"$measure" streamcluster "$tmpdir/meas" --threads 4 --period 256 \
+    || fail "dcprof_measure exited $?"
+
+"$analyze" "$tmpdir/meas" \
+    --dot-out "$tmpdir/profile.dot" \
+    --folded-out "$tmpdir/profile.folded" \
+    > "$tmpdir/analyze.out" \
+    || fail "dcprof_analyze exited $?"
+
+for heading in \
+    "memory-level breakdown" \
+    "reuse distance" \
+    "access strides"; do
+  grep -q "$heading" "$tmpdir/analyze.out" \
+      || fail "view \"$heading\" missing from analyzer output"
+done
+
+# Structural dot checks (graphviz itself is not a test dependency): a
+# digraph wrapper, at least one labeled node, at least one edge.
+[ -s "$tmpdir/profile.dot" ] || fail "dot export missing or empty"
+grep -q '^digraph dcprof {' "$tmpdir/profile.dot" \
+    || fail "dot export lacks digraph header"
+grep -Eq 'c[0-9]+_n[0-9]+ \[label="' "$tmpdir/profile.dot" \
+    || fail "dot export has no labeled nodes"
+grep -Eq -- '-> c[0-9]+_n[0-9]+;' "$tmpdir/profile.dot" \
+    || fail "dot export has no edges"
+
+# Folded stacks: "class;frame;...;frame <weight>" lines.
+[ -s "$tmpdir/profile.folded" ] || fail "folded export missing or empty"
+grep -Eq '^[a-z-]+;.+ [0-9]+$' "$tmpdir/profile.folded" \
+    || fail "folded export has no stack lines"
+
+# Export failures must be hard errors: a dot path in a directory that
+# does not exist cannot be written atomically.
+if "$analyze" "$tmpdir/meas" \
+    --dot-out "$tmpdir/no/such/dir/profile.dot" \
+    > /dev/null 2> "$tmpdir/analyze.err"; then
+  fail "dcprof_analyze succeeded despite unwritable --dot-out"
+fi
+grep -qi 'error' "$tmpdir/analyze.err" \
+    || fail "unwritable --dot-out produced no error message"
+
+echo "views_smoke OK"

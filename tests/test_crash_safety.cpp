@@ -1,7 +1,8 @@
-// Crash-safety of the measurement->analysis boundary: the v3 `.dcpf`
+// Crash-safety of the measurement->analysis boundary: the v4 `.dcpf`
 // framing (header + CRC32C footer), atomic write-out, recovery-mode
-// salvage reads, the analyzer's corrupt-shard policies, legacy v2
-// compatibility, and overload throttling recorded end-to-end.
+// salvage reads, the analyzer's corrupt-shard policies, v3 read
+// compatibility (and v2 rejection), and overload throttling recorded
+// end-to-end.
 //
 // The centerpiece is a truncation sweep: a serialized profile is cut at
 // *every* byte offset (which covers every record boundary and every
@@ -22,6 +23,7 @@
 
 #include "analysis/merge.h"
 #include "analysis/pipeline.h"
+#include "core/checksum.h"
 #include "core/measurement.h"
 #include "core/profile.h"
 #include "core/profiler.h"
@@ -119,11 +121,11 @@ void write_bytes(const fs::path& path, const std::string& bytes) {
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
-/// The v3 on-disk layout of `p`, reconstructed analytically: exclusive
-/// end offsets of every record (string entry or CCT node), the points
-/// where record counts are declared, and the payload size. Mirrors
-/// ThreadProfile::write so the truncation sweep can predict the salvage
-/// outcome at any cut.
+/// The v4 on-disk layout of `p`, reconstructed analytically: exclusive
+/// end offsets of every record (string entry, CCT node, or access-pattern
+/// entry), the points where record counts are declared, and the payload
+/// size. Mirrors ThreadProfile::write so the truncation sweep can predict
+/// the salvage outcome at any cut.
 struct Layout {
   std::vector<std::size_t> record_ends;
   std::vector<std::pair<std::size_t, std::size_t>> declares;  // (end, count)
@@ -149,6 +151,15 @@ Layout layout_of(const ThreadProfile& p) {
       l.record_ends.push_back(off);
     }
   }
+  const std::size_t pattern_bytes =
+      1 + 8 + 8 + 8 +
+      8 * (2 * core::kNumMemLevels + 2 * core::kPatternBuckets);
+  off += 4;  // pattern-count declaration
+  l.declares.emplace_back(off, p.patterns.size());
+  for (std::size_t i = 0; i < p.patterns.size(); ++i) {
+    off += pattern_bytes;
+    l.record_ends.push_back(off);
+  }
   l.payload = off;
   return l;
 }
@@ -166,7 +177,16 @@ std::size_t declared_within(const Layout& l, std::size_t cut) {
 }
 
 TEST(CrashSafety, TruncationAtEveryByteIsRejectedAndSalvagedExactly) {
-  const ThreadProfile p = make_profile(5);
+  ThreadProfile p = make_profile(5);
+  // Populate the v4 access-pattern section so the sweep also cuts inside
+  // pattern entries, not just strings and CCT nodes.
+  for (int a = 0; a < 6; ++a) {
+    p.patterns.record(static_cast<std::uint8_t>(StorageClass::kHeap), 0x99,
+                      0x9000 + 64 * static_cast<std::uint64_t>(a % 3),
+                      a % 2 == 0, 4);
+  }
+  p.patterns.record(static_cast<std::uint8_t>(StorageClass::kStatic), 0,
+                    0x4000, false, 1);
   const std::string bytes = serialized(p);
   const Layout l = layout_of(p);
   constexpr std::size_t kFooterBytes = 4 + 8 + 4;
@@ -454,7 +474,7 @@ TEST(CrashSafety, SalvageModeFoldsTheValidPrefixIntoTheMerge) {
   EXPECT_EQ(plain.files_salvaged, 0u);
 }
 
-namespace v2 {
+namespace oldfmt {
 
 void put_u32(std::string& o, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -467,13 +487,13 @@ void put_u64(std::string& o, std::uint64_t v) {
   }
 }
 
-/// The previous on-disk format: no flags/periods, no footer. Written by
-/// hand so the compatibility guarantee is tested against the actual v2
-/// byte layout, not whatever the current writer produces.
-std::string serialize(const ThreadProfile& p) {
+/// The removed v2 format: no flags/periods, no footer, 8 metric slots.
+/// Written by hand so the rejection guarantee is tested against the
+/// actual v2 byte layout, not whatever the current writer produces.
+std::string serialize_v2(const ThreadProfile& p) {
   std::string o;
   put_u32(o, 0x64637066);  // "dcpf"
-  put_u32(o, core::kProfileFormatLegacyVersion);
+  put_u32(o, 2);
   put_u32(o, static_cast<std::uint32_t>(p.rank));
   put_u32(o, static_cast<std::uint32_t>(p.tid));
   put_u32(o, static_cast<std::uint32_t>(p.strings.size()));
@@ -488,33 +508,108 @@ std::string serialize(const ThreadProfile& p) {
       o.push_back(static_cast<char>(n.kind));
       put_u64(o, n.sym);
       put_u32(o, n.parent);
-      for (const auto m : n.metrics.v) put_u64(o, m);
+      for (std::size_t m = 0; m < core::kNumMetricsV3; ++m) {
+        put_u64(o, n.metrics.v[m]);
+      }
     }
   }
   return o;
 }
 
-}  // namespace v2
+/// The previous (v3) format: same framing as v4 but 8 metric slots per
+/// node and no access-pattern section. Hand-written for the same reason.
+std::string serialize_v3(const ThreadProfile& p) {
+  std::string payload;
+  put_u32(payload, 0x64637066);  // "dcpf"
+  put_u32(payload, core::kProfileFormatPrevVersion);
+  put_u32(payload, p.throttled() ? core::kProfileFlagThrottled : 0u);
+  put_u64(payload, p.sampling_period);
+  put_u64(payload, p.effective_period);
+  put_u32(payload, static_cast<std::uint32_t>(p.rank));
+  put_u32(payload, static_cast<std::uint32_t>(p.tid));
+  put_u32(payload, static_cast<std::uint32_t>(p.strings.size()));
+  for (std::size_t i = 0; i < p.strings.size(); ++i) {
+    const std::string& s = p.strings.str(i);
+    put_u32(payload, static_cast<std::uint32_t>(s.size()));
+    payload.append(s);
+  }
+  for (const auto& c : p.ccts) {
+    put_u32(payload, static_cast<std::uint32_t>(c.size()));
+    for (const auto& n : c.nodes()) {
+      payload.push_back(static_cast<char>(n.kind));
+      put_u64(payload, n.sym);
+      put_u32(payload, n.parent);
+      for (std::size_t m = 0; m < core::kNumMetricsV3; ++m) {
+        put_u64(payload, n.metrics.v[m]);
+      }
+    }
+  }
+  std::string o = payload;
+  put_u32(o, 0x64637074);  // "dcpt"
+  put_u64(o, static_cast<std::uint64_t>(payload.size()));
+  put_u32(o, core::crc32c(payload));
+  return o;
+}
 
-TEST(CrashSafety, LegacyV2ProfilesStillLoadAndUpgradeOnRewrite) {
+}  // namespace oldfmt
+
+TEST(CrashSafety, V2ProfilesAreRejectedWithClearError) {
   const ThreadProfile p = make_profile(3);
-  const std::string old_bytes = v2::serialize(p);
+  const std::string old_bytes = oldfmt::serialize_v2(p);
+
+  // Every strict entry point rejects with an error that names the cause.
+  std::istringstream in(old_bytes);
+  try {
+    ThreadProfile::read(in);
+    FAIL() << "v2 profile was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported profile version 2"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // The salvaging read keeps nothing: the version check precedes any
+  // record, so there is no valid prefix to keep.
+  std::istringstream sin(old_bytes);
+  SalvageResult sr;
+  const ThreadProfile empty = ThreadProfile::read_salvage(sin, sr);
+  EXPECT_FALSE(sr.clean);
+  EXPECT_EQ(sr.records_kept, 0u);
+  EXPECT_EQ(empty.total_samples(), 0u);
+
+  // A v2 file in a measurement directory is skipped (not merged) and the
+  // skip reason is surfaced.
+  TempDir dir;
+  binfmt::ModuleRegistry no_modules;
+  core::write_measurement_dir(dir.path, {make_profile(1)},
+                              binfmt::StructureData::capture(no_modules));
+  core::write_file_atomic(dir.path / "profile-0-3.dcpf", old_bytes);
+  const AnalysisResult r = Analyzer().run(dir.path);
+  EXPECT_EQ(r.files_read, 1u);
+  EXPECT_EQ(r.files_skipped, 1u);
+  ASSERT_EQ(r.skipped.size(), 1u);
+  EXPECT_NE(r.skipped[0].find("unsupported profile version 2"),
+            std::string::npos);
+}
+
+TEST(CrashSafety, V3ProfilesLoadAndUpgradeByteIdenticallyOnRewrite) {
+  const ThreadProfile p = make_profile(3);
+  const std::string old_bytes = oldfmt::serialize_v3(p);
 
   std::istringstream in(old_bytes);
   const ThreadProfile q = ThreadProfile::read(in);
   EXPECT_EQ(q.rank, p.rank);
   EXPECT_EQ(q.tid, p.tid);
-  EXPECT_EQ(q.sampling_period, 0u);  // unknown in v2
-  EXPECT_FALSE(q.throttled());
-  // Re-serializing upgrades to v3, byte-identical to a native write.
+  EXPECT_TRUE(q.patterns.empty());  // v3 predates the pattern table
+  // Re-serializing upgrades to v4 (10 metric slots, empty pattern
+  // section), byte-identical to a native write of the same profile.
   EXPECT_EQ(serialized(q), serialized(p));
 
-  // A truncated legacy stream is still rejected (body checks do not
-  // depend on the footer).
+  // A truncated v3 stream is still rejected.
   std::istringstream cut(old_bytes.substr(0, old_bytes.size() - 10));
   EXPECT_THROW(ThreadProfile::read(cut), std::runtime_error);
 
-  // A v2 file sitting in a measurement directory analyzes normally.
+  // A v3 file sitting in a measurement directory analyzes normally.
   TempDir dir;
   binfmt::ModuleRegistry no_modules;
   core::write_measurement_dir(dir.path, {},

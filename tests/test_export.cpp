@@ -1,0 +1,146 @@
+// Tests for the CCT export renderers: folded-stack (flamegraph input)
+// and Graphviz dot. Structural/golden checks on a hand-built profile,
+// variable-filter scoping, separator/quote escaping, and min-fraction
+// pruning.
+#include "analysis/export.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "analysis/views.h"
+#include "core/profile.h"
+
+namespace dcprof::analysis {
+namespace {
+
+using core::Cct;
+using core::Metric;
+using core::MetricVec;
+using core::NodeKind;
+using core::StorageClass;
+using core::ThreadProfile;
+
+/// heap:   root -> call 0x1 -> alloc 0x2 ("vec_x") -> data -> leaf (100)
+///                          -> alloc 0x8 ("vec_y") -> data -> leaf (50)
+/// static: root -> var "t\"b;l" -> leaf (25)
+ThreadProfile make_profile() {
+  ThreadProfile p;
+  Cct& heap = p.cct(StorageClass::kHeap);
+  const auto call = heap.child(Cct::kRootId, NodeKind::kCallSite, 0x1);
+  auto x = heap.child(call, NodeKind::kAllocPoint, 0x2);
+  x = heap.child(x, NodeKind::kVarData, 0);
+  MetricVec mx;
+  mx[Metric::kLatency] = 100;
+  heap.add_metrics(heap.child(x, NodeKind::kLeafInstr, 0x3), mx);
+  auto y = heap.child(call, NodeKind::kAllocPoint, 0x8);
+  y = heap.child(y, NodeKind::kVarData, 0);
+  MetricVec my;
+  my[Metric::kLatency] = 50;
+  heap.add_metrics(heap.child(y, NodeKind::kLeafInstr, 0x4), my);
+  Cct& stat = p.cct(StorageClass::kStatic);
+  const auto var = stat.child(Cct::kRootId, NodeKind::kVarStatic,
+                              p.strings.intern("t\"b;l"));
+  MetricVec ms;
+  ms[Metric::kLatency] = 25;
+  stat.add_metrics(stat.child(var, NodeKind::kLeafInstr, 0x5), ms);
+  return p;
+}
+
+AnalysisContext named_ctx(const std::map<sim::Addr, std::string>& names) {
+  AnalysisContext ctx;
+  ctx.alloc_names = &names;
+  return ctx;
+}
+
+const std::map<sim::Addr, std::string> kNames{{0x2, "vec_x"}, {0x8, "vec_y"}};
+
+TEST(Export, FoldedEmitsOneLinePerWeightedStack) {
+  const ThreadProfile p = make_profile();
+  const std::string out = render_folded(p, named_ctx(kNames), {});
+  // Exactly the three leaves carry exclusive weight.
+  std::size_t lines = 0;
+  for (const char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(out.find("heap;"), std::string::npos);
+  EXPECT_NE(out.find("static;"), std::string::npos);
+  EXPECT_NE(out.find(" 100\n"), std::string::npos);
+  EXPECT_NE(out.find(" 50\n"), std::string::npos);
+  EXPECT_NE(out.find(" 25\n"), std::string::npos);
+  EXPECT_NE(out.find("vec_x"), std::string::npos);
+}
+
+TEST(Export, FoldedEscapesTheFrameSeparator) {
+  const ThreadProfile p = make_profile();
+  const std::string out = render_folded(p, named_ctx(kNames), {});
+  // The static variable's ';' must not masquerade as a frame break.
+  EXPECT_EQ(out.find("b;l"), std::string::npos);
+  EXPECT_NE(out.find("b:l"), std::string::npos);
+}
+
+TEST(Export, FoldedVariableFilterKeepsOnlyThatVariable) {
+  const ThreadProfile p = make_profile();
+  ExportOptions opt;
+  opt.variable_filter = "vec_x";
+  const std::string out = render_folded(p, named_ctx(kNames), opt);
+  EXPECT_NE(out.find(" 100\n"), std::string::npos);
+  EXPECT_EQ(out.find(" 50\n"), std::string::npos);   // vec_y pruned
+  EXPECT_EQ(out.find(" 25\n"), std::string::npos);   // static pruned
+}
+
+TEST(Export, DotHasDigraphClustersNodesAndEdges) {
+  const ThreadProfile p = make_profile();
+  const std::string out = render_dot(p, named_ctx(kNames), {});
+  EXPECT_EQ(out.find("digraph dcprof {"), 0u);
+  EXPECT_NE(out.find("subgraph cluster_"), std::string::npos);
+  EXPECT_NE(out.find("label=\"heap\";"), std::string::npos);
+  // Inclusive shares over the 175-cycle grand total.
+  EXPECT_NE(out.find("(57.1%)"), std::string::npos);   // vec_x subtree, 100
+  EXPECT_NE(out.find("(85.7%)"), std::string::npos);   // heap root, 150
+  EXPECT_NE(out.find("(14.3%)"), std::string::npos);   // static, 25
+  EXPECT_NE(out.find(" -> "), std::string::npos);
+  EXPECT_EQ(out.rfind("}\n"), out.size() - 2);
+}
+
+TEST(Export, DotEscapesQuotesInLabels) {
+  const ThreadProfile p = make_profile();
+  const std::string out = render_dot(p, named_ctx(kNames), {});
+  EXPECT_NE(out.find("t\\\"b"), std::string::npos);
+  // No raw unescaped quote inside the variable's label text.
+  EXPECT_EQ(out.find("\"t\"b"), std::string::npos);
+}
+
+TEST(Export, DotMinFractionPrunesSmallSubtrees) {
+  const ThreadProfile p = make_profile();
+  ExportOptions opt;
+  opt.min_fraction = 0.4;  // 70 of 175 cycles
+  const std::string out = render_dot(p, named_ctx(kNames), opt);
+  EXPECT_NE(out.find("(57.1%)"), std::string::npos);
+  EXPECT_EQ(out.find("(28.6%)"), std::string::npos);  // vec_y subtree, 50
+  EXPECT_EQ(out.find("(14.3%)"), std::string::npos);  // static, 25
+}
+
+TEST(Export, DotVariableFilterScopesSpineAndSubtree) {
+  const ThreadProfile p = make_profile();
+  ExportOptions opt;
+  opt.variable_filter = "vec_x";
+  const std::string out = render_dot(p, named_ctx(kNames), opt);
+  EXPECT_NE(out.find("vec_x"), std::string::npos);
+  EXPECT_EQ(out.find("vec_y"), std::string::npos);
+  EXPECT_EQ(out.find("(14.3%)"), std::string::npos);  // static out of scope
+  // The spine above the match (root, the shared call site) stays.
+  EXPECT_NE(out.find("(85.7%)"), std::string::npos);
+}
+
+TEST(Export, EmptyProfileProducesValidSkeletons) {
+  const ThreadProfile p;
+  const AnalysisContext ctx;
+  EXPECT_EQ(render_folded(p, ctx, {}), "");
+  const std::string dot = render_dot(p, ctx, {});
+  EXPECT_EQ(dot.find("digraph dcprof {"), 0u);
+  EXPECT_EQ(dot.rfind("}\n"), dot.size() - 2);
+}
+
+}  // namespace
+}  // namespace dcprof::analysis

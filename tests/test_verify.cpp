@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/merge.h"
+#include "core/checksum.h"
 #include "core/profile.h"
 #include "support/rng.h"
 #include "verify/fuzz_dcpf.h"
@@ -193,16 +194,20 @@ void put_u64(std::string& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
 }
 
-/// Minimal legacy-v2 file (no footer to keep in sync) with caller-chosen
-/// strings and one CCT node list; the other four CCTs get a bare root.
-std::string v2_file(const std::vector<std::string>& strings,
-                    const std::string& first_cct_nodes,
-                    std::uint32_t first_cct_count) {
+/// Minimal current-version (v4) file with caller-chosen strings and one
+/// CCT node list; the other four CCTs get a bare root, the pattern table
+/// is empty, and the footer CRC is computed over the crafted payload.
+std::string dcpf_file(const std::vector<std::string>& strings,
+                      const std::string& first_cct_nodes,
+                      std::uint32_t first_cct_count) {
   std::string out;
   put_u32(out, 0x64637066);  // magic
-  put_u32(out, 2);           // version
-  put_u32(out, 0);           // rank
-  put_u32(out, 0);           // tid
+  put_u32(out, core::kProfileFormatVersion);
+  put_u32(out, 0);  // flags
+  put_u64(out, 0);  // sampling period
+  put_u64(out, 0);  // effective period
+  put_u32(out, 0);  // rank
+  put_u32(out, 0);  // tid
   put_u32(out, static_cast<std::uint32_t>(strings.size()));
   for (const auto& s : strings) {
     put_u32(out, static_cast<std::uint32_t>(s.size()));
@@ -218,7 +223,12 @@ std::string v2_file(const std::vector<std::string>& strings,
   put_u32(out, first_cct_count);
   out += first_cct_nodes;
   for (std::size_t c = 1; c < core::kNumStorageClasses; ++c) put_root_only();
-  return out;
+  put_u32(out, 0);  // empty access-pattern table
+  std::string framed = out;
+  put_u32(framed, 0x64637074);  // footer magic
+  put_u64(framed, static_cast<std::uint64_t>(out.size()));
+  put_u32(framed, core::crc32c(out));
+  return framed;
 }
 
 std::string root_node() {
@@ -233,11 +243,11 @@ std::string root_node() {
 TEST(ReaderHardening, RejectsDuplicateStringTableEntries) {
   // Interning would silently collapse the duplicates, leaving later
   // kVarStatic ids dangling — the reader must reject instead.
-  const std::string bytes = v2_file({"x", "x"}, root_node(), 1);
+  const std::string bytes = dcpf_file({"x", "x"}, root_node(), 1);
   std::istringstream in(bytes);
   EXPECT_THROW(ThreadProfile::read(in), std::runtime_error);
 
-  std::istringstream ok(v2_file({"x", "y"}, root_node(), 1));
+  std::istringstream ok(dcpf_file({"x", "y"}, root_node(), 1));
   EXPECT_NO_THROW(ThreadProfile::read(ok));
 }
 
@@ -248,7 +258,7 @@ TEST(ReaderHardening, RejectsRootKindNodeBelowTheRoot) {
   put_u64(nodes, 0);
   put_u32(nodes, 0);  // parent 0
   for (std::size_t k = 0; k < core::kNumMetrics; ++k) put_u64(nodes, 0);
-  const std::string bytes = v2_file({}, nodes, 2);
+  const std::string bytes = dcpf_file({}, nodes, 2);
   std::istringstream in(bytes);
   EXPECT_THROW(ThreadProfile::read(in), std::runtime_error);
 }

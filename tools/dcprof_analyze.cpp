@@ -6,19 +6,26 @@
 //                  [--top-down heap|static|stack|unknown] [--advice]
 //                  [--html <file>] [--strict] [--quarantine] [--salvage]
 //                  [--metrics-json <file>] [--trace-out <file>]
-//                  [--progress] [--overhead]
+//                  [--dot-out <file>] [--folded-out <file>]
+//                  [--export-var <name>] [--progress] [--overhead]
 //
-// --trace-out records the pipeline's own execution (one span per stage,
-// one track per stream worker) as Chrome trace_event JSON for Perfetto;
-// --metrics-json dumps the self-telemetry registry; --progress prints a
-// heartbeat line as profiles are folded; --overhead prints the
-// analyzer's self-overhead report (kViewOverhead).
+// --dot-out renders the merged CCTs as a Graphviz digraph; --folded-out
+// writes folded-stack flamegraph text (flamegraph.pl / speedscope
+// input); --export-var restricts both exports to one variable's
+// subtrees. --trace-out records the pipeline's own execution (one span
+// per stage, one track per stream worker) as Chrome trace_event JSON
+// for Perfetto; --metrics-json dumps the self-telemetry registry;
+// --progress prints a heartbeat line as profiles are folded;
+// --overhead prints the analyzer's self-overhead report (kViewOverhead).
+// Every exported file is written atomically (tmp + fsync + rename) and
+// an unwritable path is a hard error.
 //
 // Streams a measurement directory (per-thread profile files + a
 // structure file) through the analysis::Analyzer pipeline — profiles
 // are merged as they are read, so memory stays bounded by --workers —
 // and prints the storage-class summary, the data-centric variable view,
-// the hot-access view, the code-centric flat view, and (with --advice)
+// the hot-access view, the code-centric flat view, the memory-level /
+// reuse-distance / stride views (v4 profiles), and (with --advice)
 // optimization guidance. Corrupt profile files are skipped and counted
 // by default; --strict aborts on the first one, --quarantine also moves
 // them into <dir>/quarantine/, and --salvage folds each corrupt file's
@@ -27,20 +34,40 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 
-#include <fstream>
-
+#include "analysis/export.h"
 #include "analysis/html_report.h"
 #include "cli.h"
 #include "analysis/pipeline.h"
 #include "analysis/report.h"
 #include "analysis/views.h"
+#include "core/measurement.h"
 #include "core/profile.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
 
 using namespace dcprof;
+
+namespace {
+
+/// Atomic, fsynced export; returns false (after printing the error) when
+/// the path is unwritable — the CLI exits nonzero instead of silently
+/// reporting success next to a missing or truncated file.
+bool export_file(const std::string& path, std::string_view bytes,
+                 const char* what) {
+  try {
+    core::write_file_atomic(path, bytes);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return false;
+  }
+  std::printf("wrote %s to %s\n", what, path.c_str());
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string dir;
@@ -57,6 +84,9 @@ int main(int argc, char** argv) {
   std::string html_path;
   std::string metrics_json;
   std::string trace_out;
+  std::string dot_out;
+  std::string folded_out;
+  std::string export_var;
 
   cli::Parser p("dcprof_analyze",
                 "streams a measurement directory through the analysis "
@@ -81,6 +111,12 @@ int main(int argc, char** argv) {
            "enable self-telemetry; write the snapshot JSON here", "FILE");
   p.option("--trace-out", &trace_out,
            "enable pipeline tracing; write Chrome trace JSON here", "FILE");
+  p.option("--dot-out", &dot_out, "write the merged CCTs as Graphviz dot",
+           "FILE");
+  p.option("--folded-out", &folded_out,
+           "write folded-stack flamegraph text", "FILE");
+  p.option("--export-var", &export_var,
+           "restrict --dot-out/--folded-out to one variable", "NAME");
   if (const auto rc = p.parse(argc, argv)) return *rc;
 
   analysis::Analyzer::Options opts;
@@ -191,6 +227,20 @@ int main(int argc, char** argv) {
   }
   std::printf("code-centric flat view:\n%s\n", flat.render().c_str());
 
+  const std::size_t view_rows = opts.top_n == 0 ? 20 : opts.top_n;
+  if (!r.mem_levels.empty()) {
+    std::printf("memory-level breakdown (sampled accesses):\n%s\n",
+                analysis::render_mem_levels(r.mem_levels, view_rows).c_str());
+  }
+  if (!r.reuse.empty()) {
+    std::printf("reuse distance (sampled accesses between line touches):\n%s\n",
+                analysis::render_reuse(r.reuse, view_rows).c_str());
+  }
+  if (!r.strides.empty()) {
+    std::printf("access strides:\n%s\n",
+                analysis::render_strides(r.strides, view_rows).c_str());
+  }
+
   if (r.threads.size() > 1) {
     std::uint64_t lo = ~0ull;
     std::uint64_t hi = 0;
@@ -226,36 +276,44 @@ int main(int argc, char** argv) {
     analysis::HtmlReportOptions opt;
     opt.title = "dcprof report: " + dir;
     opt.metric = metric;
-    std::ofstream html(html_path);
-    if (!html) {
-      std::fprintf(stderr, "error: cannot write %s\n", html_path.c_str());
+    if (!export_file(html_path,
+                     analysis::render_html_report(r.merged, ctx, opt),
+                     "HTML report")) {
       return 1;
     }
-    html << analysis::render_html_report(r.merged, ctx, opt);
-    std::printf("wrote HTML report to %s\n", html_path.c_str());
+  }
+
+  analysis::ExportOptions export_opts;
+  export_opts.metric = metric;
+  export_opts.variable_filter = export_var;
+  if (!dot_out.empty() &&
+      !export_file(dot_out,
+                   analysis::render_dot(r.merged, ctx, export_opts),
+                   "Graphviz dot")) {
+    return 1;
+  }
+  if (!folded_out.empty() &&
+      !export_file(folded_out,
+                   analysis::render_folded(r.merged, ctx, export_opts),
+                   "folded stacks")) {
+    return 1;
   }
 
   if (opts.views & analysis::kViewOverhead) {
     std::printf("%s", r.overhead_report.c_str());
   }
-  if (!metrics_json.empty()) {
-    std::ofstream out(metrics_json);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write %s\n", metrics_json.c_str());
-      return 1;
-    }
-    out << obs::to_json(obs::Registry::global().snapshot());
-    std::printf("wrote metrics snapshot to %s\n", metrics_json.c_str());
+  if (!metrics_json.empty() &&
+      !export_file(metrics_json,
+                   obs::to_json(obs::Registry::global().snapshot()),
+                   "metrics snapshot")) {
+    return 1;
   }
   if (!trace_out.empty()) {
-    std::ofstream out(trace_out);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+    std::ostringstream trace;
+    obs::Tracer::global().write_json(trace);
+    if (!export_file(trace_out, trace.str(), "event trace (open in Perfetto)")) {
       return 1;
     }
-    obs::Tracer::global().write_json(out);
-    std::printf("wrote event trace to %s (open in Perfetto)\n",
-                trace_out.c_str());
   }
   return 0;
 }

@@ -25,8 +25,12 @@ scale_out="$repo/BENCH_scale.json"
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j --target micro_profiler scale_threads
 
+# Random interleaving shuffles the repetitions of the repeated
+# benchmarks (the pattern-cost pair) across the run so the on/off
+# medians sample the same thermal/frequency window.
 "$build/bench/micro_profiler" \
     ${filter:+--benchmark_filter="$filter"} \
+    --benchmark_enable_random_interleaving=true \
     --benchmark_out="$out" \
     --benchmark_out_format=json
 
@@ -123,5 +127,39 @@ for mode in (1, 2):
     if t is not None:
         print(f"  telemetry:{mode} = {t:.1f} ns "
               f"({100.0 * (t - ref) / ref:+.1f}% vs reference)")
+sys.exit(0 if verdict == "OK" else 1)
+EOF
+
+# Pattern-recording guard: the v4 per-sample memory-level stamping and
+# per-variable reuse/stride histogram updates must add <= 5% (plus a
+# 1 ns clock-granularity floor) to the sample-handling cost —
+# BM_SampleHandlerPatterns runs the canonical BM_SampleHandler sample
+# with the pattern tables off (patterns:0) and on (patterns:1). The
+# striding worst case (BM_SampleHandlerPatternsStride) is reported in
+# the JSON but not gated.
+python3 - "$out" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+times = {b["name"]: b["real_time"] for b in doc.get("benchmarks", [])}
+def median(arm):
+    # Repetition names gain a /repeats:N infix under
+    # --benchmark_enable_random_interleaving.
+    for name, t in times.items():
+        if name.startswith(f"BM_SampleHandlerPatterns/patterns:{arm}") and \
+                name.endswith("_median"):
+            return t
+    return None
+
+off = median(0)
+on = median(1)
+if off is None or on is None:
+    print("pattern-cost check: benchmarks not in this run; skipped")
+    sys.exit(0)
+limit = off * 1.05 + 1.0
+verdict = "OK" if on <= limit else "REGRESSION"
+print(f"pattern-cost check: sample handler with pattern tables on "
+      f"median {on:.1f} ns vs off {off:.1f} ns "
+      f"(limit {limit:.1f} ns) -> {verdict}")
 sys.exit(0 if verdict == "OK" else 1)
 EOF
