@@ -101,6 +101,12 @@ core::MetricVec merge_serialized(ThreadProfile& dst, std::istream& in) {
   return merger.total();
 }
 
+core::MetricVec merge_serialized(ThreadProfile& dst, std::string_view bytes) {
+  StreamMerger merger(dst);
+  ThreadProfile::scan(bytes, merger);
+  return merger.total();
+}
+
 ThreadProfile reduce(std::vector<ThreadProfile> profiles) {
   if (profiles.empty()) {
     throw std::invalid_argument("reduce: no profiles");

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string_view>
 #include <vector>
 
 #include "core/profile.h"
@@ -25,6 +26,14 @@ void merge_into(core::ThreadProfile& dst, const core::ThreadProfile& src);
 /// no-op visitor) or discard `dst` on failure. Returns the source
 /// profile's per-node metric total (the thread_table row value).
 core::MetricVec merge_serialized(core::ThreadProfile& dst, std::istream& in);
+
+/// Zero-copy variant over an in-memory serialized profile (an mmap'd
+/// `.dcpf` via core::MappedFile) — identical merge-operation sequence to
+/// the istream overload, so the two produce byte-identical results; the
+/// ingestion daemon's per-shard fold. The same validate-first caveat
+/// applies: `dst` may be partially updated if `bytes` is corrupt.
+core::MetricVec merge_serialized(core::ThreadProfile& dst,
+                                 std::string_view bytes);
 
 /// Reduces a set of per-thread/per-rank profiles to one aggregate profile
 /// via pairwise reduction-tree rounds. Consumes the input.

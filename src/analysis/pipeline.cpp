@@ -244,6 +244,11 @@ AnalysisResult Analyzer::run(const fs::path& dir) const {
             ++out.files_salvaged;
             out.records_salvaged += sr.records_kept;
             out.records_dropped += sr.records_dropped;
+            // Salvaged files are work done: their bytes were streamed
+            // and their prefix folded, so they count toward the shard's
+            // byte total exactly like cleanly-read files (files_read
+            // stays validated-only; ShardStat adds files_salvaged).
+            out.bytes += static_cast<std::uint64_t>(bytes.size());
             out.salvaged.push_back(
                 files[i].string() + ": kept " +
                 std::to_string(sr.records_kept) + ", dropped " +
@@ -322,8 +327,8 @@ AnalysisResult Analyzer::run(const fs::path& dir) const {
     }
     for (auto& s : out.salvaged) result.salvaged.push_back(std::move(s));
     for (auto& s : out.throttled) result.throttled.push_back(std::move(s));
-    result.shards.push_back(
-        ShardStat{w, out.files_read, out.bytes, out.merge_ms});
+    result.shards.push_back(ShardStat{
+        w, out.files_read + out.files_salvaged, out.bytes, out.merge_ms});
   }
   result.files_skipped = result.skipped.size();
   result.files_quarantined = result.quarantined.size();

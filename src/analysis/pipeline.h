@@ -73,8 +73,10 @@ struct StageTimings {
 /// One stream-stage worker's shard, as it ran.
 struct ShardStat {
   int worker = 0;
-  std::size_t files = 0;       ///< files folded (skipped ones excluded)
-  std::uint64_t bytes = 0;     ///< serialized bytes streamed
+  /// Files folded into the partial: fully-validated reads plus salvaged
+  /// prefixes (skipped files excluded — no bytes of theirs were merged).
+  std::size_t files = 0;
+  std::uint64_t bytes = 0;     ///< serialized bytes streamed (incl. salvaged)
   double merge_ms = 0;         ///< wall time of the whole shard fold
 };
 
@@ -99,7 +101,9 @@ struct AnalysisResult {
   /// Profiles written under overload degradation ("path: period P -> Q");
   /// their sample-derived metrics are scaled by Q/P relative to the rest.
   std::vector<std::string> throttled;
-  std::uint64_t bytes_streamed = 0;        ///< profile + structure bytes
+  /// Profile + structure bytes streamed, salvaged files included (their
+  /// bytes were read and their valid prefix merged — that work counts).
+  std::uint64_t bytes_streamed = 0;
   std::size_t peak_resident_profiles = 0;  ///< high-water; <= workers + 1
   int workers_used = 0;
   StageTimings timings;

@@ -1,0 +1,72 @@
+#include "core/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace dcprof::core {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what,
+                              const std::filesystem::path& path) {
+  throw std::runtime_error(std::string(what) + " " + path.string() + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile::MappedFile(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno("cannot open", path);
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_errno("cannot stat", path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      size_ = 0;
+      throw_errno("cannot mmap", path);
+    }
+    data_ = p;
+    // Profile scans are one front-to-back pass; let readahead run wide.
+    ::madvise(data_, size_, MADV_SEQUENTIAL);
+  }
+  // The mapping keeps the inode alive; the descriptor is not needed.
+  ::close(fd);
+}
+
+MappedFile::~MappedFile() { unmap(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MappedFile::unmap() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace dcprof::core

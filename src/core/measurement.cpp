@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -36,7 +37,16 @@ bool is_non_profile_name(const std::string& name) {
 }  // namespace
 
 void write_file_atomic(const fs::path& path, std::string_view bytes) {
-  const fs::path tmp = path.string() + ".tmp";
+  // The temp name must be unique per writer: with a shared `<path>.tmp`,
+  // two concurrent writers to the same target (a fleet of measured
+  // ranks, or a daemon checkpoint racing a late writer) interleave their
+  // write/fsync/rename on one file and can publish torn bytes. pid
+  // disambiguates processes, the counter disambiguates threads.
+  static std::atomic<std::uint64_t> tmp_seq{0};
+  const fs::path tmp = path.string() + ".tmp." + std::to_string(::getpid()) +
+                       "." +
+                       std::to_string(tmp_seq.fetch_add(
+                           1, std::memory_order_relaxed));
   // POSIX fd I/O: std::ofstream cannot fsync, and without the fsync a
   // crash after rename could still surface an empty file.
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -113,11 +123,27 @@ std::vector<fs::path> list_profile_files(const fs::path& dir) {
     throw std::runtime_error("no measurement directory at " + dir.string());
   }
   std::vector<fs::path> profile_paths;
-  for (const auto& entry : fs::directory_iterator(dir)) {
-    // Subdirectories (quarantine/) and special files are never profiles;
-    // the extension check drops `*.dcpf.tmp` (extension ".tmp") and other
-    // strays, and the name check drops editor lock files like
-    // `.#profile-0-0.dcpf`, whose extension alone looks plausible.
+  // The listing runs while writers are still publishing and a concurrent
+  // analyzer's quarantine/cleanup may be unlinking entries, so every
+  // filesystem call uses the error_code overloads: a vanished entry is
+  // skipped, never thrown out of the iteration.
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    throw std::runtime_error("cannot list measurement directory " +
+                             dir.string() + ": " + ec.message());
+  }
+  for (const fs::directory_iterator end; it != end; it.increment(ec)) {
+    if (ec) {
+      // The iterator is unusable after a failed increment (the directory
+      // itself went away mid-walk); return what was seen.
+      break;
+    }
+    const fs::directory_entry& entry = *it;
+    // Subdirectories (quarantine/, ingested/) and special files are
+    // never profiles; the extension check drops the atomic writer's
+    // `*.dcpf.tmp.<pid>.<seq>` leftovers and other strays, and the name
+    // check drops editor lock files like `.#profile-0-0.dcpf`, whose
+    // extension alone looks plausible.
     if (!entry.is_regular_file(ec)) continue;
     if (entry.path().extension() != ".dcpf") continue;
     if (is_non_profile_name(entry.path().filename().string())) continue;
@@ -160,13 +186,40 @@ fs::path quarantine_profile_file(const fs::path& dir, const fs::path& file) {
   const fs::path qdir = dir / kQuarantineDirName;
   std::error_code ec;
   fs::create_directories(qdir, ec);
-  const fs::path dest = qdir / file.filename();
+  // fs::rename clobbers an existing destination, so a re-quarantine of a
+  // rewritten shard under the same name would silently destroy the
+  // first quarantined copy (the forensic evidence). Probe for a free
+  // name — `<name>`, then `<name>.1`, `<name>.2`, ... — and return the
+  // path actually used. The exists/rename window is benign: losing that
+  // race costs one clobber among quarantined copies of the same shard,
+  // and quarantine is already a single-analyzer-at-a-time operation.
+  fs::path dest = qdir / file.filename();
+  for (unsigned k = 1; fs::exists(dest, ec); ++k) {
+    dest = qdir / (file.filename().string() + "." + std::to_string(k));
+  }
   fs::rename(file, dest, ec);
   if (ec) {
     throw std::runtime_error("cannot quarantine " + file.string() + ": " +
                              ec.message());
   }
   return dest;
+}
+
+std::optional<fs::path> claim_profile_file(const fs::path& dir,
+                                           const fs::path& file) {
+  const fs::path cdir = dir / kIngestedDirName;
+  std::error_code ec;
+  fs::create_directories(cdir, ec);
+  const fs::path dest = cdir / file.filename();
+  fs::rename(file, dest, ec);
+  if (!ec) return dest;
+  if (ec == std::errc::no_such_file_or_directory) {
+    // Another claimer (or a cleanup) moved the file first: losing the
+    // race is a normal outcome, not an error.
+    return std::nullopt;
+  }
+  throw std::runtime_error("cannot claim " + file.string() + ": " +
+                           ec.message());
 }
 
 binfmt::StructureData read_structure_file(const fs::path& dir) {

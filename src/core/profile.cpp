@@ -1,6 +1,7 @@
 #include "core/profile.h"
 
 #include <algorithm>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -46,7 +47,9 @@ std::uint64_t get_u64_raw(std::istream& in) {
 }
 
 /// All payload reads go through this wrapper so the running CRC32C and
-/// byte count match exactly what the writer checksummed.
+/// byte count match exactly what the writer checksummed. Also serves the
+/// footer's raw (unhashed) reads — the footer checksums the bytes before
+/// it, not itself.
 class HashingReader {
  public:
   explicit HashingReader(std::istream& in) : in_(in) {}
@@ -84,12 +87,114 @@ class HashingReader {
     }
   }
 
+  std::uint32_t raw_u32() { return get_u32_raw(in_); }
+  std::uint64_t raw_u64() { return get_u64_raw(in_); }
+  bool raw_ok() const { return static_cast<bool>(in_); }
+
   std::uint32_t crc() const { return crc_.value(); }
   std::uint64_t count() const { return count_; }
-  std::istream& stream() { return in_; }
 
  private:
   std::istream& in_;
+  Crc32c crc_;
+  std::uint64_t count_ = 0;
+};
+
+/// The zero-copy twin of HashingReader: decodes straight out of an
+/// in-memory byte image (an mmap'd file) with no stream machinery and no
+/// intermediate buffer. Mirrors istream failure semantics exactly — a
+/// short read sets a sticky fail flag, consumes nothing, and yields
+/// zeros, so `require` throws the same "truncated profile" errors at the
+/// same points.
+class ViewReader {
+ public:
+  explicit ViewReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    const char* p = take(1);
+    return p ? static_cast<std::uint8_t>(static_cast<unsigned char>(*p)) : 0;
+  }
+  std::uint32_t u32() {
+    const char* p = take(4);
+    if (!p) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    const char* p = take(8);
+    if (!p) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+  void read(char* dst, std::size_t n) {
+    const char* p = take(n);
+    if (p) std::memcpy(dst, p, n);
+  }
+
+  void require(const char* what) const {
+    if (fail_) {
+      throw std::runtime_error(std::string("truncated profile: ") + what);
+    }
+  }
+
+  std::uint32_t raw_u32() {
+    const char* p = raw_take(4);
+    if (!p) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t raw_u64() {
+    const char* p = raw_take(8);
+    if (!p) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+  bool raw_ok() const { return !fail_; }
+
+  std::uint32_t crc() const { return crc_.value(); }
+  std::uint64_t count() const { return count_; }
+  std::size_t offset() const { return off_; }
+
+ private:
+  /// Consumes `n` payload bytes (hashed into the running CRC), or sets
+  /// the fail flag and consumes nothing.
+  const char* take(std::size_t n) {
+    const char* p = raw_take(n);
+    if (p) {
+      crc_.update(p, n);
+      count_ += n;
+    }
+    return p;
+  }
+  const char* raw_take(std::size_t n) {
+    if (fail_ || bytes_.size() - off_ < n) {
+      fail_ = true;
+      return nullptr;
+    }
+    const char* p = bytes_.data() + off_;
+    off_ += n;
+    return p;
+  }
+
+  std::string_view bytes_;
+  std::size_t off_ = 0;
+  bool fail_ = false;
   Crc32c crc_;
   std::uint64_t count_ = 0;
 };
@@ -171,8 +276,14 @@ void ThreadProfile::write(std::ostream& out) const {
   put_u32(out, crc32c(bytes));
 }
 
-void ThreadProfile::scan(std::istream& in, ProfileVisitor& visitor) {
-  HashingReader r(in);
+namespace {
+
+/// The format walk shared by the istream and string_view scan overloads.
+/// `Reader` provides hashed payload reads (u8/u32/u64/read + require)
+/// and raw footer reads (raw_u32/raw_u64/raw_ok) — see HashingReader and
+/// ViewReader above.
+template <class Reader>
+void scan_profile(Reader& r, ProfileVisitor& visitor) {
   const std::uint32_t magic = r.u32();
   r.require("header");
   if (magic != kMagic) throw std::runtime_error("bad profile magic");
@@ -305,10 +416,10 @@ void ThreadProfile::scan(std::istream& in, ProfileVisitor& visitor) {
     }
   }
   // Footer: not part of the checksummed payload, read raw.
-  const std::uint32_t footer_magic = get_u32_raw(in);
-  const std::uint64_t payload_bytes = get_u64_raw(in);
-  const std::uint32_t crc = get_u32_raw(in);
-  if (!in) throw std::runtime_error("truncated profile: footer");
+  const std::uint32_t footer_magic = r.raw_u32();
+  const std::uint64_t payload_bytes = r.raw_u64();
+  const std::uint32_t crc = r.raw_u32();
+  if (!r.raw_ok()) throw std::runtime_error("truncated profile: footer");
   if (footer_magic != kFooterMagic) {
     throw std::runtime_error("corrupt profile: bad footer magic");
   }
@@ -318,6 +429,20 @@ void ThreadProfile::scan(std::istream& in, ProfileVisitor& visitor) {
   if (crc != r.crc()) {
     throw std::runtime_error("corrupt profile: checksum mismatch");
   }
+}
+
+}  // namespace
+
+void ThreadProfile::scan(std::istream& in, ProfileVisitor& visitor) {
+  HashingReader r(in);
+  scan_profile(r, visitor);
+}
+
+std::size_t ThreadProfile::scan(std::string_view bytes,
+                                ProfileVisitor& visitor) {
+  ViewReader r(bytes);
+  scan_profile(r, visitor);
+  return r.offset();
 }
 
 namespace {
@@ -413,6 +538,42 @@ ThreadProfile ThreadProfile::read(std::istream& in) {
   scan(in, builder);
   builder.flush();
   return std::move(builder.profile);
+}
+
+ThreadProfile ThreadProfile::read(std::string_view bytes) {
+  ProfileBuilder builder;
+  if (scan(bytes, builder) != bytes.size()) {
+    throw std::runtime_error("trailing bytes after profile data");
+  }
+  builder.flush();
+  return std::move(builder.profile);
+}
+
+std::string ThreadProfile::check_framing(std::string_view bytes) {
+  constexpr std::size_t kFooterSize = 4 + 8 + 4;  // magic, size, crc
+  const auto u32_at = [&](std::size_t off) {
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(bytes[off + i]);
+    }
+    return v;
+  };
+  const auto u64_at = [&](std::size_t off) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(bytes[off + i]);
+    }
+    return v;
+  };
+  if (bytes.size() < kFooterSize + 4) return "truncated profile";
+  if (u32_at(0) != kMagic) return "bad profile magic";
+  const std::size_t footer = bytes.size() - kFooterSize;
+  if (u32_at(footer) != kFooterMagic) return "bad footer magic";
+  if (u64_at(footer + 4) != footer) return "payload size mismatch";
+  if (u32_at(footer + 12) != crc32c(bytes.substr(0, footer))) {
+    return "checksum mismatch";
+  }
+  return {};
 }
 
 ThreadProfile ThreadProfile::read_salvage(std::istream& in,

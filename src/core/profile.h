@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "core/cct.h"
 #include "core/patterns.h"
@@ -125,6 +126,21 @@ struct ThreadProfile {
 
   void write(std::ostream& out) const;
   static ThreadProfile read(std::istream& in);
+  /// Zero-copy deserialization from an in-memory (e.g. mmap'd) image.
+  /// Parses a profile that must span exactly `bytes` (an mmap'd `.dcpf`
+  /// via MappedFile, or a checkpoint-embedded copy): unlike the istream
+  /// overload, trailing bytes are rejected here, since an in-memory
+  /// buffer always has a known end.
+  static ThreadProfile read(std::string_view bytes);
+
+  /// Cheap integrity check of one serialized profile spanning exactly
+  /// `bytes`: header magic, footer framing, and the CRC32C over the
+  /// payload — a single checksum pass, no structural parse. Returns an
+  /// empty string when intact, else the failure reason. A clean result
+  /// rules out every torn or bit-flipped file (the failure modes
+  /// atomic-rename publication leaves possible); structural validity of
+  /// the records themselves is only established by scan/read.
+  static std::string check_framing(std::string_view bytes);
 
   /// Streaming parse: walks one serialized profile and feeds `visitor`
   /// without building a ThreadProfile. Validates the format as it goes
@@ -136,6 +152,15 @@ struct ThreadProfile {
   /// rejected with a clear error. `read` and the analyzer's streaming
   /// merge are both built on this.
   static void scan(std::istream& in, ProfileVisitor& visitor);
+
+  /// The same streaming parse over an in-memory byte image — the
+  /// zero-copy path for mmap'd files (core::MappedFile::bytes): record
+  /// payloads are decoded straight out of `bytes`, never copied into a
+  /// heap buffer first. Identical validation and visitor event sequence
+  /// to the istream overload. Returns the number of bytes one profile
+  /// occupied, so callers can reject trailing garbage
+  /// (`scan(bytes, v) != bytes.size()`) or walk concatenated profiles.
+  static std::size_t scan(std::string_view bytes, ProfileVisitor& visitor);
 
   /// Recovery-mode read: like `read`, but on a framing/truncation/
   /// checksum failure it returns the profile built from the valid record

@@ -456,6 +456,23 @@ TEST(CrashSafety, SalvageModeFoldsTheValidPrefixIntoTheMerge) {
     EXPECT_EQ(r.files_salvaged, 1u);
     EXPECT_EQ(r.records_salvaged, kept);
     EXPECT_EQ(r.records_dropped, dropped);
+    // Salvage accounting: the salvaged file's bytes were read and its
+    // prefix merged, so they count as streamed work, and the shard
+    // table covers salvaged files alongside fully-validated ones.
+    std::uint64_t profile_bytes = 0;
+    std::size_t shard_files = 0;
+    std::uint64_t shard_bytes = 0;
+    for (const auto& f : files) profile_bytes += fs::file_size(f);
+    for (const auto& s : r.shards) {
+      shard_files += s.files;
+      shard_bytes += s.bytes;
+    }
+    EXPECT_EQ(r.bytes_streamed,
+              profile_bytes + fs::file_size(dir.path / "structure.dcst"))
+        << workers << " workers";
+    EXPECT_EQ(shard_files, r.files_read + r.files_salvaged)
+        << workers << " workers";
+    EXPECT_EQ(shard_bytes, profile_bytes) << workers << " workers";
     ASSERT_EQ(r.salvaged.size(), 1u);
     EXPECT_NE(r.salvaged[0].find("kept " + std::to_string(kept)),
               std::string::npos);

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
 
 #include "analysis/merge.h"
 #include "analysis/views.h"
@@ -132,6 +138,136 @@ TEST(Measurement, WriteIsIdempotentPerDirectory) {
   const std::vector<ThreadProfile> second = read_all_profiles(dir.path);
   EXPECT_EQ(first.size(), second.size());
   EXPECT_EQ(first_bytes, measurement_bytes(dir.path));
+}
+
+// --- Concurrency regressions in the profile I/O path ------------------
+
+// Two threads hammering write_file_atomic on the SAME target used to
+// share one `<path>.tmp` file: interleaved write/fsync/rename could
+// publish torn bytes under the final name. With per-writer unique temp
+// names, every published version is one writer's complete payload.
+TEST(Measurement, ConcurrentAtomicWritesToSameTargetNeverTear) {
+  TempDir dir;
+  fs::create_directories(dir.path);
+  const fs::path target = dir.path / "contended.dcpf";
+  const std::string payload_a(8192, 'A');
+  const std::string payload_b(8192, 'B');
+  constexpr int kRounds = 200;
+
+  auto hammer = [&](const std::string& payload) {
+    for (int i = 0; i < kRounds; ++i) write_file_atomic(target, payload);
+  };
+  std::thread ta(hammer, std::cref(payload_a));
+  std::thread tb(hammer, std::cref(payload_b));
+  // Read concurrently with the writers: every observed version must be
+  // exactly one writer's bytes, never a mix or a truncation.
+  for (int i = 0; i < kRounds; ++i) {
+    std::ifstream in(target, std::ios::binary);
+    if (!in) continue;  // not yet published
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string got = std::move(buf).str();
+    ASSERT_TRUE(got == payload_a || got == payload_b)
+        << "torn read of " << got.size() << " bytes on round " << i;
+  }
+  ta.join();
+  tb.join();
+  std::ifstream in(target, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string last = std::move(buf).str();
+  EXPECT_TRUE(last == payload_a || last == payload_b);
+  // No temp-file litter: both writers renamed or unlinked all of them.
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    EXPECT_EQ(entry.path().extension(), ".dcpf")
+        << "leftover temp file " << entry.path();
+  }
+}
+
+// list_profile_files races deleters (a concurrent analyzer quarantining,
+// the ingestion daemon claiming): entries vanishing mid-listing must be
+// skipped, not thrown out of the iteration.
+TEST(Measurement, ListSurvivesRacingDeletes) {
+  TempDir dir;
+  fs::create_directories(dir.path);
+  constexpr int kFiles = 120;
+  for (int i = 0; i < kFiles; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "profile-%03d-0.dcpf", i);
+    write_file_atomic(dir.path / name, "x");
+  }
+  std::atomic<bool> stop{false};
+  std::thread deleter([&] {
+    // Delete every other file, slowly, while listings run.
+    for (int i = 0; i < kFiles && !stop.load(); i += 2) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "profile-%03d-0.dcpf", i);
+      std::error_code ec;
+      fs::remove(dir.path / name, ec);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+  for (int round = 0; round < 200; ++round) {
+    std::vector<fs::path> files;
+    ASSERT_NO_THROW(files = list_profile_files(dir.path));
+    // Never fewer than the survivors, never more than the start set.
+    EXPECT_GE(files.size(), static_cast<std::size_t>(kFiles / 2));
+    EXPECT_LE(files.size(), static_cast<std::size_t>(kFiles));
+  }
+  stop.store(true);
+  deleter.join();
+}
+
+// Quarantining a rewritten shard under a name that is already in
+// quarantine/ must keep BOTH copies: the first quarantined file is
+// forensic evidence, not scratch space.
+TEST(Measurement, QuarantineTwiceKeepsBothCopies) {
+  TempDir dir;
+  fs::create_directories(dir.path);
+  const fs::path shard = dir.path / "profile-0-0.dcpf";
+
+  write_file_atomic(shard, "first corrupt version");
+  const fs::path dest1 = quarantine_profile_file(dir.path, shard);
+  EXPECT_EQ(dest1, dir.path / kQuarantineDirName / "profile-0-0.dcpf");
+
+  write_file_atomic(shard, "second corrupt version");
+  const fs::path dest2 = quarantine_profile_file(dir.path, shard);
+  EXPECT_NE(dest2, dest1);
+  EXPECT_EQ(dest2, dir.path / kQuarantineDirName / "profile-0-0.dcpf.1");
+
+  write_file_atomic(shard, "third corrupt version");
+  const fs::path dest3 = quarantine_profile_file(dir.path, shard);
+  EXPECT_EQ(dest3, dir.path / kQuarantineDirName / "profile-0-0.dcpf.2");
+
+  auto slurp = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return std::move(buf).str();
+  };
+  EXPECT_EQ(slurp(dest1), "first corrupt version");
+  EXPECT_EQ(slurp(dest2), "second corrupt version");
+  EXPECT_EQ(slurp(dest3), "third corrupt version");
+}
+
+// claim_profile_file: the winner gets the new path, the loser of the
+// race gets nullopt (never an exception), and exactly one copy exists
+// afterwards.
+TEST(Measurement, ClaimRaceHasOneWinnerAndNoError) {
+  TempDir dir;
+  fs::create_directories(dir.path);
+  const fs::path shard = dir.path / "profile-0-0.dcpf";
+  write_file_atomic(shard, "shard bytes");
+
+  const auto first = claim_profile_file(dir.path, shard);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, dir.path / kIngestedDirName / "profile-0-0.dcpf");
+  EXPECT_TRUE(fs::exists(*first));
+  EXPECT_FALSE(fs::exists(shard));
+
+  // Second claim of the now-vanished file: lost race, not an error.
+  const auto second = claim_profile_file(dir.path, shard);
+  EXPECT_FALSE(second.has_value());
 }
 
 }  // namespace

@@ -7,8 +7,15 @@
 #                       measurement wall-clock series per execution
 #                       backend (det / threads / sockets) with a >= 2x
 #                       sockets-vs-threads gate on hosts with >= 4 cores
-# (google-benchmark JSON). Run from anywhere; paths resolve from the
-# script's own location. Usage:
+#   BENCH_ingest.json   fleet-scale continuous ingestion (dcprof_ingestd
+#                       over a 10k-shard synthetic corpus): sustained
+#                       shards/sec, peak RSS, and the ingest-vs-batch
+#                       throughput ratio, gated >= 1.0x (the mmap fold
+#                       must not lose to the batch analyzer) with a
+#                       bounded-RSS sanity gate
+# (google-benchmark JSON, except BENCH_ingest.json which dcprof_ingestd
+# emits itself). Run from anywhere; paths resolve from the script's own
+# location. Usage:
 #
 #   tools/run_bench.sh [benchmark-filter]
 #
@@ -21,9 +28,10 @@ build="$repo/build-release"
 filter="${1-BM_Attribute|BM_Cct|BM_HeapMap|BM_SampleHandler}"
 out="$repo/BENCH_hotpath.json"
 scale_out="$repo/BENCH_scale.json"
+ingest_out="$repo/BENCH_ingest.json"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build" -j --target micro_profiler scale_threads
+cmake --build "$build" -j --target micro_profiler scale_threads dcprof_ingestd
 
 # Random interleaving shuffles the repetitions of the repeated
 # benchmarks (the pattern-cost pair) across the run so the on/off
@@ -128,6 +136,48 @@ for mode in (1, 2):
         print(f"  telemetry:{mode} = {t:.1f} ns "
               f"({100.0 * (t - ref) / ref:+.1f}% vs reference)")
 sys.exit(0 if verdict == "OK" else 1)
+EOF
+
+# Fleet-scale ingestion benchmark: pre-generate a 10k-shard synthetic
+# corpus, drain it with dcprof_ingestd, and let the daemon time a
+# one-shot batch Analyzer::run over the identical corpus. Retirement is
+# off so the batch comparison sees the same files, and periodic
+# checkpointing is off (one final checkpoint only): the gate compares
+# the zero-copy fold path against the batch fold path, and a periodic
+# checkpoint's serialize+fsync is a durability cost the batch analyzer
+# never pays (its cadence is the deployment's loss-window knob, not a
+# property of the ingest path). Gates:
+#   * sustained ingest throughput >= 1.0x the batch analyzer's (the
+#     zero-copy mmap fold must not lose to the istream batch path);
+#   * peak RSS stays bounded — the aggregate plus one transient shard,
+#     never proportional to the 10k-shard corpus (<= 512 MiB here, two
+#     orders of magnitude under the corpus-resident alternative).
+ingest_dir=$(mktemp -d)
+trap 'rm -rf "$ingest_dir"' EXIT
+"$build/tools/dcprof_ingestd" "$ingest_dir" \
+    --simulate-shards 10000 --simulate-only --seed 42
+"$build/tools/dcprof_ingestd" "$ingest_dir" \
+    --drain --no-claim --checkpoint-every 0 --verify-batch --bench-compare \
+    --stats-json "$ingest_out"
+
+echo
+echo "wrote $ingest_out"
+
+python3 - "$ingest_out" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+rate = doc["sustained_shards_per_sec"]
+batch = doc["batch_shards_per_sec"]
+ratio = doc["ingest_vs_batch"]
+rss_kb = doc["peak_rss_kb"]
+verdict = "OK" if ratio >= 1.0 else "REGRESSION"
+print(f"ingest check: sustained {rate:.0f} shards/s vs batch "
+      f"{batch:.0f} shards/s ({ratio:.2f}x, gate 1.00x) -> {verdict}")
+rss_verdict = "OK" if rss_kb <= 512 * 1024 else "REGRESSION"
+print(f"ingest rss check: peak {rss_kb / 1024:.1f} MiB over "
+      f"{doc['shards']} shards (gate 512 MiB) -> {rss_verdict}")
+sys.exit(0 if (verdict == "OK" and rss_verdict == "OK") else 1)
 EOF
 
 # Pattern-recording guard: the v4 per-sample memory-level stamping and
