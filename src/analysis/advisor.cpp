@@ -1,6 +1,7 @@
 #include "analysis/advisor.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 namespace dcprof::analysis {
@@ -133,9 +134,21 @@ std::vector<Advice> advise(const ThreadProfile& profile,
   numa_rule(profile, ctx, options, out);
   stride_rule(profile, ctx, options, out);
   tracking_rule(profile, options, out);
+  // Full tie-break chain: equal severities are common (two variables
+  // drawing the same share), and max_advice truncates *after* this sort,
+  // so without the secondary keys the cut line would depend on rule
+  // emission order — the advice must be byte-identical run to run.
   std::stable_sort(out.begin(), out.end(),
                    [](const Advice& a, const Advice& b) {
-                     return a.severity > b.severity;
+                     if (a.severity != b.severity) {
+                       return a.severity > b.severity;
+                     }
+                     if (a.variable != b.variable) {
+                       return a.variable < b.variable;
+                     }
+                     if (a.site != b.site) return a.site < b.site;
+                     return static_cast<int>(a.kind) <
+                            static_cast<int>(b.kind);
                    });
   if (out.size() > options.max_advice) out.resize(options.max_advice);
   return out;
@@ -149,7 +162,14 @@ std::string render_advice(const std::vector<Advice>& advice) {
   }
   int i = 1;
   for (const auto& a : advice) {
-    out << i++ << ". [" << to_string(a.kind) << "] " << a.message << '\n';
+    out << i++ << ". [" << to_string(a.kind) << "] " << a.message;
+    if (a.predicted_speedup > 0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), " (predicted speedup %.3fx)",
+                    a.predicted_speedup);
+      out << buf;
+    }
+    out << '\n';
   }
   return out.str();
 }

@@ -25,8 +25,14 @@ const char* to_string(AdviceKind kind);
 
 struct Advice {
   AdviceKind kind = AdviceKind::kNumaPlacement;
-  /// Fraction of the driving metric this finding explains (sort key).
+  /// Fraction of the driving metric this finding explains (fallback
+  /// sort key when no prediction is attached).
   double severity = 0;
+  /// Exact end-to-end speedup predicted by the what-if engine for this
+  /// variable (baseline / patched re-run); 0 when no prediction was
+  /// attached. When present it replaces severity as the primary sort
+  /// key — see analysis::apply_predictions in whatif.h.
+  double predicted_speedup = 0;
   std::string variable;
   std::string site;     ///< access site, when the finding is site-level
   std::string message;  ///< the recommendation

@@ -22,6 +22,20 @@ Addr AddressSpace::reserve_static(std::uint64_t size, const std::string& name) {
   return base;
 }
 
+std::optional<std::pair<Addr, std::uint64_t>> AddressSpace::find_static(
+    const std::string& name) const {
+  for (const auto& [base, seg] : static_segments_) {
+    if (seg.name == name) return std::make_pair(seg.base, seg.size);
+    const auto colon = seg.name.rfind(':');
+    if (colon != std::string::npos && seg.name.compare(colon + 1,
+                                                       std::string::npos,
+                                                       name) == 0) {
+      return std::make_pair(seg.base, seg.size);
+    }
+  }
+  return std::nullopt;
+}
+
 Addr AddressSpace::reserve_text(std::uint64_t size, const std::string& name) {
   const Addr base = next_text_;
   next_text_ += round_up(size);

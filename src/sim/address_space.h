@@ -34,6 +34,14 @@ class AddressSpace {
   /// Reserves a text range for a load module.
   Addr reserve_text(std::uint64_t size, const std::string& name);
 
+  /// Finds a static segment by name — either the full registered name
+  /// ("exe:f_elem") or the bare variable name after the last ':'. Returns
+  /// {base, size} of the first match in address order. The what-if
+  /// engine uses this to turn a static variable's name back into the
+  /// page range its override must cover.
+  std::optional<std::pair<Addr, std::uint64_t>> find_static(
+      const std::string& name) const;
+
   /// Per-thread stack segment base (stacks are 1 MiB apart, grow up here).
   Addr stack_base(ThreadId tid) const;
 

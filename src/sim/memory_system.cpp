@@ -3,7 +3,8 @@
 namespace dcprof::sim {
 
 MemorySystem::MemorySystem(const MachineConfig& cfg)
-    : cfg_(cfg), page_table_(cfg.page_bytes, cfg.num_nodes()) {
+    : cfg_(cfg), page_table_(cfg.page_bytes, cfg.num_nodes()),
+      overrides_(cfg.page_bytes) {
   obs::Registry& reg = obs::Registry::global();
   tm_.l1 = reg.counter("sim.accesses", {{"level", "l1"}});
   tm_.l2 = reg.counter("sim.accesses", {{"level", "l2"}});
@@ -29,13 +30,15 @@ MemorySystem::MemorySystem(const MachineConfig& cfg)
 }
 
 bool MemorySystem::walk_caches(CoreId core, Addr addr, bool is_store,
-                               AccessResult& r) {
+                               AccessResult& r, bool skip_tlb) {
   const auto ci = static_cast<std::size_t>(core);
-  const bool tlb_hit = tlbs_[ci].access(addr);
-  r.tlb_miss = !tlb_hit;
-  if (r.tlb_miss) {
-    r.latency += cfg_.lat.tlb_walk;
-    tm_.tlb_misses.inc();
+  if (!skip_tlb) {
+    const bool tlb_hit = tlbs_[ci].access(addr);
+    r.tlb_miss = !tlb_hit;
+    if (r.tlb_miss) {
+      r.latency += cfg_.lat.tlb_walk;
+      tm_.tlb_misses.inc();
+    }
   }
 
   if (l1_[ci].access(addr)) {
@@ -70,9 +73,52 @@ bool MemorySystem::consult_prefetcher(CoreId core, Addr addr) {
                                                              lines_per_page);
 }
 
+NodeId MemorySystem::touch_page(Addr addr, NodeId toucher,
+                                const OverrideEntry* ov) {
+  if (ov != nullptr && ov->placement == PlacementOverride::kInterleave) {
+    const PlacementPolicy forced = PlacementPolicy::kInterleave;
+    return page_table_.touch(addr, toucher, &forced);
+  }
+  return page_table_.touch(addr, toucher);
+}
+
 void MemorySystem::finish_dram(Addr addr, NodeId home, NodeId toucher,
-                               bool prefetched, Cycles now, AccessResult& r) {
+                               bool prefetched, Cycles now, AccessResult& r,
+                               const OverrideEntry* ov) {
   (void)addr;
+  if (ov != nullptr) {
+    if (ov->latency == LatencyOverride::kZero) {
+      // Oracle bound: the fill costs nothing — no DRAM time, no
+      // controller bandwidth (the TLB was bypassed in walk_caches).
+      r.latency = 0;
+      r.prefetched = false;
+      r.home = home;
+      r.level = MemLevel::kL3;
+      tm_.l3.inc();
+      return;
+    }
+    if (ov->placement == PlacementOverride::kLocal) {
+      // Perfect placement: the fill is served by the toucher's own
+      // controller regardless of where first touch bound the page.
+      home = toucher;
+    }
+    if (ov->latency == LatencyOverride::kNextLevel) {
+      if (home == toucher) {
+        // Local DRAM promoted to an L3 hit. (The TLB walk was never
+        // charged: a layout fix that achieves this also restores
+        // translation locality, so walk_caches bypassed the TLB.)
+        r.latency += cfg_.lat.l3;
+        r.prefetched = false;
+        r.home = home;
+        r.level = MemLevel::kL3;
+        tm_.l3.inc();
+        return;
+      }
+      // Remote DRAM promoted one level: costs a local fill, served by
+      // the toucher's controller.
+      home = toucher;
+    }
+  }
   r.home = home;
   const bool remote = home != toucher;
   r.queue_wait = controllers_[static_cast<std::size_t>(home)].serve(now);
@@ -99,12 +145,15 @@ void MemorySystem::finish_dram(Addr addr, NodeId home, NodeId toucher,
 AccessResult MemorySystem::access(CoreId core, Addr addr, bool is_store,
                                   Cycles now) {
   AccessResult r;
-  if (walk_caches(core, addr, is_store, r)) return r;
+  const OverrideEntry* ov =
+      overrides_.empty() ? nullptr : overrides_.lookup(addr);
+  const bool skip_tlb = ov != nullptr && ov->latency != LatencyOverride::kNone;
+  if (walk_caches(core, addr, is_store, r, skip_tlb)) return r;
   // DRAM fill: bind the page (first touch) and pay the home controller.
   const NodeId toucher = cfg_.node_of(core);
-  const NodeId home = page_table_.touch(addr, toucher);
+  const NodeId home = touch_page(addr, toucher, ov);
   const bool prefetched = consult_prefetcher(core, addr);
-  finish_dram(addr, home, toucher, prefetched, now, r);
+  finish_dram(addr, home, toucher, prefetched, now, r, ov);
   return r;
 }
 
@@ -112,7 +161,14 @@ AccessResult MemorySystem::access_sharded(CoreId core, Addr addr,
                                           bool is_store, Cycles now,
                                           DeferredAccess* out) {
   AccessResult r;
-  if (walk_caches(core, addr, is_store, r)) return r;
+  // Overridden addresses always defer below: a placement override may
+  // redirect the fill to another socket's controller, so the only safe
+  // point to apply it is the barrier's canonical order. Normal runs
+  // (empty table) pay one branch here.
+  const OverrideEntry* ov =
+      overrides_.empty() ? nullptr : overrides_.lookup(addr);
+  const bool skip_tlb = ov != nullptr && ov->latency != LatencyOverride::kNone;
+  if (walk_caches(core, addr, is_store, r, skip_tlb)) return r;
   // The prefetcher is core-private: consult it now, in issue order, so
   // its training sequence is identical whether the fill resolves
   // immediately or at the barrier.
@@ -122,11 +178,13 @@ AccessResult MemorySystem::access_sharded(CoreId core, Addr addr,
   // order-dependent shared state), so concurrent socket shards can all
   // read the table safely.
   const NodeId home = page_table_.node_of(addr);
-  if (home != kNoNode && cfg_.socket_of_node(home) == cfg_.socket_of(core)) {
+  const bool overridden = ov != nullptr;
+  if (!overridden && home != kNoNode &&
+      cfg_.socket_of_node(home) == cfg_.socket_of(core)) {
     // The home controller belongs to this core's socket: socket-private
     // during the epoch, serve immediately (remote_extra still applies if
     // the socket spans multiple NUMA nodes).
-    finish_dram(addr, home, toucher, prefetched, now, r);
+    finish_dram(addr, home, toucher, prefetched, now, r, nullptr);
     return r;
   }
   // Cross-socket (or unhomed) fill: queue for the epoch barrier. No
@@ -149,8 +207,10 @@ AccessResult MemorySystem::resolve_deferred(const DeferredAccess& d) {
   r.tlb_miss = d.tlb_miss;
   if (d.tlb_miss) r.latency += cfg_.lat.tlb_walk;
   const NodeId toucher = cfg_.node_of(d.core);
-  const NodeId home = page_table_.touch(d.addr, toucher);
-  finish_dram(d.addr, home, toucher, d.prefetched, d.issued_at, r);
+  const OverrideEntry* ov =
+      overrides_.empty() ? nullptr : overrides_.lookup(d.addr);
+  const NodeId home = touch_page(d.addr, toucher, ov);
+  finish_dram(d.addr, home, toucher, d.prefetched, d.issued_at, r, ov);
   return r;
 }
 

@@ -12,6 +12,7 @@
 #include "obs/registry.h"
 #include "sim/cache.h"
 #include "sim/config.h"
+#include "sim/override.h"
 #include "sim/page_table.h"
 #include "sim/types.h"
 
@@ -147,6 +148,14 @@ class MemorySystem {
 
   PageTable& page_table() { return page_table_; }
   const PageTable& page_table() const { return page_table_; }
+
+  /// What-if override table (empty in normal runs). Entries patch the
+  /// covered pages' placement at first touch and their DRAM cost at the
+  /// home lookup; see sim/override.h. Mutate at quiescent points only —
+  /// under the epoch-sharded backend every overridden access defers to
+  /// the barrier, so the table itself is read-only mid-epoch.
+  OverrideMap& overrides() { return overrides_; }
+  const OverrideMap& overrides() const { return overrides_; }
   MemLevelStats stats() const;
   const DramController& controller(NodeId node) const {
     return controllers_[static_cast<std::size_t>(node)];
@@ -159,15 +168,25 @@ class MemorySystem {
   /// TLB + L1/L2/L3 walk shared by access() and access_sharded(); fills
   /// caches on miss. Returns true when a cache satisfied the access (`r`
   /// is complete); false when it falls through to DRAM (`r` carries the
-  /// TLB outcome and walk latency so far).
-  bool walk_caches(CoreId core, Addr addr, bool is_store, AccessResult& r);
+  /// TLB outcome and walk latency so far). With `skip_tlb` the TLB is
+  /// bypassed entirely — not consulted, not charged, not filled — used
+  /// for latency-overridden accesses, whose modeled fix shrinks the
+  /// variable's translation footprint to nothing (so other variables'
+  /// entries survive instead of being thrashed).
+  bool walk_caches(CoreId core, Addr addr, bool is_store, AccessResult& r,
+                   bool skip_tlb);
   /// Consults (and trains) `core`'s stream prefetcher for a DRAM fill of
   /// `addr`. Config-gated; called once per fill, in issue order.
   bool consult_prefetcher(CoreId core, Addr addr);
   /// The DRAM leg: pays the home controller at `now`, applies the
-  /// latency formula for `prefetched`, sets level + telemetry.
+  /// latency formula for `prefetched`, sets level + telemetry. `ov` (may
+  /// be null) is the what-if override covering this address, applied
+  /// before any cost is charged.
   void finish_dram(Addr addr, NodeId home, NodeId toucher, bool prefetched,
-                   Cycles now, AccessResult& r);
+                   Cycles now, AccessResult& r, const OverrideEntry* ov);
+  /// Binds the page of `addr` honouring a placement override's forced
+  /// interleaving; plain first-touch semantics when `ov` is null.
+  NodeId touch_page(Addr addr, NodeId toucher, const OverrideEntry* ov);
 
   MachineConfig cfg_;
   std::vector<SetAssocCache> l1_;   // per core
@@ -177,6 +196,7 @@ class MemorySystem {
   std::vector<StreamPrefetcher> prefetchers_;  // per core
   std::vector<DramController> controllers_;  // per NUMA node
   PageTable page_table_;
+  OverrideMap overrides_;
 
   // Registry-backed level counts (this instance's private cells; the
   // global registry additionally sums them machine-wide).

@@ -55,15 +55,17 @@ PageTable::Region* PageTable::region_covering(Addr addr) {
   return nullptr;
 }
 
-NodeId PageTable::touch(Addr addr, NodeId toucher) {
+NodeId PageTable::touch(Addr addr, NodeId toucher,
+                        const PlacementPolicy* forced) {
   const Addr page = page_of(addr);
   if (auto it = page_node_.find(page); it != page_node_.end()) {
     return it->second;
   }
   PlacementPolicy policy = default_policy_;
   NodeId fixed = kNoNode;
-  Region* region = region_covering(addr);
-  if (region != nullptr) {
+  if (forced != nullptr) {
+    policy = *forced;
+  } else if (Region* region = region_covering(addr); region != nullptr) {
     policy = region->policy;
     fixed = region->fixed_node;
   }

@@ -37,8 +37,12 @@ class PageTable {
   void release_range(Addr base, std::uint64_t size);
 
   /// Node holding the page of `addr`, binding it on first touch.
-  /// `toucher` is the node of the accessing core.
-  NodeId touch(Addr addr, NodeId toucher);
+  /// `toucher` is the node of the accessing core. When `forced` is
+  /// non-null it replaces the region's declared policy for this binding —
+  /// the what-if engine's placement override, applied only to pages not
+  /// yet mapped (already-bound pages keep their node).
+  NodeId touch(Addr addr, NodeId toucher,
+               const PlacementPolicy* forced = nullptr);
 
   /// Node holding the page of `addr`, or kNoNode if never touched.
   NodeId node_of(Addr addr) const;

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Causal what-if smoke test: dcprof_measure records streamcluster, then
+# dcprof_analyze --whatif re-executes the workload per candidate fix and
+# must print a ranked predicted-payoff table (speedups sorted descending)
+# plus a prediction-annotated guidance entry. Also asserts that an
+# unknown --whatif workload is a hard error.
+#
+#   whatif_smoke.sh <dcprof_measure> <dcprof_analyze>
+set -u
+
+measure=$1
+analyze=$2
+
+tmpdir=$(mktemp -d) || exit 1
+trap 'rm -rf "$tmpdir"' EXIT
+
+fail() {
+  echo "whatif_smoke FAIL: $*" >&2
+  exit 1
+}
+
+# 8 threads span two sockets of the simulated machine, so the master-
+# calloc'd block array draws remote traffic and every fix kind applies.
+"$measure" streamcluster "$tmpdir/meas" --threads 8 --period 256 \
+    || fail "dcprof_measure exited $?"
+
+"$analyze" "$tmpdir/meas" --whatif streamcluster --whatif-threads 8 \
+    > "$tmpdir/analyze.out" \
+    || fail "dcprof_analyze --whatif exited $?"
+
+grep -q "== what-if: predicted payoff (exact re-runs of streamcluster) ==" \
+    "$tmpdir/analyze.out" \
+    || fail "what-if section heading missing"
+
+# At least one ranked row: "<var>: <fix>  <share>%  <cycles>  <s>x  <g>%".
+grep -Eq '^block: (make remote accesses local|interleave pages across nodes|promote misses one memory level) +[0-9]+\.[0-9]% +[0-9]+ +[0-9]+\.[0-9]{3}x +-?[0-9]+\.[0-9]%$' \
+    "$tmpdir/analyze.out" \
+    || fail "no ranked what-if row for the block variable"
+
+grep -q "exact virtual speedups" "$tmpdir/analyze.out" \
+    || fail "what-if table footer missing"
+
+# The table is ranked: the speedup column must be non-increasing. (The
+# dashes match only inside the what-if section; earlier views have their
+# own separator lines.)
+awk '/^== what-if/ { sect = 1 }
+     sect && /^-+$/ { in_table = 1; next }
+     /^\(exact/ { in_table = 0 }
+     in_table && NF >= 2 { print $(NF - 1) }' "$tmpdir/analyze.out" \
+    | tr -d x > "$tmpdir/speedups"
+[ -s "$tmpdir/speedups" ] || fail "could not extract speedup column"
+sort -grc "$tmpdir/speedups" \
+    || fail "what-if rows are not sorted by descending speedup"
+
+# Guidance entries carry the exact prediction as their sort key.
+grep -Eq 'predicted speedup [0-9]+\.[0-9]{3}x' "$tmpdir/analyze.out" \
+    || fail "guidance is missing the predicted-speedup annotation"
+
+# A fix must actually attach and pay off on this workload: the best row
+# beats 1.0x (streamcluster's block array is remote-heavy by design).
+best=$(head -n 1 "$tmpdir/speedups")
+awk -v s="$best" 'BEGIN { exit !(s > 1.0) }' \
+    || fail "best predicted speedup $best does not beat 1.0x"
+
+# Unknown what-if workloads are hard errors, not silent no-ops.
+if "$analyze" "$tmpdir/meas" --whatif nosuchworkload \
+    > /dev/null 2> "$tmpdir/analyze.err"; then
+  fail "dcprof_analyze accepted an unknown --whatif workload"
+fi
+grep -q 'unknown --whatif workload' "$tmpdir/analyze.err" \
+    || fail "unknown --whatif workload produced no error message"
+
+echo "whatif_smoke OK"

@@ -169,5 +169,186 @@ TEST(Advisor, RenderNumbersTheFindings) {
   EXPECT_NE(out.find("1. [NUMA placement]"), std::string::npos);
 }
 
+TEST(Advisor, RenderAdviceGoldenOutput) {
+  // Fully pinned output: one NUMA finding drawing all remote accesses.
+  ThreadProfile p;
+  add_heap_var(p, 0x1, 0x500, metrics(100, 90, 30'000));
+  std::map<sim::Addr, std::string> names{{0x1, "block"}};
+  AnalysisContext ctx;
+  ctx.alloc_names = &names;
+  const std::string out = render_advice(advise(p, ctx));
+  EXPECT_EQ(out,
+            "1. [NUMA placement] block draws 100% of all remote accesses. "
+            "Its pages likely sit on one NUMA node (master-thread "
+            "calloc/init). If it is initialized in parallel, switch calloc "
+            "to malloc so first touch places pages near their users; "
+            "otherwise allocate it interleaved (libnuma) to spread the "
+            "bandwidth.\n");
+}
+
+TEST(Advisor, RenderAdviceGoldenOutputWithPrediction) {
+  Advice a;
+  a.kind = AdviceKind::kSpatialLocality;
+  a.variable = "Flux";
+  a.message = "transpose Flux";
+  a.predicted_speedup = 1.25;
+  Advice b;
+  b.kind = AdviceKind::kTrackingGap;
+  b.variable = "unknown data";
+  b.message = "widen tracking";
+  EXPECT_EQ(render_advice({a, b}),
+            "1. [spatial locality] transpose Flux "
+            "(predicted speedup 1.250x)\n"
+            "2. [tracking gap] widen tracking\n");
+}
+
+TEST(Advisor, RenderAdviceGoldenOutputWhenEmpty) {
+  EXPECT_EQ(render_advice({}),
+            "no data-locality problems above the reporting thresholds\n");
+}
+
+TEST(Advisor, EmptyProfileGivesNoAdvice) {
+  const ThreadProfile p;
+  const AnalysisContext ctx;
+  EXPECT_TRUE(advise(p, ctx).empty());
+}
+
+TEST(Advisor, NumaShareExactlyAtThresholdTriggers) {
+  ThreadProfile p;
+  add_heap_var(p, 0x1, 0x500, metrics(100, 10, 1'000));  // 10% of remote
+  add_heap_var(p, 0x2, 0x501, metrics(100, 90, 1'000));
+  std::map<sim::Addr, std::string> names{{0x1, "edge"}, {0x2, "bulk"}};
+  AnalysisContext ctx;
+  ctx.alloc_names = &names;
+  AdvisorOptions opt;
+  opt.numa_share = 0.10;
+  bool edge_flagged = false;
+  for (const auto& a : advise(p, ctx, opt)) {
+    if (a.variable == "edge") edge_flagged = true;
+  }
+  EXPECT_TRUE(edge_flagged);  // >= threshold, not strictly above
+
+  // One sample below the threshold stays silent.
+  ThreadProfile q;
+  add_heap_var(q, 0x1, 0x500, metrics(100, 9, 1'000));
+  add_heap_var(q, 0x2, 0x501, metrics(100, 91, 1'000));
+  for (const auto& a : advise(q, ctx, opt)) {
+    EXPECT_NE(a.variable, "edge");
+  }
+}
+
+TEST(Advisor, StrideThresholdsExactlyAtBoundaryTrigger) {
+  AdvisorOptions opt;
+  opt.numa_share = 1.1;  // isolate the stride rule
+  const AnalysisContext ctx;
+  {
+    // tlb_ratio == stride_tlb_ratio (25%), lat_share == stride (5%).
+    ThreadProfile p;
+    add_heap_var(p, 0x1, 0x480, metrics(100, 0, 5'000, 25));
+    add_heap_var(p, 0x2, 0x481, metrics(100, 0, 95'000, 0));
+    const auto advice = advise(p, ctx, opt);
+    ASSERT_EQ(advice.size(), 1u);
+    EXPECT_EQ(advice[0].kind, AdviceKind::kSpatialLocality);
+  }
+  {
+    // TLB ratio one miss short of the threshold: silent.
+    ThreadProfile p;
+    add_heap_var(p, 0x1, 0x480, metrics(100, 0, 5'000, 24));
+    add_heap_var(p, 0x2, 0x481, metrics(100, 0, 95'000, 0));
+    EXPECT_TRUE(advise(p, ctx, opt).empty());
+  }
+  {
+    // Latency share just below 5%: silent.
+    ThreadProfile p;
+    add_heap_var(p, 0x1, 0x480, metrics(100, 0, 4'999, 25));
+    add_heap_var(p, 0x2, 0x481, metrics(100, 0, 95'001, 0));
+    EXPECT_TRUE(advise(p, ctx, opt).empty());
+  }
+}
+
+TEST(Advisor, StrideSampleFloorIsExactlySixteen) {
+  AdvisorOptions opt;
+  opt.numa_share = 1.1;
+  const AnalysisContext ctx;
+  ThreadProfile p;
+  add_heap_var(p, 0x1, 0x480, metrics(16, 0, 90'000, 16));
+  EXPECT_EQ(advise(p, ctx, opt).size(), 1u);
+  ThreadProfile q;
+  add_heap_var(q, 0x1, 0x480, metrics(15, 0, 90'000, 15));
+  EXPECT_TRUE(advise(q, ctx, opt).empty());
+}
+
+TEST(Advisor, UnknownShareExactlyAtThresholdTriggers) {
+  const AnalysisContext ctx;
+  AdvisorOptions opt;
+  opt.unknown_share = 0.10;
+  ThreadProfile p;
+  Cct& unknown = p.cct(StorageClass::kUnknown);
+  unknown.add_metrics(unknown.child(Cct::kRootId, NodeKind::kLeafInstr, 0x9),
+                      metrics(10, 0, 100));
+  add_heap_var(p, 0x1, 0x500, metrics(90, 0, 900));  // unknown = 10%
+  bool gap = false;
+  for (const auto& a : advise(p, ctx, opt)) {
+    if (a.kind == AdviceKind::kTrackingGap) gap = true;
+  }
+  EXPECT_TRUE(gap);
+
+  ThreadProfile q;
+  Cct& u2 = q.cct(StorageClass::kUnknown);
+  u2.add_metrics(u2.child(Cct::kRootId, NodeKind::kLeafInstr, 0x9),
+                 metrics(9, 0, 100));
+  add_heap_var(q, 0x1, 0x500, metrics(91, 0, 900));
+  for (const auto& a : advise(q, ctx, opt)) {
+    EXPECT_NE(a.kind, AdviceKind::kTrackingGap);
+  }
+}
+
+TEST(Advisor, MaxAdviceTruncationBreaksTiesByVariableName) {
+  // Regression: four equal-severity findings, room for two. Before the
+  // tie-break sort, which two survived the cut depended on rule emission
+  // order; now the lexicographically-first variables win, always.
+  ThreadProfile p;
+  for (sim::Addr v = 0; v < 4; ++v) {
+    add_heap_var(p, 0x10 + v, 0x500 + v, metrics(100, 25, 1'000));
+  }
+  std::map<sim::Addr, std::string> names{
+      {0x10, "delta"}, {0x11, "bravo"}, {0x12, "alpha"}, {0x13, "charlie"}};
+  AnalysisContext ctx;
+  ctx.alloc_names = &names;
+  AdvisorOptions opt;
+  opt.numa_share = 0.05;
+  opt.max_advice = 2;
+  const auto advice = advise(p, ctx, opt);
+  ASSERT_EQ(advice.size(), 2u);
+  EXPECT_EQ(advice[0].variable, "alpha");
+  EXPECT_EQ(advice[1].variable, "bravo");
+}
+
+TEST(Advisor, MaxAdviceZeroSuppressesEverything) {
+  ThreadProfile p;
+  add_heap_var(p, 0x1, 0x500, metrics(100, 90, 30'000));
+  const AnalysisContext ctx;
+  AdvisorOptions opt;
+  opt.max_advice = 0;
+  EXPECT_TRUE(advise(p, ctx, opt).empty());
+}
+
+TEST(Advisor, AdviceIsByteIdenticalAcrossRuns) {
+  ThreadProfile p;
+  for (sim::Addr v = 0; v < 6; ++v) {
+    add_heap_var(p, 0x10 + v, 0x500 + v, metrics(100, 20, 10'000, 30));
+  }
+  Cct& unknown = p.cct(StorageClass::kUnknown);
+  unknown.add_metrics(unknown.child(Cct::kRootId, NodeKind::kLeafInstr, 0x9),
+                      metrics(200, 0, 5'000));
+  const AnalysisContext ctx;
+  AdvisorOptions opt;
+  opt.numa_share = 0.05;
+  const std::string first = render_advice(advise(p, ctx, opt));
+  const std::string second = render_advice(advise(p, ctx, opt));
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
 }  // namespace
 }  // namespace dcprof::analysis

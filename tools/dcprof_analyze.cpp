@@ -43,10 +43,13 @@
 #include "analysis/pipeline.h"
 #include "analysis/report.h"
 #include "analysis/views.h"
+#include "analysis/whatif.h"
 #include "core/measurement.h"
 #include "core/profile.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
+#include "rt/exec.h"
+#include "workloads/rerun.h"
 
 using namespace dcprof;
 
@@ -87,6 +90,10 @@ int main(int argc, char** argv) {
   std::string dot_out;
   std::string folded_out;
   std::string export_var;
+  std::string whatif_workload;
+  int whatif_top = 3;
+  int whatif_threads = 16;
+  std::string whatif_backend = "det";
 
   cli::Parser p("dcprof_analyze",
                 "streams a measurement directory through the analysis "
@@ -117,6 +124,17 @@ int main(int argc, char** argv) {
            "write folded-stack flamegraph text", "FILE");
   p.option("--export-var", &export_var,
            "restrict --dot-out/--folded-out to one variable", "NAME");
+  p.option("--whatif", &whatif_workload,
+           "predict exact fix payoffs by re-running this workload "
+           "(the structure file carries no executable name, so it must "
+           "be named explicitly; use the measurement's configuration)",
+           wl::whatif_workload_names());
+  p.option("--whatif-top", &whatif_top,
+           "candidate variables the what-if engine evaluates");
+  p.option("--whatif-threads", &whatif_threads,
+           "threads for what-if re-runs (match the measurement)");
+  p.option("--whatif-backend", &whatif_backend,
+           "execution backend for what-if re-runs", "det|threads|sockets");
   if (const auto rc = p.parse(argc, argv)) return *rc;
 
   analysis::Analyzer::Options opts;
@@ -134,7 +152,11 @@ int main(int argc, char** argv) {
     opts.with_workers(workers);
   }
   if (top_n > 0) opts.with_top_n(static_cast<std::size_t>(top_n));
-  if (advice) opts.add_views(analysis::kViewAdvice);
+  // --whatif exists to attach exact predictions to the guidance, so it
+  // implies the advice view.
+  if (advice || !whatif_workload.empty()) {
+    opts.add_views(analysis::kViewAdvice);
+  }
   if (overhead) opts.add_views(analysis::kViewOverhead);
   if (strict) opts.with_policy(analysis::CorruptPolicy::kStrict);
   if (quarantine) opts.with_policy(analysis::CorruptPolicy::kQuarantine);
@@ -150,6 +172,17 @@ int main(int argc, char** argv) {
       top_down_class != "unknown") {
     return p.error("unknown --top-down class: " + top_down_class);
   }
+  if (!whatif_workload.empty() &&
+      !wl::whatif_workload_known(whatif_workload)) {
+    return p.error("unknown --whatif workload: " + whatif_workload +
+                   " (expected " + wl::whatif_workload_names() + ")");
+  }
+  const auto whatif_bk = rt::parse_backend(whatif_backend);
+  if (!whatif_bk) {
+    return p.error("unknown --whatif-backend: " + whatif_backend);
+  }
+  if (whatif_top < 1) return p.error("--whatif-top must be >= 1");
+  if (whatif_threads < 1) return p.error("--whatif-threads must be >= 1");
   const core::Metric metric = opts.sort_metric;
   if (!metrics_json.empty()) obs::set_metrics_enabled(true);
   if (!trace_out.empty()) obs::Tracer::set_enabled(true);
@@ -267,9 +300,33 @@ int main(int argc, char** argv) {
                     .c_str());
   }
 
+  std::vector<analysis::WhatIfPrediction> predictions;
+  if (!whatif_workload.empty()) {
+    wl::WhatIfRunConfig run_cfg;
+    run_cfg.threads = whatif_threads;
+    run_cfg.exec.backend = *whatif_bk;
+    analysis::WhatIfOptions whatif_opts;
+    whatif_opts.top_n = static_cast<std::size_t>(whatif_top);
+    try {
+      analysis::WhatIfEngine engine(
+          wl::make_whatif_runner(whatif_workload, run_cfg), whatif_opts);
+      predictions = engine.analyze(r.merged, ctx);
+      analysis::apply_predictions(r.advice, predictions);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: what-if analysis failed: %s\n", e.what());
+      return 1;
+    }
+  }
+
   if (opts.views & analysis::kViewAdvice) {
     std::printf("== guidance ==\n%s",
                 analysis::render_advice(r.advice).c_str());
+  }
+
+  if (!whatif_workload.empty()) {
+    std::printf("== what-if: predicted payoff (exact re-runs of %s) ==\n%s",
+                whatif_workload.c_str(),
+                analysis::render_whatif(predictions).c_str());
   }
 
   if (!html_path.empty()) {
